@@ -1,0 +1,260 @@
+(* Benchmark harness.
+
+   Two parts, in one executable (run with `dune exec bench/main.exe`):
+
+   1. Reproduction of every table and figure of the paper — the experiment
+      drivers from lib/experiments, printed in paper order. Pass [--fast]
+      to shrink the two expensive sweeps (Figure 7 grid, Figure 19
+      replication) for smoke runs.
+
+   2. Bechamel micro-benchmarks — one [Test.make] per experiment family,
+      timing the algorithm that regenerates it (GreedyTest, Algorithm 1,
+      the Theorem 4.1 pipeline, the Theorem 5.2 construction, max-flow
+      verification, instance generation, the transport simulator, the
+      last-mile fit). This substantiates the paper's claim that "all
+      proposed algorithms are very efficient in time complexity". *)
+
+open Bechamel
+open Toolkit
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: table/figure reproduction                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  let fmt = Format.std_formatter in
+  print_endline "######################################################";
+  print_endline "## Part 1: reproduction of the paper's tables/figures";
+  print_endline "######################################################";
+  if fast then begin
+    (* Same artifacts, smaller sweeps. *)
+    Experiments.Fig1_example.print fmt;
+    Experiments.Fig6_unbounded.print ~ms:[ 2; 4; 8 ] fmt;
+    Experiments.Fig7_surface.print ~ns:[ 10; 40; 100 ] ~ms:[ 10; 40; 100 ] fmt;
+    Experiments.Fig8_hardness.print ~seeds:[ 1; 2 ] fmt;
+    Experiments.Cyclic_walkthrough.print fmt;
+    Experiments.Fig18_worst.print fmt;
+    Experiments.Thm63_family.print ~ks:[ 1; 2 ] fmt;
+    Experiments.Fig19_average.print ~config:Experiments.Fig19_average.quick_config fmt;
+    Experiments.Massoulie_validation.print ~chunks:150 fmt;
+    Experiments.Lastmile_validation.print ~noises:[ 0.; 0.2 ] fmt;
+    Experiments.Churn_repair.print fmt;
+    Experiments.Depth_ablation.print fmt;
+    Experiments.Jitter_resilience.print ~jitters:[ 0.; 0.1; 0.5 ] fmt;
+    Experiments.One_port_comparison.print fmt
+  end
+  else Experiments.Registry.run_all fmt;
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-built workloads shared by the timed closures (allocation happens
+   outside the timed region). *)
+
+let fig1 = Platform.Instance.fig1
+
+let mixed_instance n =
+  let rng = Prng.Splitmix.create 17L in
+  Platform.Generator.generate
+    { Platform.Generator.total = n; p_open = 0.7; dist = Prng.Dist.unif100 }
+    rng
+
+let open_instance n =
+  let rng = Prng.Splitmix.create 18L in
+  Platform.Generator.generate
+    { Platform.Generator.total = n; p_open = 1.; dist = Prng.Dist.unif100 }
+    rng
+
+let inst100 = mixed_instance 100
+let inst1000 = mixed_instance 1000
+let open100 = open_instance 100
+
+let rate100, word100 =
+  let t, w = Broadcast.Greedy.optimal_acyclic inst100 in
+  (t *. (1. -. 4e-9), w)
+
+let scheme100 = Broadcast.Low_degree.build inst100 ~rate:rate100 word100
+let fig1_scheme = snd (Broadcast.Low_degree.build_optimal fig1)
+let gadget57 = Broadcast.Ratio.five_sevenths_instance ~epsilon:(1. /. 14.)
+let sqrt41_inst = fst (Broadcast.Ratio.sqrt41_instance ~k:1 ())
+
+let lastmile_matrix =
+  let rng = Prng.Splitmix.create 19L in
+  let bout = Array.init 20 (fun _ -> Prng.Dist.sample Platform.Plab.dist rng) in
+  let truth = { Lastmile.Model.bout; bin = Array.map (fun b -> 2. *. b) bout } in
+  Lastmile.Model.synthetic_matrix ~noise:0.1 truth rng
+
+let overlay100 =
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst100 in
+  Broadcast.Overlay.build ~rate:(t *. 0.9) inst100
+
+let omega1000 =
+  Broadcast.Word.omega1 ~n:inst1000.Platform.Instance.n
+    ~m:inst1000.Platform.Instance.m
+
+let tests =
+  [
+    (* Table I / Figure 5: one linear-time GreedyTest call. *)
+    Test.make ~name:"tableI/greedy-test-fig1"
+      (Staged.stage (fun () -> Broadcast.Greedy.test fig1 ~rate:4.0));
+    (* Figure 3 / Algorithm 1 on 100 open nodes. *)
+    Test.make ~name:"alg1/acyclic-open-100"
+      (Staged.stage (fun () -> Broadcast.Acyclic_open.build open100));
+    (* Theorem 4.1: dichotomic search for T*ac, n+m = 100 and 1000. *)
+    Test.make ~name:"thm41/optimal-acyclic-100"
+      (Staged.stage (fun () -> Broadcast.Greedy.optimal_acyclic inst100));
+    Test.make ~name:"thm41/optimal-acyclic-1000"
+      (Staged.stage (fun () -> Broadcast.Greedy.optimal_acyclic inst1000));
+    (* Lemma 4.6: low-degree scheme construction. *)
+    Test.make ~name:"lemma46/low-degree-100"
+      (Staged.stage (fun () ->
+           Broadcast.Low_degree.build inst100 ~rate:rate100 word100));
+    (* Theorem 5.2: cyclic construction. *)
+    Test.make ~name:"thm52/cyclic-open-100"
+      (Staged.stage (fun () -> Broadcast.Cyclic_open.build open100));
+    (* Verification oracle (Section II-D definition). *)
+    Test.make ~name:"verify/maxflow-fig1"
+      (Staged.stage (fun () ->
+           Flowgraph.Maxflow.min_broadcast_flow fig1_scheme ~src:0));
+    Test.make ~name:"verify/maxflow-100"
+      (Staged.stage (fun () ->
+           Flowgraph.Maxflow.min_broadcast_flow scheme100 ~src:0));
+    (* Figure 7: one surface cell. *)
+    Test.make ~name:"fig7/cell-50x21"
+      (Staged.stage (fun () -> Experiments.Fig7_surface.compute_cell ~n:50 ~m:21));
+    (* Figure 18: full comparison on the 5/7 gadget. *)
+    Test.make ~name:"fig18/compare-gadget"
+      (Staged.stage (fun () -> Broadcast.Ratio.compare_instance gadget57));
+    (* Theorem 6.3: optimal acyclic on the sqrt41 family. *)
+    Test.make ~name:"thm63/greedy-sqrt41-k1"
+      (Staged.stage (fun () -> Broadcast.Greedy.optimal_acyclic sqrt41_inst));
+    (* Figure 19: one replicate (generation + three throughputs). *)
+    Test.make ~name:"fig19/replicate-n100"
+      (Staged.stage
+         (let rng = Prng.Splitmix.create 20L in
+          fun () ->
+            let inst =
+              Platform.Generator.generate
+                {
+                  Platform.Generator.total = 100;
+                  p_open = 0.7;
+                  dist = Prng.Dist.unif100;
+                }
+                rng
+            in
+            Broadcast.Ratio.compare_instance inst));
+    (* Canonical-word evaluation at n + m = 1000 (the distributed-friendly
+       scheme of Appendix XII). *)
+    Test.make ~name:"fig19/omega-eval-1000"
+      (Staged.stage (fun () ->
+           Broadcast.Word.optimal_throughput inst1000 omega1000));
+    (* Transport simulation (E11). *)
+    Test.make ~name:"massoulie/sim-fig1-100chunks"
+      (Staged.stage (fun () ->
+           Massoulie.Sim.simulate
+             ~config:{ Massoulie.Sim.default_config with chunks = 100 }
+             fig1_scheme ~rate:3.99));
+    (* Last-mile fit (E12). *)
+    Test.make ~name:"lastmile/fit-20x20"
+      (Staged.stage (fun () -> Lastmile.Model.fit lastmile_matrix));
+    (* Arborescence decomposition (Section II-C scheduling step). *)
+    Test.make ~name:"decompose/arborescence-100"
+      (Staged.stage (fun () -> Flowgraph.Arborescence.decompose scheme100 ~root:0));
+    (* E13 extension: one local repair vs its full rebuild. *)
+    Test.make ~name:"churn/leave-patch-100"
+      (Staged.stage (fun () -> Broadcast.Repair.leave overlay100 ~node:50));
+    Test.make ~name:"churn/join-patch-100"
+      (Staged.stage (fun () ->
+           Broadcast.Repair.join overlay100 ~bandwidth:42. ~cls:Platform.Instance.Open));
+    (* E14 extension: min-depth construction. *)
+    Test.make ~name:"depth/min-depth-100"
+      (Staged.stage (fun () -> Broadcast.Depth.build inst100 ~rate:rate100 word100));
+    (* E15 extension: simulation under jitter. *)
+    Test.make ~name:"jitter/sim-fig1-jitter0.2"
+      (Staged.stage (fun () ->
+           Massoulie.Sim.simulate
+             ~config:
+               { Massoulie.Sim.default_config with chunks = 100; jitter = 0.2 }
+             fig1_scheme ~rate:3.99));
+    (* E16 extension: one-port baseline simulation. *)
+    Test.make ~name:"oneport/sim-12nodes"
+      (Staged.stage
+         (let bout = Array.make 13 10. and bin = Array.make 13 20. in
+          let guarded = Array.make 13 false in
+          fun () ->
+            Massoulie.One_port.simulate
+              ~config:{ Massoulie.One_port.default_config with chunks = 60 }
+              ~bout ~bin ~guarded ()));
+    (* Exact-rational certification of T*ac on the 5/7 gadget. *)
+    Test.make ~name:"exactq/five-sevenths"
+      (Staged.stage (fun () ->
+           Broadcast.Exact_q.optimal_acyclic ~b0:Rational.Q.one
+             ~opens:[ Rational.Q.make 8 7 ]
+             ~guardeds:[ Rational.Q.make 3 7; Rational.Q.make 3 7 ]));
+  ]
+
+let benchmark test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~stabilize:true ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pp_ns fmt ns =
+  if ns < 1e3 then Format.fprintf fmt "%8.1f ns" ns
+  else if ns < 1e6 then Format.fprintf fmt "%8.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf fmt "%8.2f ms" (ns /. 1e6)
+  else Format.fprintf fmt "%8.3f s " (ns /. 1e9)
+
+let run_benchmarks () =
+  print_endline "\n######################################################";
+  print_endline "## Part 2: Bechamel micro-benchmarks (per call)";
+  print_endline "######################################################";
+  Format.printf "@.%-32s %12s %8s@." "benchmark" "time/call" "r^2";
+  Format.printf "%s@." (String.make 56 '-');
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+          Format.printf "%-32s %a %8.4f@."
+            (match String.index_opt name ' ' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name)
+            pp_ns estimate r2)
+        results)
+    tests
+
+(* Ablation: dichotomic-search depth vs accuracy (the numerical knob
+   DESIGN.md documents). *)
+let run_dichotomy_ablation () =
+  print_endline "\n######################################################";
+  print_endline "## Ablation: dichotomic iterations vs T*ac accuracy";
+  print_endline "######################################################";
+  let reference, _ = Broadcast.Greedy.optimal_acyclic ~iterations:100 inst100 in
+  Format.printf "@.%10s %16s %14s@." "iterations" "T*ac" "rel. error";
+  List.iter
+    (fun iterations ->
+      let t, _ = Broadcast.Greedy.optimal_acyclic ~iterations inst100 in
+      Format.printf "%10d %16.10f %14.2e@." iterations t
+        (Float.abs (t -. reference) /. reference))
+    [ 10; 20; 30; 40; 60; 100 ];
+  print_endline
+    "~53 bisections exhaust double precision; the default 100 is safety\n\
+     margin, and each costs one O(n+m) GreedyTest pass."
+
+let () =
+  run_experiments ();
+  run_benchmarks ();
+  run_dichotomy_ablation ();
+  print_endline "\nbench: done." 

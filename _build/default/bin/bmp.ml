@@ -1,0 +1,276 @@
+(* bmp — bounded multi-port broadcast toolbox.
+
+   Subcommands:
+     solve      compute throughputs and a low-degree overlay for an instance
+     generate   draw a random instance (paper's average-case protocol)
+     exp        run one paper experiment by name (fig1, fig7, ...)
+     exp-all    run every experiment (the EXPERIMENTS.md content)
+     simulate   run the randomized transport on a computed overlay *)
+
+open Cmdliner
+
+(* Turn domain and I/O errors into clean CLI failures instead of
+   "internal error" tracebacks. *)
+let or_die f =
+  try f () with
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
+let read_instance path =
+  let read_all ic =
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 4096
+       done
+     with End_of_file -> ());
+    Buffer.contents buf
+  in
+  let content =
+    or_die (fun () ->
+        if path = "-" then read_all stdin
+        else begin
+          let ic = open_in path in
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+        end)
+  in
+  match Platform.Instance.of_string content with
+  | Ok inst -> fst (Platform.Instance.normalize inst)
+  | Error msg ->
+    Printf.eprintf "error: cannot parse %s: %s\n" path msg;
+    exit 2
+
+let instance_arg =
+  let doc = "Instance file (lines: 'source B', 'open B', 'guarded B'); '-' for stdin." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc)
+
+(* solve *)
+
+let solve_kind =
+  let doc = "Scheme family: 'acyclic' (Theorem 4.1) or 'cyclic' (Theorem 5.2, open-only)." in
+  Arg.(value & opt (enum [ ("acyclic", `Acyclic); ("cyclic", `Cyclic) ]) `Acyclic
+       & info [ "k"; "kind" ] ~doc)
+
+let show_scheme =
+  let doc = "Print the overlay edges." in
+  Arg.(value & flag & info [ "edges" ] ~doc)
+
+let dot_out =
+  let doc = "Write the overlay as a Graphviz file." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let json_out =
+  let doc = "Write the overlay as JSON." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let solve_cmd =
+  let run path kind edges dot json =
+   or_die @@ fun () ->
+    let inst = read_instance path in
+    Printf.printf "instance: n=%d open, m=%d guarded, b0=%g\n"
+      inst.Platform.Instance.n inst.Platform.Instance.m
+      inst.Platform.Instance.bandwidth.(0);
+    Printf.printf "cyclic optimum T* (Lemma 5.1)      : %.6f\n"
+      (Broadcast.Bounds.cyclic_upper inst);
+    let t_ac, word = Broadcast.Greedy.optimal_acyclic inst in
+    Printf.printf "acyclic optimum T*ac (Theorem 4.1) : %.6f (word %s)\n" t_ac
+      (Broadcast.Word.to_string word);
+    let rate, scheme =
+      match kind with
+      | `Acyclic -> Broadcast.Low_degree.build_optimal inst
+      | `Cyclic ->
+        if inst.Platform.Instance.m > 0 then begin
+          Printf.eprintf "error: cyclic construction requires open nodes only\n";
+          exit 2
+        end;
+        let t = Broadcast.Bounds.cyclic_open_optimal inst in
+        (t, Broadcast.Cyclic_open.build inst)
+    in
+    let report = Broadcast.Verify.check inst scheme in
+    let degrees = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+    Printf.printf "built scheme: rate %.6f, max-flow throughput %.6f, %s\n" rate
+      report.Broadcast.Verify.throughput
+      (if report.Broadcast.Verify.acyclic then "acyclic" else "cyclic");
+    Printf.printf "degree excess over ceil(b/T): max %d\n"
+      degrees.Broadcast.Metrics.max_excess;
+    if edges then
+      Flowgraph.Graph.iter_edges
+        (fun ~src ~dst w -> Printf.printf "  C%d -> C%d : %.6f\n" src dst w)
+        scheme;
+    let node_class v =
+      if v = 0 then Some "source"
+      else if Platform.Instance.is_guarded inst v then Some "guarded"
+      else Some "open"
+    in
+    Option.iter
+      (fun path ->
+        write_file path (Flowgraph.Export.to_dot ~node_class scheme);
+        Printf.printf "wrote %s\n" path)
+      dot;
+    Option.iter
+      (fun path ->
+        write_file path (Flowgraph.Export.to_json scheme);
+        Printf.printf "wrote %s\n" path)
+      json
+  in
+  let info = Cmd.info "solve" ~doc:"Compute optimal throughputs and build an overlay." in
+  Cmd.v info
+    Term.(const run $ instance_arg $ solve_kind $ show_scheme $ dot_out $ json_out)
+
+(* generate *)
+
+let generate_cmd =
+  let total =
+    Arg.(value & opt int 20 & info [ "n"; "nodes" ] ~doc:"Number of non-source nodes.")
+  in
+  let p_open =
+    Arg.(value & opt float 0.7 & info [ "p"; "p-open" ] ~doc:"Probability a node is open.")
+  in
+  let dist =
+    let dist_conv =
+      Arg.enum
+        [
+          ("unif100", Prng.Dist.unif100);
+          ("power1", Prng.Dist.power1);
+          ("power2", Prng.Dist.power2);
+          ("ln1", Prng.Dist.ln1);
+          ("ln2", Prng.Dist.ln2);
+          ("plab", Platform.Plab.dist);
+        ]
+    in
+    Arg.(value & opt dist_conv Prng.Dist.unif100
+         & info [ "d"; "dist" ] ~doc:"Bandwidth distribution (unif100, power1, power2, ln1, ln2, plab).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run total p dist seed =
+   or_die @@ fun () ->
+    let rng = Prng.Splitmix.create (Int64.of_int seed) in
+    let inst =
+      Platform.Generator.generate { Platform.Generator.total; p_open = p; dist } rng
+    in
+    print_string (Platform.Instance.to_string inst)
+  in
+  let info =
+    Cmd.info "generate"
+      ~doc:"Draw a random instance (source pinned to the cyclic optimum)."
+  in
+  Cmd.v info Term.(const run $ total $ p_open $ dist $ seed)
+
+(* exp *)
+
+let exp_cmd =
+  let name_arg =
+    let names = String.concat ", " (List.map (fun e -> e.Experiments.Registry.name) Experiments.Registry.all) in
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:("Experiment name: " ^ names ^ "."))
+  in
+  let run name =
+    match Experiments.Registry.find name with
+    | Some e ->
+      e.Experiments.Registry.run Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ()
+    | None ->
+      Printf.eprintf "error: unknown experiment %S (try 'bmp exp-all')\n" name;
+      exit 2
+  in
+  let info = Cmd.info "exp" ~doc:"Run one paper experiment." in
+  Cmd.v info Term.(const run $ name_arg)
+
+let exp_all_cmd =
+  let run () =
+    Experiments.Registry.run_all Format.std_formatter;
+    Format.pp_print_flush Format.std_formatter ()
+  in
+  let info = Cmd.info "exp-all" ~doc:"Run every paper experiment (tables and figures)." in
+  Cmd.v info Term.(const run $ const ())
+
+(* trees *)
+
+let trees_cmd =
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the tree schedule as JSON.")
+  in
+  let run path json =
+   or_die @@ fun () ->
+    let inst = read_instance path in
+    let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+    let trees = Flowgraph.Arborescence.decompose scheme ~root:0 in
+    Printf.printf "overlay rate %.6f decomposed into %d broadcast trees:\n" rate
+      (List.length trees);
+    List.iteri
+      (fun k tree ->
+        Printf.printf "  tree %d: rate %.6f, depth %d\n" k
+          tree.Flowgraph.Arborescence.weight
+          (Flowgraph.Arborescence.tree_depth tree))
+      trees;
+    Option.iter
+      (fun path ->
+        write_file path (Flowgraph.Export.schedule_to_json trees);
+        Printf.printf "wrote %s\n" path)
+      json
+  in
+  let info =
+    Cmd.info "trees"
+      ~doc:"Decompose the optimal overlay into weighted broadcast trees."
+  in
+  Cmd.v info Term.(const run $ instance_arg $ json_out)
+
+(* selfcheck *)
+
+let selfcheck_cmd =
+  let run () =
+    let failures = Experiments.Selfcheck.print Format.std_formatter in
+    Format.pp_print_flush Format.std_formatter ();
+    if failures > 0 then exit 1
+  in
+  let info =
+    Cmd.info "selfcheck"
+      ~doc:"Run the built-in validation battery (paper constants, oracle             agreement, scheme validity)."
+  in
+  Cmd.v info Term.(const run $ const ())
+
+(* simulate *)
+
+let simulate_cmd =
+  let chunks =
+    Arg.(value & opt int 300 & info [ "chunks" ] ~doc:"Number of chunks to broadcast.")
+  in
+  let streaming = Arg.(value & flag & info [ "streaming" ] ~doc:"Live-stream release schedule.") in
+  let run path chunks streaming =
+   or_die @@ fun () ->
+    let inst = read_instance path in
+    let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+    let config = { Massoulie.Sim.default_config with chunks; streaming } in
+    let r = Massoulie.Sim.simulate ~config scheme ~rate in
+    Printf.printf "overlay rate           : %.6f\n" rate;
+    Printf.printf "delivered all chunks   : %b\n" r.Massoulie.Sim.delivered_all;
+    Printf.printf "completion time        : %.3f (ideal %.3f)\n"
+      r.Massoulie.Sim.completion_time
+      (float_of_int chunks /. rate);
+    Printf.printf "efficiency             : %.4f\n" r.Massoulie.Sim.efficiency;
+    Printf.printf "worst lag (chunk-times): %.1f\n"
+      (r.Massoulie.Sim.max_lag *. rate);
+    Printf.printf "transfers              : %d\n" r.Massoulie.Sim.transfers
+  in
+  let info =
+    Cmd.info "simulate"
+      ~doc:"Build the optimal low-degree overlay and run randomized transport on it."
+  in
+  Cmd.v info Term.(const run $ instance_arg $ chunks $ streaming)
+
+let () =
+  let doc = "bounded multi-port broadcast: overlays, bounds and experiments" in
+  let info = Cmd.info "bmp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd; trees_cmd; selfcheck_cmd ]))

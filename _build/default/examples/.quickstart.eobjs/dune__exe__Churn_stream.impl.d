@@ -1,0 +1,1 @@
+examples/churn_stream.ml: Array Broadcast Float Platform Printf Prng

@@ -1,0 +1,1 @@
+examples/live_streaming.ml: Array Broadcast Float Flowgraph Massoulie Platform Printf Prng

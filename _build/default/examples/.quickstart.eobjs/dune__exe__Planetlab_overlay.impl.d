@@ -1,0 +1,1 @@
+examples/planetlab_overlay.ml: Array Broadcast Float Flowgraph Lastmile Platform Printf Prng

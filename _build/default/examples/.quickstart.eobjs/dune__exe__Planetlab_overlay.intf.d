@@ -1,0 +1,1 @@
+examples/planetlab_overlay.mli:

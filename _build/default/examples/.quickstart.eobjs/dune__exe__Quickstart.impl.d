@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Broadcast Flowgraph List Platform Printf

@@ -1,0 +1,1 @@
+lib/broadcast/acyclic_open.ml: Array Bounds Float Flowgraph Instance Option Platform Util

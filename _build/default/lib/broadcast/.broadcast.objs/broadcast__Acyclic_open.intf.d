@@ -1,0 +1,1 @@
+lib/broadcast/acyclic_open.mli: Flowgraph Platform

@@ -1,0 +1,1 @@
+lib/broadcast/bounds.ml: Array Float Instance Platform Util

@@ -1,0 +1,1 @@
+lib/broadcast/bounds.mli: Platform

@@ -1,0 +1,1 @@
+lib/broadcast/cyclic_open.ml: Acyclic_open Array Bounds Float Flowgraph Instance List Option Platform Util

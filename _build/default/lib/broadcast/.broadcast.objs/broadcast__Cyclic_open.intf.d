@@ -1,0 +1,1 @@
+lib/broadcast/cyclic_open.mli: Flowgraph Platform

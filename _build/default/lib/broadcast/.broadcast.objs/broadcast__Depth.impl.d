@@ -1,0 +1,1 @@
+lib/broadcast/depth.ml: Array Float Flowgraph Greedy Instance List Low_degree Metrics Platform Util Word

@@ -1,0 +1,1 @@
+lib/broadcast/depth.mli: Flowgraph Platform Word

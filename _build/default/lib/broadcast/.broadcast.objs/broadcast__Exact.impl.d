@@ -1,0 +1,1 @@
+lib/broadcast/exact.ml: Array Instance List Platform Word

@@ -1,0 +1,1 @@
+lib/broadcast/exact.mli: Platform Word

@@ -1,0 +1,1 @@
+lib/broadcast/exact_q.ml: Array Instance List Platform Rational Word

@@ -1,0 +1,1 @@
+lib/broadcast/exact_q.mli: Platform Rational Word

@@ -1,0 +1,1 @@
+lib/broadcast/greedy.ml: Array Bounds Instance List Platform Util Word

@@ -1,0 +1,1 @@
+lib/broadcast/greedy.mli: Platform Word

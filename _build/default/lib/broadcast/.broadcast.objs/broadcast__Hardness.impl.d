@@ -1,0 +1,1 @@
+lib/broadcast/hardness.ml: Array Flowgraph Instance List Platform

@@ -1,0 +1,1 @@
+lib/broadcast/hardness.mli: Flowgraph Platform

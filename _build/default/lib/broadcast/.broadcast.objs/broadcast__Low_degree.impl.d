@@ -1,0 +1,1 @@
+lib/broadcast/low_degree.ml: Array Float Flowgraph Greedy Instance Platform Queue Util Word

@@ -1,0 +1,1 @@
+lib/broadcast/low_degree.mli: Flowgraph Platform Word

@@ -1,0 +1,1 @@
+lib/broadcast/metrics.ml: Array Flowgraph Instance Platform Util

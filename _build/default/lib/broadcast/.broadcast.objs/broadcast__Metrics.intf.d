@@ -1,0 +1,1 @@
+lib/broadcast/metrics.mli: Flowgraph Platform

@@ -1,0 +1,1 @@
+lib/broadcast/overlay.ml: Array Float Flowgraph Greedy Instance Low_degree Platform Util Verify Word

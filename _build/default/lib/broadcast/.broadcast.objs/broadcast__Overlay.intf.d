@@ -1,0 +1,1 @@
+lib/broadcast/overlay.mli: Flowgraph Platform

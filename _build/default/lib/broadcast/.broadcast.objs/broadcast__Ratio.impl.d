@@ -1,0 +1,1 @@
+lib/broadcast/ratio.ml: Bounds Float Greedy Instance Platform Rational Word

@@ -1,0 +1,1 @@
+lib/broadcast/ratio.mli: Platform Word

@@ -1,0 +1,1 @@
+lib/broadcast/repair.ml: Array Float Flowgraph Instance List Overlay Platform

@@ -1,0 +1,1 @@
+lib/broadcast/repair.mli: Overlay Platform

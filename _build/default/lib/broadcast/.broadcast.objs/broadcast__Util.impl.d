@@ -1,0 +1,1 @@
+lib/broadcast/util.ml: Array Float

@@ -1,0 +1,1 @@
+lib/broadcast/verify.ml: Array Flowgraph Instance Platform Util

@@ -1,0 +1,1 @@
+lib/broadcast/verify.mli: Flowgraph Platform

@@ -1,0 +1,1 @@
+lib/broadcast/word.ml: Array Bounds Float Instance List Platform Printf String Util

@@ -1,0 +1,1 @@
+lib/broadcast/word.mli: Platform

@@ -1,0 +1,58 @@
+open Platform
+
+let check_sorted_open inst =
+  if inst.Instance.m <> 0 then invalid_arg "Acyclic_open: instance has guarded nodes";
+  if not (Instance.sorted inst) then invalid_arg "Acyclic_open: instance must be sorted"
+
+let build_prefix inst ~t ~senders =
+  if t <= 0. then invalid_arg "Acyclic_open.build_prefix: t must be positive";
+  let n = inst.Instance.n in
+  if senders < 0 || senders > n + 1 then
+    invalid_arg "Acyclic_open.build_prefix: senders out of range";
+  let b = inst.Instance.bandwidth in
+  let g = Flowgraph.Graph.create (Instance.size inst) in
+  let cut = Util.eps *. t in
+  (* r: remaining need of the receiver currently being filled. *)
+  let recv = ref 1 and r = ref t in
+  for i = 0 to senders - 1 do
+    let s = ref b.(i) in
+    while !s > cut && !recv <= n do
+      (* The feasibility invariant S_(i-1) >= i t guarantees recv > i here
+         for any t <= T*ac; for larger t (partial builds) the deficit node
+         i0 satisfies recv <= i0 only once senders are exhausted. *)
+      let amount = Float.min !r !s in
+      (* recv = i can only carry a rounding residue: the invariant
+         S_(i-1) >= i t keeps genuine transfers strictly forward. *)
+      assert (!recv <> i || amount <= cut);
+      if !recv <> i && amount > cut then
+        Flowgraph.Graph.add_edge g ~src:i ~dst:!recv amount;
+      s := !s -. amount;
+      r := !r -. amount;
+      if !r <= cut then begin
+        incr recv;
+        r := t
+      end
+    done
+  done;
+  g
+
+let first_deficit inst ~t =
+  check_sorted_open inst;
+  let b = inst.Instance.bandwidth in
+  let n = inst.Instance.n in
+  let rec scan i s_prev =
+    if i > n then None
+    else if Util.flt s_prev (float_of_int i *. t) then Some i
+    else scan (i + 1) (s_prev +. b.(i))
+  in
+  scan 1 b.(0)
+
+let build ?t inst =
+  check_sorted_open inst;
+  if inst.Instance.n < 1 then invalid_arg "Acyclic_open.build: need n >= 1";
+  let t_opt = Bounds.acyclic_open_optimal inst in
+  let t = Option.value ~default:t_opt t in
+  if t <= 0. then invalid_arg "Acyclic_open.build: t must be positive";
+  if Util.fgt t t_opt then
+    invalid_arg "Acyclic_open.build: t exceeds the optimal acyclic throughput";
+  build_prefix inst ~t ~senders:(inst.Instance.n + 1)

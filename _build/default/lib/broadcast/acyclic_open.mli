@@ -1,0 +1,30 @@
+(** Algorithm 1 of the paper: optimal acyclic broadcast schemes for
+    instances with open nodes only (Section III-B).
+
+    Nodes are served one after the other in non-increasing bandwidth
+    order; at every point at most one node is partially served. The
+    resulting scheme is acyclic, achieves any target throughput
+    [t <= T*ac = min (b0, S_(n-1) / n)], and every node's outdegree is at
+    most [ceil (b i / t) + 1] — one more than the trivial lower bound,
+    which is optimal unless P = NP (Theorem 3.1). *)
+
+val build : ?t:float -> Platform.Instance.t -> Flowgraph.Graph.t
+(** [build inst] returns the scheme of throughput [t] (default:
+    [Bounds.acyclic_open_optimal inst]). Requires a sorted instance with
+    [m = 0], [n >= 1], and [t <= T*ac] (within tolerance); raises
+    [Invalid_argument] otherwise. *)
+
+val build_prefix : Platform.Instance.t -> t:float -> senders:int -> Flowgraph.Graph.t
+(** [build_prefix inst ~t ~senders] runs Algorithm 1 but lets only nodes
+    [C0 .. C(senders-1)] spend bandwidth, producing the [(i0 - 1)]-partial
+    solutions used by the cyclic algorithm (Theorem 5.2): receivers are
+    served at rate [t] in order until the allowed bandwidth runs out, the
+    next receiver being possibly partial. No feasibility precondition
+    beyond [t > 0] and [senders <= n + 1]. *)
+
+val first_deficit : Platform.Instance.t -> t:float -> int option
+(** [first_deficit inst ~t] is the smallest index [i0 >= 1] such that
+    [S_(i0 - 1) < i0 * t] (strictly, beyond tolerance) — the first node
+    that cannot be fully served by its predecessors — or [None] when
+    Algorithm 1 alone reaches throughput [t] (in particular whenever
+    [t <= T*ac]). Only meaningful for sorted open-only instances. *)

@@ -1,0 +1,35 @@
+open Platform
+
+let cyclic_upper inst =
+  let b0 = inst.Instance.bandwidth.(0) in
+  let o = Instance.open_sum inst and g = Instance.guarded_sum inst in
+  let n = inst.Instance.n and m = inst.Instance.m in
+  let bound = ref b0 in
+  if m > 0 then bound := Float.min !bound ((b0 +. o) /. float_of_int m);
+  if n + m > 0 then
+    bound := Float.min !bound ((b0 +. o +. g) /. float_of_int (n + m));
+  !bound
+
+let cyclic_open_optimal inst =
+  if inst.Instance.m <> 0 then
+    invalid_arg "Bounds.cyclic_open_optimal: instance has guarded nodes";
+  cyclic_upper inst
+
+let acyclic_open_optimal inst =
+  if inst.Instance.m <> 0 then
+    invalid_arg "Bounds.acyclic_open_optimal: instance has guarded nodes";
+  let n = inst.Instance.n in
+  if n < 1 then invalid_arg "Bounds.acyclic_open_optimal: need n >= 1";
+  if not (Instance.sorted inst) then
+    invalid_arg "Bounds.acyclic_open_optimal: instance must be sorted";
+  let b = inst.Instance.bandwidth in
+  (* S_(n-1) = b0 + ... + b_(n-1): every node except the last one (which
+     can stay a leaf) contributes. *)
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    s := !s +. b.(i)
+  done;
+  Float.min b.(0) (!s /. float_of_int n)
+
+let degree_lower_bound inst ~t i =
+  Util.ceil_ratio inst.Instance.bandwidth.(i) t

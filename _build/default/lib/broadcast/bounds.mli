@@ -1,0 +1,27 @@
+(** Closed-form throughput bounds (Sections III-B and V of the paper).
+
+    All bounds assume the instance is {!Platform.Instance.sorted} where an
+    order matters (only {!acyclic_open_optimal} depends on it). *)
+
+val cyclic_upper : Platform.Instance.t -> float
+(** Lemma 5.1: [T* <= min (b0, (b0 + O) / m, (b0 + O + G) / (n + m))] with
+    the convention that a term is dropped when its denominator is zero.
+    The paper's closed-form formula for the optimal cyclic throughput —
+    the bound is attained (possibly at the price of arbitrarily large
+    degrees when guarded nodes are present). On the Figure 1 instance this
+    is [min (6, 16/3, 22/5) = 4.4]. *)
+
+val cyclic_open_optimal : Platform.Instance.t -> float
+(** [min (b0, (b0 + O) / n)] — the cyclic optimum without guarded nodes
+    (Theorem 5.2). Requires [m = 0]. *)
+
+val acyclic_open_optimal : Platform.Instance.t -> float
+(** Section III-B: [T*ac = min (b0, S_(n-1) / n)] where
+    [S_(n-1) = b0 + b1 + ... + b_(n-1)] — the optimum over acyclic schemes
+    without guarded nodes. Requires [m = 0], [n >= 1] and a sorted
+    instance. *)
+
+val degree_lower_bound : Platform.Instance.t -> t:float -> int -> int
+(** [degree_lower_bound inst ~t i] is [ceil (b i / t)], the minimal
+    outdegree of node [Ci] in any scheme of throughput [t] that uses all of
+    [Ci]'s outgoing bandwidth. *)

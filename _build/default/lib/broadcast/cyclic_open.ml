@@ -1,0 +1,85 @@
+open Platform
+module G = Flowgraph.Graph
+
+(* Move up to [amount] of flow entering [dst] over to [dst'], draining
+   whole in-edges first so at most one sender's outdegree grows. *)
+let redirect_incoming g ~dst ~dst' ~amount ~cut =
+  let edges =
+    (* Largest weights first: whole edges get drained before any partial
+       redirect, keeping the degree increase to a single sender. *)
+    List.sort (fun (_, w1) (_, w2) -> Float.compare w2 w1) (G.in_edges g dst)
+  in
+  let rec go remaining = function
+    | [] ->
+      if remaining > cut then
+        invalid_arg "Cyclic_open: internal error (redirect underflow)"
+    | (src, w) :: rest ->
+      if remaining <= cut then ()
+      else begin
+        let take = Float.min w remaining in
+        G.add_edge g ~src ~dst (-.take);
+        G.add_edge g ~src ~dst:dst' take;
+        go (remaining -. take) rest
+      end
+  in
+  go amount edges
+
+let build ?t inst =
+  if inst.Instance.m <> 0 then invalid_arg "Cyclic_open.build: instance has guarded nodes";
+  if not (Instance.sorted inst) then invalid_arg "Cyclic_open.build: instance must be sorted";
+  let n = inst.Instance.n in
+  if n < 1 then invalid_arg "Cyclic_open.build: need n >= 1";
+  let t_opt = Bounds.cyclic_open_optimal inst in
+  let t = Option.value ~default:t_opt t in
+  if t <= 0. then invalid_arg "Cyclic_open.build: t must be positive";
+  if Util.fgt t t_opt then
+    invalid_arg "Cyclic_open.build: t exceeds the optimal cyclic throughput";
+  match Acyclic_open.first_deficit inst ~t with
+  | None -> Acyclic_open.build ~t inst
+  | Some i0 ->
+    let b = inst.Instance.bandwidth in
+    let ps = Util.prefix_sums b in
+    (* Missing flow at C(i): M i = i t - S_(i-1); S_(i-1) = ps.(i). *)
+    let missing i = (float_of_int i *. t) -. ps.(i) in
+    let cut = Util.eps *. t in
+    (* Step 1: (i0 - 1)-partial solution — only C0 .. C(i0-1) spend. *)
+    let g = Acyclic_open.build_prefix inst ~t ~senders:i0 in
+    let m_i0 = missing i0 in
+    (* Theorem 5.2's footnote: T <= b0 makes c(0, 1) = T >= M(i0). *)
+    assert (G.edge_weight g ~src:0 ~dst:1 >= m_i0 -. cut);
+    let u = 0 and v = 1 in
+    if i0 = n then begin
+      (* No successor: alpha = beta = 0, R(i0) stays unused. *)
+      G.add_edge g ~src:u ~dst:v (-.m_i0);
+      G.add_edge g ~src:u ~dst:i0 m_i0;
+      G.add_edge g ~src:i0 ~dst:v m_i0
+    end
+    else begin
+      (* Initial case: insert C(i0) and C(i0 + 1) together. *)
+      let m_i1 = missing (i0 + 1) in
+      let r_i0 = b.(i0) -. m_i0 in
+      let alpha = Float.max 0. (m_i1 -. m_i0) in
+      let beta = m_i1 -. alpha in
+      redirect_incoming g ~dst:i0 ~dst':(i0 + 1) ~amount:alpha ~cut;
+      G.add_edge g ~src:u ~dst:v (-.m_i0);
+      G.add_edge g ~src:u ~dst:i0 m_i0;
+      G.add_edge g ~src:i0 ~dst:(i0 + 1) (r_i0 +. beta);
+      G.add_edge g ~src:i0 ~dst:v (m_i0 -. beta);
+      G.add_edge g ~src:(i0 + 1) ~dst:v beta;
+      G.add_edge g ~src:(i0 + 1) ~dst:i0 alpha;
+      (* Induction: insert C(i+1) into the i-partial solution. *)
+      for i = i0 + 1 to n - 1 do
+        let m_i = missing i and m_i1 = missing (i + 1) in
+        let r_i = b.(i) -. m_i in
+        let c_back = G.edge_weight g ~src:i ~dst:(i - 1) in
+        let alpha = Float.max 0. (m_i1 -. c_back) in
+        let beta = m_i1 -. alpha in
+        G.add_edge g ~src:i ~dst:(i + 1) (r_i +. beta);
+        G.add_edge g ~src:(i - 1) ~dst:i (-.alpha);
+        G.add_edge g ~src:(i - 1) ~dst:(i + 1) alpha;
+        G.add_edge g ~src:(i + 1) ~dst:i alpha;
+        G.add_edge g ~src:i ~dst:(i - 1) (-.beta);
+        G.add_edge g ~src:(i + 1) ~dst:(i - 1) beta
+      done
+    end;
+    g

@@ -1,0 +1,28 @@
+(** Cyclic broadcast schemes for open-only instances (Theorem 5.2,
+    Appendix X of the paper).
+
+    For any target [t <= T* = min (b0, (b0 + O) / n)] the construction
+    achieves throughput [t] with outdegrees bounded by
+    [max (ceil (b i / t) + 2, 4)]:
+
+    + run Algorithm 1 until the first deficit index [i0] — the smallest
+      [i] with [S_(i-1) < i t] — producing an [(i0 - 1)]-partial solution
+      in which nodes [C1 .. C(i0-1)] are fully served;
+    + {e initial case}: insert [C(i0)] (and [C(i0+1)] when it exists) by
+      rerouting the missing flow [M(i0) = i0 t - S(i0-1)] through an
+      existing edge [(u, v) = (C0, C1)] and redirecting part of the supply
+      of [C(i0)] toward [C(i0+1)], creating back-edges (the scheme becomes
+      cyclic);
+    + {e induction}: insert each subsequent node [C(i+1)] by diverting
+      [alpha] of the [C(i-1) -> C(i)] flow and [beta] of the
+      [C(i) -> C(i-1)] flow through [C(i+1)], with
+      [alpha + beta = M(i+1)], maintaining
+      [c (i+1) i + c i (i+1) = t] (property P1).
+
+    When no deficit occurs the acyclic Algorithm 1 scheme is already
+    optimal and returned as is. *)
+
+val build : ?t:float -> Platform.Instance.t -> Flowgraph.Graph.t
+(** [build inst] returns a scheme of throughput [t] (default:
+    [Bounds.cyclic_open_optimal inst]). Requires a sorted instance with
+    [m = 0], [n >= 1] and [t <= T*] within tolerance. *)

@@ -1,0 +1,117 @@
+open Platform
+
+(* Senders carry their depth; receivers pick the shallowest sender with
+   spare capacity within the class dictated by the conservative rule. *)
+type sender = { node : int; depth : int; mutable remaining : float }
+
+let draw_min_depth pool graph ~dst ~need ~cut =
+  (* [pool] is a list ref of senders; pull from the shallowest until the
+     need is met. Returns (unfilled remainder, max depth used). *)
+  let rec go need max_used =
+    if need <= cut then (0., max_used)
+    else begin
+      let best = ref None in
+      List.iter
+        (fun s ->
+          if s.remaining > cut then
+            match !best with
+            | Some b when b.depth <= s.depth -> ()
+            | _ -> best := Some s)
+        !pool;
+      match !best with
+      | None -> (need, max_used)
+      | Some s ->
+        let amount = Float.min need s.remaining in
+        Flowgraph.Graph.add_edge graph ~src:s.node ~dst amount;
+        s.remaining <- s.remaining -. amount;
+        go (need -. amount) (max max_used s.depth)
+    end
+  in
+  go need (-1)
+
+let pool_total pool =
+  List.fold_left (fun acc s -> acc +. s.remaining) 0. !pool
+
+let build inst ~rate w =
+  if not (Instance.sorted inst) then invalid_arg "Depth.build: instance must be sorted";
+  if not (Word.complete w inst) then invalid_arg "Depth.build: incomplete word";
+  if rate <= 0. then invalid_arg "Depth.build: rate must be positive";
+  let b = inst.Instance.bandwidth in
+  let graph = Flowgraph.Graph.create (Instance.size inst) in
+  let cut = 1e-7 *. rate in
+  let open_pool = ref [ { node = 0; depth = 0; remaining = b.(0) } ] in
+  let guarded_pool = ref [] in
+  let next_open = ref 1 and next_guarded = ref (inst.Instance.n + 1) in
+  let feed letter =
+    match letter with
+    | Instance.Guarded ->
+      let v = !next_guarded in
+      incr next_guarded;
+      let missing, used = draw_min_depth open_pool graph ~dst:v ~need:rate ~cut in
+      if missing > cut then
+        invalid_arg "Depth.build: word is not feasible at this rate";
+      guarded_pool := { node = v; depth = used + 1; remaining = b.(v) } :: !guarded_pool
+    | Instance.Open ->
+      let v = !next_open in
+      incr next_open;
+      (* Conservative class split: guarded supply first, exactly
+         min(rate, guarded total), then open supply. *)
+      let from_guarded = Float.min rate (pool_total guarded_pool) in
+      let miss_g, used_g =
+        draw_min_depth guarded_pool graph ~dst:v ~need:from_guarded ~cut
+      in
+      let miss_o, used_o =
+        draw_min_depth open_pool graph ~dst:v ~need:(rate -. from_guarded +. miss_g)
+          ~cut
+      in
+      if miss_o > cut then
+        invalid_arg "Depth.build: word is not feasible at this rate";
+      open_pool :=
+        { node = v; depth = max used_g used_o + 1; remaining = b.(v) } :: !open_pool
+  in
+  Array.iter feed w;
+  graph
+
+let build_optimal ?(fraction = 1.0) inst =
+  if fraction <= 0. || fraction > 1. then
+    invalid_arg "Depth.build_optimal: fraction must lie in (0, 1]";
+  let t, _ = Greedy.optimal_acyclic inst in
+  let rate = t *. fraction *. (1. -. (4. *. Util.eps)) in
+  match Greedy.test inst ~rate with
+  | None -> invalid_arg "Depth.build_optimal: scaled rate infeasible"
+  | Some word -> (rate, build inst ~rate word)
+
+type tradeoff_point = {
+  fraction : float;
+  rate : float;
+  fifo_depth : int;
+  min_depth : int;
+  fifo_max_excess : int;
+  min_depth_max_excess : int;
+}
+
+let tradeoff ?(fractions = [ 1.0; 0.9; 0.75; 0.5 ]) inst =
+  let t, _ = Greedy.optimal_acyclic inst in
+  List.filter_map
+    (fun fraction ->
+      let rate = t *. fraction *. (1. -. (4. *. Util.eps)) in
+      if rate <= 0. then None
+      else
+        match Greedy.test inst ~rate with
+        | None -> None
+        | Some word ->
+          let fifo = Low_degree.build inst ~rate word in
+          let shallow = build inst ~rate word in
+          let excess g =
+            (Metrics.degree_report inst ~t:rate g).Metrics.max_excess
+          in
+          Some
+            {
+              fraction;
+              rate;
+              fifo_depth = Metrics.depth fifo;
+              min_depth = Metrics.depth shallow;
+              fifo_max_excess = excess fifo;
+              min_depth_max_excess = excess shallow;
+            })
+    fractions

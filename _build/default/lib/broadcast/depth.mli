@@ -1,0 +1,45 @@
+(** Depth-aware scheme construction — the delay-minimization extension the
+    paper's conclusion proposes ("optimizing the depth of produced schemes
+    in order to minimize delays").
+
+    The Lemma 4.6 builder feeds every node from the {e earliest} senders
+    with spare capacity; that minimizes degrees but chains the overlay
+    (depth grows linearly with the platform size), and in chunk-based
+    transport the playout delay grows with depth. This module keeps the
+    class-level accounting of the conservative construction {e exactly}
+    (guarded supply first for open receivers, open supply only for guarded
+    receivers — so feasibility of a word at a rate is unchanged), but
+    picks {e within} each class the sender of minimal current depth. The
+    result trades a larger degree for a much shallower overlay; at target
+    rates below the optimum the spare capacity lets depth drop further —
+    towards logarithmic for homogeneous platforms at half rate, the
+    classic bandwidth/latency trade-off.
+
+    The E14 ablation experiment quantifies the trade-off (depth, degree,
+    and simulated streaming lag, FIFO versus min-depth, across target-rate
+    fractions). *)
+
+val build : Platform.Instance.t -> rate:float -> Word.t -> Flowgraph.Graph.t
+(** [build inst ~rate w] — same contract as {!Low_degree.build} (sorted
+    instance, complete word, feasible rate) with min-depth sender
+    selection. Every non-source node receives exactly [rate]; the scheme
+    is acyclic and firewall-safe. *)
+
+val build_optimal : ?fraction:float -> Platform.Instance.t -> float * Flowgraph.Graph.t
+(** [build_optimal inst] is the min-depth counterpart of
+    {!Low_degree.build_optimal}; [fraction] (default 1.0, in (0, 1])
+    scales the target below the optimal acyclic rate to buy depth. *)
+
+type tradeoff_point = {
+  fraction : float;  (** target rate as a fraction of T*ac *)
+  rate : float;
+  fifo_depth : int;  (** depth of the Lemma 4.6 (earliest-sender) scheme *)
+  min_depth : int;  (** depth of the min-depth scheme *)
+  fifo_max_excess : int;  (** degree excess of the FIFO scheme *)
+  min_depth_max_excess : int;  (** degree excess of the min-depth scheme *)
+}
+
+val tradeoff :
+  ?fractions:float list -> Platform.Instance.t -> tradeoff_point list
+(** Sweep the trade-off (default fractions [1.0; 0.9; 0.75; 0.5]). Points
+    whose scaled rate is infeasible or degenerate are skipped. *)

@@ -1,0 +1,52 @@
+open Platform
+
+let order_throughput inst sigma =
+  let total = inst.Instance.n + inst.Instance.m in
+  if Array.length sigma <> total then
+    invalid_arg "Exact.order_throughput: order must list all non-source nodes";
+  let seen = Array.make (Instance.size inst) false in
+  let receivers =
+    Array.to_list sigma
+    |> List.map (fun v ->
+           if v < 1 || v > total then
+             invalid_arg "Exact.order_throughput: node out of range";
+           if seen.(v) then invalid_arg "Exact.order_throughput: duplicate node";
+           seen.(v) <- true;
+           (Instance.node_class inst v, inst.Instance.bandwidth.(v)))
+  in
+  Word.sequence_throughput ~b0:inst.Instance.bandwidth.(0) receivers
+
+let optimal_acyclic_words inst =
+  if not (Instance.sorted inst) then
+    invalid_arg "Exact.optimal_acyclic_words: instance must be sorted";
+  let words = Word.enumerate ~n:inst.Instance.n ~m:inst.Instance.m in
+  match words with
+  | [] -> invalid_arg "Exact.optimal_acyclic_words: empty instance"
+  | first :: _ ->
+    List.fold_left
+      (fun (best_t, best_w) w ->
+        let t = Word.optimal_throughput_closed_form inst w in
+        if t > best_t then (t, w) else (best_t, best_w))
+      (neg_infinity, first) words
+
+(* All permutations of a list, in no particular order. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let optimal_acyclic_orders inst =
+  let total = inst.Instance.n + inst.Instance.m in
+  if total > 8 then invalid_arg "Exact.optimal_acyclic_orders: instance too large";
+  if total = 0 then invalid_arg "Exact.optimal_acyclic_orders: empty instance";
+  let orders = permutations (List.init total (fun k -> k + 1)) in
+  List.fold_left
+    (fun (best_t, best_o) order ->
+      let sigma = Array.of_list order in
+      let t = order_throughput inst sigma in
+      if t > best_t then (t, sigma) else (best_t, best_o))
+    (neg_infinity, [||]) orders

@@ -1,0 +1,25 @@
+(** Exhaustive-search oracles.
+
+    These are deliberately brute-force reference implementations used to
+    validate the polynomial algorithms on small instances:
+
+    - {!optimal_acyclic_words} maximizes [T*ac(pi)] over {e all} encoding
+      words — exact by Lemma 4.2 (increasing orders dominate);
+    - {!optimal_acyclic_orders} maximizes over {e all} node orderings,
+      including non-increasing ones — validating Lemma 4.2 itself;
+    - {!order_throughput} evaluates a single arbitrary ordering via the
+      conservative closed form (exact by Lemma 4.3: conservative solutions
+      dominate for every fixed order). *)
+
+val order_throughput : Platform.Instance.t -> int array -> float
+(** [order_throughput inst sigma] is [T*ac(sigma)] for an arbitrary
+    permutation [sigma] of the non-source nodes [1 .. n+m] (the source is
+    implicitly first). Does not require the instance to be sorted. *)
+
+val optimal_acyclic_words : Platform.Instance.t -> float * Word.t
+(** Maximum of [T*ac(w)] over all [C(n+m, m)] words, with a witness.
+    Requires a sorted instance; inherits {!Word.enumerate}'s size limit. *)
+
+val optimal_acyclic_orders : Platform.Instance.t -> float * int array
+(** Maximum of [T*ac(sigma)] over all [(n+m)!] orderings, with a witness.
+    Raises [Invalid_argument] beyond [n + m > 8]. *)

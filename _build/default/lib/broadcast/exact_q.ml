@@ -1,0 +1,120 @@
+open Platform
+module Q = Rational.Q
+
+type receiver = Instance.node_class * Q.t
+
+let of_instance ?max_den inst =
+  let conv x = Q.of_float_approx ?max_den x in
+  let b = inst.Instance.bandwidth in
+  let receivers =
+    List.init
+      (Instance.size inst - 1)
+      (fun k ->
+        let v = k + 1 in
+        (Instance.node_class inst v, conv b.(v)))
+  in
+  (conv b.(0), receivers)
+
+(* One conservative step over exact state (avail_open, avail_guarded,
+   waste); [None] when the node cannot be fed. *)
+let step ~rate (o, g, w) (cls, bw) =
+  match cls with
+  | Instance.Guarded ->
+    if Q.(o < rate) then None else Some (Q.sub o rate, Q.add g bw, w)
+  | Instance.Open ->
+    if Q.(Q.add o g < rate) then None
+    else begin
+      let from_open = Q.max Q.zero (Q.sub rate g) in
+      Some
+        ( Q.sub (Q.add o bw) from_open,
+          Q.max Q.zero (Q.sub g rate),
+          Q.add w from_open )
+    end
+
+let accounting ~b0 ~rate receivers =
+  if Q.(rate <= zero) then invalid_arg "Exact_q: rate must be positive";
+  let rec go st acc = function
+    | [] -> Some (List.rev acc)
+    | r :: rest -> begin
+      match step ~rate st r with
+      | None -> None
+      | Some st' -> go st' (st' :: acc) rest
+    end
+  in
+  go (b0, Q.zero, Q.zero) [] receivers
+
+let feasible ~b0 ~rate receivers = accounting ~b0 ~rate receivers <> None
+
+let sequence_throughput ~b0 receivers =
+  (* Mirror of Word.sequence_throughput, exactly. *)
+  let best = ref None in
+  let consider num den =
+    if den > 0 then begin
+      let candidate = Q.div num (Q.of_int den) in
+      match !best with
+      | Some b when Q.(b <= candidate) -> ()
+      | _ -> best := Some candidate
+    end
+  in
+  let rec go bo bg i j taus = function
+    | [] -> ()
+    | (cls, bw) :: rest -> begin
+      match cls with
+      | Instance.Guarded ->
+        consider (Q.add b0 bo) (j + 1);
+        List.iter
+          (fun (i_tau, bg_tau) ->
+            consider (Q.add (Q.add b0 bo) bg_tau) (1 + j + i_tau))
+          taus;
+        go bo (Q.add bg bw) i (j + 1) taus rest
+      | Instance.Open ->
+        consider (Q.add (Q.add b0 bo) bg) (i + j + 1);
+        go (Q.add bo bw) bg (i + 1) j ((i + 1, bg) :: taus) rest
+    end
+  in
+  go Q.zero Q.zero 0 0 [] receivers;
+  match !best with
+  | None -> invalid_arg "Exact_q.sequence_throughput: empty sequence"
+  | Some t -> t
+
+let receivers_of_word ~opens ~guardeds word =
+  let opens = ref opens and guardeds = ref guardeds in
+  Array.to_list word
+  |> List.map (fun cls ->
+         match cls with
+         | Instance.Open -> begin
+           match !opens with
+           | bw :: rest ->
+             opens := rest;
+             (cls, bw)
+           | [] -> invalid_arg "Exact_q: word needs more open nodes"
+         end
+         | Instance.Guarded -> begin
+           match !guardeds with
+           | bw :: rest ->
+             guardeds := rest;
+             (cls, bw)
+           | [] -> invalid_arg "Exact_q: word needs more guarded nodes"
+         end)
+
+let optimal_acyclic ~b0 ~opens ~guardeds =
+  let non_increasing l =
+    let rec go = function
+      | a :: (b :: _ as rest) -> Q.(b <= a) && go rest
+      | _ -> true
+    in
+    go l
+  in
+  if not (non_increasing opens && non_increasing guardeds) then
+    invalid_arg "Exact_q.optimal_acyclic: bandwidths must be sorted non-increasing";
+  let words = Word.enumerate ~n:(List.length opens) ~m:(List.length guardeds) in
+  match words with
+  | [] -> invalid_arg "Exact_q.optimal_acyclic: empty instance"
+  | first :: _ ->
+    List.fold_left
+      (fun (best_t, best_w) w ->
+        let t = sequence_throughput ~b0 (receivers_of_word ~opens ~guardeds w) in
+        if Q.(t > best_t) then (t, w) else (best_t, best_w))
+      ( sequence_throughput ~b0 (receivers_of_word ~opens ~guardeds first),
+        first )
+      words

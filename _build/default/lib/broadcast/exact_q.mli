@@ -1,0 +1,46 @@
+(** Exact (rational-arithmetic) evaluation of acyclic schemes.
+
+    The float pipeline verifies the paper's tight results only up to
+    rounding; this module certifies them exactly: the conservative
+    accounting of Lemma 4.4, the min-of-ratios closed form for
+    [T*ac(sigma)], and the exhaustive word optimum all re-implemented over
+    {!Rational.Q}. Used to prove, in tests, that the Figure 1 instance has
+    [T*ac = 4] exactly, that Theorem 6.2's gadget at [eps = 1/14] sits at
+    exactly [5/7], and that Table I's accounting is exact — and to
+    cross-validate the float implementation on random rational instances. *)
+
+type receiver = Platform.Instance.node_class * Rational.Q.t
+(** One node to feed: its class and outgoing bandwidth. *)
+
+val of_instance :
+  ?max_den:int -> Platform.Instance.t -> Rational.Q.t * receiver list
+(** [(b0, receivers)] with every bandwidth converted by
+    {!Rational.Q.of_float_approx} (denominators up to [max_den], default
+    [10_000]); receivers in instance order [C1 .. C(n+m)]. Exact when the
+    instance holds representable rationals (every paper gadget does). *)
+
+val feasible : b0:Rational.Q.t -> rate:Rational.Q.t -> receiver list -> bool
+(** Exact conservative simulation (the [O/G/W] recursions of Lemma 4.4):
+    can the sequence be fed at [rate]? Requires [rate > 0]. *)
+
+val sequence_throughput : b0:Rational.Q.t -> receiver list -> Rational.Q.t
+(** Exact [T*ac(sigma)] for the fixed order — the minimum of the
+    bandwidth-sum ratios (same derivation as
+    {!Word.sequence_throughput}). *)
+
+val optimal_acyclic :
+  b0:Rational.Q.t ->
+  opens:Rational.Q.t list ->
+  guardeds:Rational.Q.t list ->
+  Rational.Q.t * Word.t
+(** Exact [T*ac]: exhaustive maximum over all encoding words (bandwidths
+    must be given in non-increasing order per class; exact by Lemma 4.2).
+    Inherits {!Word.enumerate}'s size limit. *)
+
+val accounting :
+  b0:Rational.Q.t ->
+  rate:Rational.Q.t ->
+  receiver list ->
+  (Rational.Q.t * Rational.Q.t * Rational.Q.t) list option
+(** Exact [(O, G, W)] after each step (Table I's rows), or [None] when the
+    sequence is infeasible at [rate]. *)

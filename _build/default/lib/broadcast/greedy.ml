@@ -1,0 +1,88 @@
+open Platform
+
+type decision = {
+  letter : Instance.node_class;
+  state : Word.state;
+}
+
+(* One decision of Algorithm 2 given the current accounting: which class
+   should the next node have? Mirrors lines 4-15 of the paper's
+   pseudo-code; [None] means line 3 failed (total supply below T). *)
+let choose inst ~rate (st : Word.state) =
+  let n = inst.Instance.n and m = inst.Instance.m in
+  let b = inst.Instance.bandwidth in
+  let i = st.Word.fed_open and j = st.Word.fed_guarded in
+  let total = st.Word.avail_open +. st.Word.avail_guarded in
+  if Util.flt total rate then None
+  else if i = n then Some Instance.Guarded
+  else if j = m then Some Instance.Open
+  else begin
+    let b_guard_next = b.(n + j + 1) and b_open_next = b.(i + 1) in
+    let open_short = Util.flt st.Word.avail_open rate in
+    if j = m - 1 then
+      (* A single guarded node remains: pick the larger bandwidth next,
+         unless the guarded one cannot be paid for. *)
+      if open_short || b_guard_next < b_open_next then Some Instance.Open
+      else Some Instance.Guarded
+    else if open_short || Util.flt (total +. b_guard_next) (2. *. rate) then
+      (* Choosing □ now would either be unpayable (O < T) or leave less
+         than T of total supply afterwards (O + G - T + b_next < T). *)
+      Some Instance.Open
+    else Some Instance.Guarded
+  end
+
+let run_algorithm inst ~rate =
+  if not (Instance.sorted inst) then invalid_arg "Greedy: instance must be sorted";
+  if rate <= 0. then invalid_arg "Greedy: rate must be positive";
+  let total = inst.Instance.n + inst.Instance.m in
+  let rec go st acc k =
+    if k = total then (Some (List.rev acc), List.rev acc)
+    else
+      match choose inst ~rate st with
+      | None -> (None, List.rev acc)
+      | Some letter -> begin
+        match Word.step inst ~rate st letter with
+        | None -> (None, List.rev acc)
+        | Some st' ->
+          (* Line 17 of the pseudo-code (O(pi) < 0) is subsumed: a guarded
+             step already requires O >= T and an open step keeps O >= 0. *)
+          go st' ({ letter; state = st' } :: acc) (k + 1)
+      end
+  in
+  go (Word.initial_state inst) [] 0
+
+let word_of_trace trace = Array.of_list (List.map (fun d -> d.letter) trace)
+
+let test_trace inst ~rate =
+  match run_algorithm inst ~rate with
+  | Some trace, full -> (Some (word_of_trace trace), full)
+  | None, partial -> (None, partial)
+
+let test inst ~rate = fst (test_trace inst ~rate)
+
+let optimal_acyclic ?iterations inst =
+  if not (Instance.sorted inst) then
+    invalid_arg "Greedy.optimal_acyclic: instance must be sorted";
+  if inst.Instance.n + inst.Instance.m < 1 then
+    invalid_arg "Greedy.optimal_acyclic: no receiver";
+  let hi = Bounds.cyclic_upper inst in
+  if hi <= 0. then (0., Array.make (inst.Instance.n + inst.Instance.m) Instance.Open)
+  else begin
+    let feasible rate = rate <= 0. || test inst ~rate <> None in
+    let t = Util.dichotomic_max ?iterations ~lo:0. ~hi feasible in
+    match test inst ~rate:t with
+    | Some w -> (t, w)
+    | None ->
+      (* t = 0 or tolerance fringe: nudge down until the witness exists. *)
+      let rec retry rate k =
+        if k = 0 || rate <= 0. then
+          (0., Array.append
+                 (Array.make inst.Instance.n Instance.Open)
+                 (Array.make inst.Instance.m Instance.Guarded))
+        else
+          match test inst ~rate with
+          | Some w -> (rate, w)
+          | None -> retry (rate *. (1. -. 1e-9)) (k - 1)
+      in
+      retry t 8
+  end

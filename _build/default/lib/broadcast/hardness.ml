@@ -1,0 +1,130 @@
+open Platform
+
+let check_three_partition_shape a =
+  let len = Array.length a in
+  if len = 0 || len mod 3 <> 0 then
+    invalid_arg "Hardness: need a positive multiple of 3 values";
+  let p = len / 3 in
+  let sum = Array.fold_left ( + ) 0 a in
+  if sum mod p <> 0 then invalid_arg "Hardness: sum must be divisible by p";
+  (p, sum / p)
+
+let three_partition a =
+  let p, target = check_three_partition_shape a in
+  let len = Array.length a in
+  let used = Array.make len false in
+  let triples = ref [] in
+  (* Pick the first unused index, then search two partners summing to
+     target - a.(i); first-index anchoring prunes symmetric branches. *)
+  let rec solve remaining =
+    if remaining = 0 then true
+    else begin
+      let anchor = ref (-1) in
+      (try
+         for i = 0 to len - 1 do
+           if not used.(i) then begin
+             anchor := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let i = !anchor in
+      used.(i) <- true;
+      let found = ref false in
+      (try
+         for j = i + 1 to len - 1 do
+           if (not used.(j)) && not !found then begin
+             for k = j + 1 to len - 1 do
+               if (not used.(k)) && (not !found) && a.(i) + a.(j) + a.(k) = target
+               then begin
+                 used.(j) <- true;
+                 used.(k) <- true;
+                 triples := (i, j, k) :: !triples;
+                 if solve (remaining - 1) then found := true
+                 else begin
+                   triples := List.tl !triples;
+                   used.(j) <- false;
+                   used.(k) <- false
+                 end
+               end
+             done
+           end
+         done
+       with Exit -> ());
+      if !found then true
+      else begin
+        used.(i) <- false;
+        false
+      end
+    end
+  in
+  if solve p then Some (List.rev !triples) else None
+
+let check_side_conditions a t =
+  Array.iter
+    (fun ai ->
+      if 4 * ai <= t || 2 * ai >= t then
+        invalid_arg "Hardness: values must satisfy T/4 < a_i < T/2")
+    a
+
+let sorted_desc a =
+  let b = Array.copy a in
+  Array.sort (fun x y -> compare y x) b;
+  b
+
+let reduction a =
+  let p, t = check_three_partition_shape a in
+  check_side_conditions a t;
+  let a = sorted_desc a in
+  let len = Array.length a in
+  let bandwidth =
+    Array.init
+      (1 + len + p)
+      (fun i ->
+        if i = 0 then float_of_int (len * t)
+        else if i <= len then float_of_int a.(i - 1)
+        else 0.)
+  in
+  (Instance.create ~bandwidth ~n:(len + p) ~m:0 (), float_of_int t)
+
+let scheme_of_partition a triples =
+  let p, t = check_three_partition_shape a in
+  let a = sorted_desc a in
+  let len = Array.length a in
+  if List.length triples <> p then
+    invalid_arg "Hardness.scheme_of_partition: wrong number of triples";
+  let g = Flowgraph.Graph.create (1 + len + p) in
+  let tf = float_of_int t in
+  (* Source feeds every intermediate node at full rate T. *)
+  for i = 1 to len do
+    Flowgraph.Graph.add_edge g ~src:0 ~dst:i tf
+  done;
+  (* Each triple pools its full bandwidth into one final node. *)
+  List.iteri
+    (fun j (x, y, z) ->
+      let final = 1 + len + j in
+      List.iter
+        (fun idx ->
+          if idx < 0 || idx >= len then
+            invalid_arg "Hardness.scheme_of_partition: index out of range";
+          Flowgraph.Graph.add_edge g ~src:(idx + 1) ~dst:final
+            (float_of_int a.(idx)))
+        [ x; y; z ])
+    triples;
+  g
+
+let unbounded_degree_instance ~m =
+  if m < 2 then invalid_arg "Hardness.unbounded_degree_instance: need m >= 2";
+  let mf = float_of_int m in
+  Instance.homogeneous ~n:1 ~m ~b0:1. ~bopen:(mf -. 1.) ~bguarded:(1. /. mf)
+
+let unbounded_degree_scheme ~m =
+  if m < 2 then invalid_arg "Hardness.unbounded_degree_scheme: need m >= 2";
+  let mf = float_of_int m in
+  let g = Flowgraph.Graph.create (m + 2) in
+  for j = 2 to m + 1 do
+    Flowgraph.Graph.add_edge g ~src:0 ~dst:j (1. /. mf);
+    Flowgraph.Graph.add_edge g ~src:1 ~dst:j ((mf -. 1.) /. mf);
+    Flowgraph.Graph.add_edge g ~src:j ~dst:1 (1. /. mf)
+  done;
+  g

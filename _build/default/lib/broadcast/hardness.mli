@@ -1,0 +1,52 @@
+(** NP-completeness and unbounded-degree gadgets (Theorem 3.1, Figure 6).
+
+    Theorem 3.1 reduces 3-PARTITION to degree-constrained optimal
+    broadcast: given [3p] integers [a i] with [sum = p T] and
+    [T/4 < a i < T/2], a scheme of throughput [T] in which every node
+    keeps its outdegree at the lower bound [ceil (b i / T)] exists iff the
+    integers can be partitioned into [p] triples each summing to [T]. This
+    module builds the reduction instance (Figure 8), solves small
+    3-PARTITION instances exactly, and converts a partition into the
+    witness scheme.
+
+    Figure 6's family shows the cyclic/guarded case needs unbounded
+    degrees: source bandwidth [1], one open node of bandwidth [m - 1], and
+    [m] guarded nodes of bandwidth [1/m] each force source outdegree [m]
+    in any optimal (throughput-1) scheme, against a degree lower bound of
+    [ceil (b0 / T)] which equals [1]. *)
+
+(** {1 3-PARTITION} *)
+
+val three_partition : int array -> (int * int * int) list option
+(** [three_partition a] partitions the [3 p] values into triples of equal
+    sum [sum a / p] (returning index triples), or [None]. Backtracking
+    search — exponential in the worst case, fine for gadget-size inputs.
+    Raises [Invalid_argument] when the length is not a positive multiple
+    of 3 or the sum is not divisible by [p]. *)
+
+val reduction : int array -> Platform.Instance.t * float
+(** [reduction a] is the broadcast instance of the proof (all nodes open):
+    source [3 p T], intermediate nodes [a i] sorted non-increasing, [p]
+    final nodes of bandwidth [0]; paired with the target throughput
+    [T = sum a / p]. Requires the 3-PARTITION side conditions
+    [T/4 < a i < T/2]. *)
+
+val scheme_of_partition :
+  int array -> (int * int * int) list -> Flowgraph.Graph.t
+(** [scheme_of_partition a triples] is the witness scheme on
+    [reduction a]'s instance: the source feeds every intermediate node at
+    rate [T]; the three intermediates of triple [j] feed final node [j] at
+    their full bandwidth. Indices in [triples] refer to the {e sorted}
+    bandwidth order used by {!reduction}. The scheme achieves throughput
+    [T] with every outdegree exactly [ceil (b i / T)]. *)
+
+(** {1 Unbounded degree (Figure 6)} *)
+
+val unbounded_degree_instance : m:int -> Platform.Instance.t
+(** Requires [m >= 2]. Cyclic optimum [T* = 1]. *)
+
+val unbounded_degree_scheme : m:int -> Flowgraph.Graph.t
+(** The optimal cyclic scheme: source sends [1/m] to every guarded node,
+    the open node sends [(m-1)/m] to every guarded node, every guarded
+    node sends its full [1/m] to the open node. Throughput [1], source
+    outdegree [m]. *)

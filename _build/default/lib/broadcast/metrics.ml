@@ -1,0 +1,50 @@
+open Platform
+
+type degree_report = {
+  degrees : int array;
+  excess : int array;
+  max_excess : int;
+  max_excess_open : int;
+  max_excess_guarded : int;
+  opens_above : int -> int;
+}
+
+let degree_report inst ~t g =
+  let size = Instance.size inst in
+  if Flowgraph.Graph.node_count g <> size then
+    invalid_arg "Metrics.degree_report: node count mismatch";
+  if t <= 0. then invalid_arg "Metrics.degree_report: t must be positive";
+  let degrees = Array.init size (Flowgraph.Graph.out_degree g) in
+  let excess =
+    Array.init size (fun i ->
+        degrees.(i) - Util.ceil_ratio inst.Instance.bandwidth.(i) t)
+  in
+  let fold_class p init =
+    let acc = ref init in
+    for i = 0 to size - 1 do
+      if p i then acc := max !acc excess.(i)
+    done;
+    !acc
+  in
+  let max_excess = fold_class (fun _ -> true) min_int in
+  let max_excess_open = fold_class (Instance.is_open inst) min_int in
+  let max_excess_guarded = fold_class (Instance.is_guarded inst) min_int in
+  let opens_above k =
+    let count = ref 0 in
+    for i = 0 to size - 1 do
+      if Instance.is_open inst i && excess.(i) > k then incr count
+    done;
+    !count
+  in
+  { degrees; excess; max_excess; max_excess_open; max_excess_guarded; opens_above }
+
+let depth g =
+  let d = Flowgraph.Topo.depth_from g 0 in
+  Array.fold_left max 0 d
+
+let max_outdegree g =
+  let best = ref 0 in
+  for i = 0 to Flowgraph.Graph.node_count g - 1 do
+    best := max !best (Flowgraph.Graph.out_degree g i)
+  done;
+  !best

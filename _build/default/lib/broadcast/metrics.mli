@@ -1,0 +1,26 @@
+(** Degree and depth metrics of broadcast schemes.
+
+    The paper's headline guarantee is throughput {e and} degree: a node
+    using all its bandwidth needs outdegree at least [ceil (b i / T)], and
+    each algorithm adds a small additive constant. These helpers extract
+    the actual degrees, their excess over the lower bound, and the scheme
+    depth (the delay-related metric raised in the paper's conclusion). *)
+
+type degree_report = {
+  degrees : int array;  (** [o i] — positive-weight outdegree per node *)
+  excess : int array;  (** [o i - ceil (b i / t)], possibly negative *)
+  max_excess : int;
+  max_excess_open : int;  (** maximum excess over the source and open nodes *)
+  max_excess_guarded : int;  (** maximum excess over guarded nodes; [min_int] if [m = 0] *)
+  opens_above : int -> int;
+      (** [opens_above k] — number of source/open nodes with excess [> k] *)
+}
+
+val degree_report : Platform.Instance.t -> t:float -> Flowgraph.Graph.t -> degree_report
+(** [degree_report inst ~t g] compares outdegrees against
+    [ceil (b i / t)]. Requires matching node counts and [t > 0]. *)
+
+val depth : Flowgraph.Graph.t -> int
+(** Longest hop-path from node [0]; requires an acyclic graph. *)
+
+val max_outdegree : Flowgraph.Graph.t -> int

@@ -1,0 +1,80 @@
+open Platform
+
+type t = {
+  instance : Instance.t;
+  rate : float;
+  order : int array;
+  graph : Flowgraph.Graph.t;
+}
+
+let of_word inst ~rate word =
+  {
+    instance = inst;
+    rate;
+    order = Word.to_order word inst;
+    graph = Low_degree.build inst ~rate word;
+  }
+
+let build ?rate inst =
+  match rate with
+  | None ->
+    let t, w = Greedy.optimal_acyclic inst in
+    let rate = t *. (1. -. (4. *. Util.eps)) in
+    (* Re-derive the witness at the backed-off rate so word and rate are
+       mutually consistent. *)
+    let word = match Greedy.test inst ~rate with Some w' -> w' | None -> w in
+    of_word inst ~rate word
+  | Some rate -> begin
+    match Greedy.test inst ~rate with
+    | None -> invalid_arg "Overlay.build: rate is not feasible"
+    | Some word -> of_word inst ~rate word
+  end
+
+let verified_rate t =
+  if Instance.size t.instance <= 1 then infinity
+  else Flowgraph.Maxflow.min_broadcast_flow t.graph ~src:0
+
+let positions t =
+  let pos = Array.make (Array.length t.order) (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) t.order;
+  pos
+
+let well_formed t =
+  let size = Instance.size t.instance in
+  Array.length t.order = size
+  && t.order.(0) = 0
+  && begin
+    let seen = Array.make size false in
+    Array.for_all
+      (fun v ->
+        v >= 0 && v < size
+        &&
+        if seen.(v) then false
+        else begin
+          seen.(v) <- true;
+          true
+        end)
+      t.order
+  end
+  && begin
+    let pos = positions t in
+    Flowgraph.Graph.fold_edges
+      (fun ~src ~dst _w ok -> ok && pos.(src) < pos.(dst))
+      t.graph true
+  end
+  && Verify.valid t.instance t.graph
+
+let edge_distance a b =
+  let eps = 1e-9 in
+  let differs w w' = Float.abs (w -. w') > eps *. Float.max 1. (Float.max w w') in
+  let count = ref 0 in
+  Flowgraph.Graph.iter_edges
+    (fun ~src ~dst w ->
+      if differs w (Flowgraph.Graph.edge_weight b ~src ~dst) then incr count)
+    a;
+  (* Edges present only in b. *)
+  Flowgraph.Graph.iter_edges
+    (fun ~src ~dst _w ->
+      if Flowgraph.Graph.edge_weight a ~src ~dst = 0. then incr count)
+    b;
+  !count

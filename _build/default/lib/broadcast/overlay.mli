@@ -1,0 +1,40 @@
+(** A built broadcast overlay: the instance it was computed for, the target
+    rate, a topological order of the nodes and the communication graph,
+    bundled so that dynamic operations (the churn handling of {!Repair})
+    can reason about all four consistently.
+
+    Fresh overlays come from the Theorem 4.1 pipeline; repaired overlays
+    keep the same shape but their order is no longer necessarily an
+    increasing-order word (nodes joined under churn are appended last). *)
+
+type t = {
+  instance : Platform.Instance.t;  (** sorted instance *)
+  rate : float;  (** target rate the graph was built for *)
+  order : int array;
+      (** topological order of the scheme: [order.(0) = 0] (the source),
+          then every other node exactly once; every edge goes forward *)
+  graph : Flowgraph.Graph.t;
+}
+
+val build : ?rate:float -> Platform.Instance.t -> t
+(** [build inst] computes the optimal low-degree acyclic overlay
+    (Theorem 4.1 pipeline); [rate] forces a sub-optimal target (must be
+    feasible, or [Invalid_argument] is raised). The instance must be
+    sorted. *)
+
+val verified_rate : t -> float
+(** Max-flow throughput of the graph (the honest number after repairs). *)
+
+val positions : t -> int array
+(** [pos] with [pos.(v)] the position of node [v] in [order]. *)
+
+val well_formed : t -> bool
+(** Structural sanity: order is a permutation starting at the source, all
+    edges go forward in it, and the graph respects bandwidth and firewall
+    constraints. *)
+
+val edge_distance : Flowgraph.Graph.t -> Flowgraph.Graph.t -> int
+(** Number of edge insertions, deletions and re-weightings (beyond a 1e-9
+    relative tolerance) separating two graphs — the churn cost of moving a
+    live swarm from one overlay to another, every change being a TCP
+    connection to open, close or re-shape. *)

@@ -1,0 +1,71 @@
+open Platform
+
+type comparison = {
+  cyclic : float;
+  acyclic : float;
+  omega_best : float;
+  proof_word : float;
+  word : Word.t;
+}
+
+let compare_instance inst =
+  let n = inst.Instance.n and m = inst.Instance.m in
+  if n + m < 1 then invalid_arg "Ratio.compare_instance: no receiver";
+  let cyclic = Bounds.cyclic_upper inst in
+  let acyclic, word = Greedy.optimal_acyclic inst in
+  let w1 = Word.omega1 ~n ~m and w2 = Word.omega2 ~n ~m in
+  let t1 = Word.optimal_throughput inst w1 in
+  let t2 = Word.optimal_throughput inst w2 in
+  let proof_word =
+    (* Theorem 6.2's case analysis keys on the (homogenized) open
+       bandwidth o against T* (=1 for tight instances): omega1 when open
+       nodes are individually strong enough, omega2 otherwise. *)
+    if n = 0 then t2
+    else begin
+      let mean_open = Instance.open_sum inst /. float_of_int n in
+      if mean_open >= cyclic then t1 else t2
+    end
+  in
+  { cyclic; acyclic; omega_best = Float.max t1 t2; proof_word; word }
+
+let ratio c = if c.cyclic <= 0. then 1. else c.acyclic /. c.cyclic
+
+let five_sevenths_instance ~epsilon =
+  if epsilon <= 0. || epsilon >= 0.5 then
+    invalid_arg "Ratio.five_sevenths_instance: need 0 < epsilon < 1/2";
+  Instance.create
+    ~bandwidth:[| 1.; 1. +. (2. *. epsilon); 0.5 -. epsilon; 0.5 -. epsilon |]
+    ~n:1 ~m:2 ()
+
+let sigma1_throughput ~epsilon = 2. /. 3. *. (1. +. epsilon)
+let sigma2_throughput ~epsilon = 0.75 -. (epsilon /. 2.)
+
+let sqrt41_alpha = (sqrt 41. -. 3.) /. 8.
+
+let sqrt41_instance ~k ?(max_den = 40) () =
+  if k < 1 then invalid_arg "Ratio.sqrt41_instance: need k >= 1";
+  let q_alpha = Rational.Q.of_float_approx ~max_den sqrt41_alpha in
+  let p = q_alpha.Rational.Q.num and q = q_alpha.Rational.Q.den in
+  let alpha = Rational.Q.to_float q_alpha in
+  let n = k * q and m = k * p in
+  let inst =
+    Instance.homogeneous ~n ~m ~b0:1. ~bopen:alpha ~bguarded:(1. /. alpha)
+  in
+  (inst, alpha)
+
+let sqrt41_acyclic_upper ~alpha =
+  if alpha <= 0. || alpha >= 1. then
+    invalid_arg "Ratio.sqrt41_acyclic_upper: need 0 < alpha < 1";
+  let f x = ((alpha *. float_of_int x) +. 1.) /. 2. in
+  let g x =
+    ((alpha *. float_of_int x) +. (1. /. alpha) +. 1.) /. float_of_int (x + 2)
+  in
+  let x_lo = int_of_float (Float.floor (1. /. alpha)) in
+  let x_hi = int_of_float (Float.ceil (1. /. alpha)) in
+  Float.max (f x_lo) (g x_hi)
+
+let open_only_lower_bound ~n =
+  if n < 1 then invalid_arg "Ratio.open_only_lower_bound: need n >= 1";
+  1. -. (1. /. float_of_int n)
+
+let guarded_lower_bound = 5. /. 7.

@@ -1,0 +1,67 @@
+(** Acyclic-versus-cyclic throughput comparison (Section VI).
+
+    The paper proves [T*ac / T* >= 1 - 1/n] without guarded nodes
+    (Theorem 6.1), a tight [5/7] worst case with guarded nodes
+    (Theorem 6.2), and an asymptotic gap at [(1 + sqrt 41) / 8 ~ 0.925]
+    (Theorem 6.3). This module builds the extremal gadgets and computes
+    the ratio on arbitrary instances — the machinery behind Figures 7, 18
+    and 19. *)
+
+type comparison = {
+  cyclic : float;  (** closed-form optimal cyclic throughput (Lemma 5.1) *)
+  acyclic : float;  (** optimal acyclic throughput (Greedy + dichotomy) *)
+  omega_best : float;
+      (** best of [T*ac(omega1)] and [T*ac(omega2)] — the distributed-
+          friendly schemes of Appendix XII (blue curves) *)
+  proof_word : float;
+      (** [T*ac] of the single word used in Theorem 6.2's case analysis
+          (red curves): [omega1] when the mean open bandwidth is at least
+          the cyclic optimum, [omega2] otherwise *)
+  word : Word.t;  (** witness word for [acyclic] *)
+}
+
+val compare_instance : Platform.Instance.t -> comparison
+(** Requires a sorted instance with at least one non-source node. *)
+
+val ratio : comparison -> float
+(** [acyclic / cyclic], [1.] when both are zero. *)
+
+(** {1 Extremal gadgets} *)
+
+val five_sevenths_instance : epsilon:float -> Platform.Instance.t
+(** Theorem 6.2's tight gadget: source [1], one open node [1 + 2 eps], two
+    guarded nodes [1/2 - eps]. Its cyclic optimum is [1]; at
+    [epsilon = 1/14] both orderings [sigma1 = 0123] and [sigma2 = 0213]
+    achieve exactly [T*ac = 5/7]. *)
+
+val sigma1_throughput : epsilon:float -> float
+(** [T*ac(sigma1) = 2/3 (1 + eps)] — closed form from the paper. *)
+
+val sigma2_throughput : epsilon:float -> float
+(** [T*ac(sigma2) = 3/4 - eps/2]. *)
+
+val sqrt41_alpha : float
+(** [(sqrt 41 - 3) / 8 ~ 0.42539] — the bandwidth ratio of Theorem 6.3's
+    family. *)
+
+val sqrt41_instance : k:int -> ?max_den:int -> unit -> Platform.Instance.t * float
+(** [(instance, alpha)] — the family [I(alpha, k)] of Theorem 6.3 with
+    [alpha = p/q] the best rational approximation of {!sqrt41_alpha} with
+    denominator at most [max_den] (default 40, giving [17/40]): source
+    [1], [k q] open nodes of bandwidth [alpha], [k p] guarded nodes of
+    bandwidth [1/alpha]. Its cyclic optimum is [1]; its acyclic optimum
+    approaches [(1 + sqrt 41) / 8 ~ 0.925] and never reaches [1]. *)
+
+val sqrt41_acyclic_upper : alpha:float -> float
+(** The paper's bound [max (f_alpha (floor (1/alpha)),
+    g_alpha (ceil (1/alpha)))] with [f_alpha x = (alpha x + 1) / 2] and
+    [g_alpha x = (alpha x + 1/alpha + 1) / (x + 2)] — an upper bound on
+    [T*ac] for the family, independent of [k]. *)
+
+(** {1 Worst-case guarantees under test} *)
+
+val open_only_lower_bound : n:int -> float
+(** Theorem 6.1: [1 - 1/n]. *)
+
+val guarded_lower_bound : float
+(** Theorem 6.2: [5/7]. *)

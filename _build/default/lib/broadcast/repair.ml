@@ -1,0 +1,154 @@
+open Platform
+module G = Flowgraph.Graph
+
+type stats = {
+  patch_edges : int;
+  rebuild_edges : int;
+  rate_after : float;
+  optimal_after : float;
+}
+
+let remap_graph old_graph ~size ~map ~drop =
+  let g = G.create size in
+  G.iter_edges
+    (fun ~src ~dst w ->
+      if src <> drop && dst <> drop then G.set_edge g ~src:(map src) ~dst:(map dst) w)
+    old_graph;
+  g
+
+(* Fill [deficit] units into [r] from nodes placed before it, spare-capacity
+   only, conservative class preference; returns the unfilled remainder. *)
+let refill inst graph ~pos ~r ~deficit ~cut =
+  let b = inst.Instance.bandwidth in
+  let senders_of_class want_guarded =
+    let all = ref [] in
+    for u = 0 to Instance.size inst - 1 do
+      if u <> r && pos.(u) < pos.(r) && Instance.is_guarded inst u = want_guarded
+      then begin
+        let spare = b.(u) -. G.out_weight graph u in
+        if spare > cut then all := (pos.(u), u, spare) :: !all
+      end
+    done;
+    List.sort compare !all
+  in
+  let draw remaining senders =
+    List.fold_left
+      (fun remaining (_, u, spare) ->
+        if remaining <= cut then remaining
+        else begin
+          let amount = Float.min spare remaining in
+          G.add_edge graph ~src:u ~dst:r amount;
+          remaining -. amount
+        end)
+      remaining senders
+  in
+  let remaining =
+    if Instance.is_guarded inst r then deficit
+    else draw deficit (senders_of_class true)
+  in
+  draw remaining (senders_of_class false)
+
+let finish ~before_projected ~touched patched_overlay =
+  let new_inst = patched_overlay.Overlay.instance in
+  let rebuilt = Overlay.build new_inst in
+  let optimal_after = rebuilt.Overlay.rate in
+  let stats =
+    {
+      patch_edges =
+        touched + Overlay.edge_distance before_projected patched_overlay.Overlay.graph;
+      rebuild_edges =
+        touched + Overlay.edge_distance before_projected rebuilt.Overlay.graph;
+      rate_after = Overlay.verified_rate patched_overlay;
+      optimal_after;
+    }
+  in
+  (patched_overlay, stats)
+
+let leave (o : Overlay.t) ~node =
+  let inst = o.Overlay.instance in
+  let size = Instance.size inst in
+  if node <= 0 || node >= size then invalid_arg "Repair.leave: bad node";
+  if size <= 2 then invalid_arg "Repair.leave: cannot remove the last receiver";
+  let b = inst.Instance.bandwidth in
+  let bandwidth =
+    Array.init (size - 1) (fun i -> if i < node then b.(i) else b.(i + 1))
+  in
+  let n = inst.Instance.n - (if node <= inst.Instance.n then 1 else 0) in
+  let m = inst.Instance.m - (if node > inst.Instance.n then 1 else 0) in
+  let new_inst = Instance.create ~bandwidth ~n ~m () in
+  let map u = if u < node then u else u - 1 in
+  let order =
+    Array.of_list
+      (Array.to_list o.Overlay.order
+      |> List.filter (( <> ) node)
+      |> List.map map)
+  in
+  let touched =
+    G.out_degree o.Overlay.graph node + List.length (G.in_edges o.Overlay.graph node)
+  in
+  let graph = remap_graph o.Overlay.graph ~size:(size - 1) ~map ~drop:node in
+  let before_projected = G.copy graph in
+  (* Refill reception deficits in topological order so earlier repairs can
+     rely on upstream nodes being whole again. *)
+  let pos = Array.make (size - 1) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let cut = 1e-7 *. o.Overlay.rate in
+  Array.iter
+    (fun r ->
+      if r <> 0 then begin
+        let deficit = o.Overlay.rate -. G.in_weight graph r in
+        if deficit > cut then
+          ignore (refill new_inst graph ~pos ~r ~deficit ~cut)
+      end)
+    order;
+  finish ~before_projected ~touched
+    { Overlay.instance = new_inst; rate = o.Overlay.rate; order; graph }
+
+let sorted_insert_position inst ~cls ~bandwidth =
+  let b = inst.Instance.bandwidth in
+  let scan lo hi =
+    let rec go i = if i > hi then hi + 1 else if b.(i) < bandwidth then i else go (i + 1) in
+    go lo
+  in
+  match cls with
+  | Instance.Open -> scan 1 inst.Instance.n
+  | Instance.Guarded ->
+    scan (inst.Instance.n + 1) (inst.Instance.n + inst.Instance.m)
+
+let join (o : Overlay.t) ~bandwidth ~cls =
+  if bandwidth < 0. || Float.is_nan bandwidth then
+    invalid_arg "Repair.join: bad bandwidth";
+  let inst = o.Overlay.instance in
+  let size = Instance.size inst in
+  let p = sorted_insert_position inst ~cls ~bandwidth in
+  let b = inst.Instance.bandwidth in
+  let new_bandwidth =
+    Array.init (size + 1) (fun i ->
+        if i < p then b.(i) else if i = p then bandwidth else b.(i - 1))
+  in
+  let n = inst.Instance.n + (if cls = Instance.Open then 1 else 0) in
+  let m = inst.Instance.m + (if cls = Instance.Guarded then 1 else 0) in
+  let new_inst = Instance.create ~bandwidth:new_bandwidth ~n ~m () in
+  let map u = if u < p then u else u + 1 in
+  let graph = remap_graph o.Overlay.graph ~size:(size + 1) ~map ~drop:(-1) in
+  let before_projected = G.copy graph in
+  let order =
+    Array.append (Array.map map o.Overlay.order) [| p |]
+  in
+  let pos = Array.make (size + 1) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let cut = 1e-7 *. o.Overlay.rate in
+  ignore (refill new_inst graph ~pos ~r:p ~deficit:o.Overlay.rate ~cut);
+  finish ~before_projected ~touched:0
+    { Overlay.instance = new_inst; rate = o.Overlay.rate; order; graph }
+
+let rebuild (o : Overlay.t) =
+  let rebuilt = Overlay.build o.Overlay.instance in
+  let edges = Overlay.edge_distance o.Overlay.graph rebuilt.Overlay.graph in
+  ( rebuilt,
+    {
+      patch_edges = edges;
+      rebuild_edges = edges;
+      rate_after = Overlay.verified_rate rebuilt;
+      optimal_after = rebuilt.Overlay.rate;
+    } )

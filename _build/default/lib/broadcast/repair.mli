@@ -1,0 +1,50 @@
+(** Local overlay repair under churn.
+
+    The paper's conclusion flags churn as the open problem of its approach
+    ("it is probably not resilient to churn"). This module implements the
+    natural local-repair strategy on the acyclic overlays built here and
+    quantifies the trade-off against a full rebuild:
+
+    - {!leave}: when a node departs, its upload responsibilities are
+      redistributed to earlier nodes with spare upload capacity (keeping
+      the scheme acyclic and firewall-safe) and its own reception is
+      dropped; nothing else moves. The repaired rate may be below the new
+      instance's optimum — the honest number is re-measured by max-flow.
+    - {!join}: a newcomer is appended last in the topological order and
+      fed from whatever spare capacity exists (guarded supply first if it
+      is open); its own upload stays idle until the next rebuild, so it
+      never degrades existing nodes.
+
+    Both operations touch [O(degree)] edges where a rebuild re-wires the
+    whole swarm; the churn experiment (E13) measures exactly this gap and
+    the throughput cost of patching versus rebuilding. *)
+
+type stats = {
+  patch_edges : int;  (** edge changes performed by the local repair *)
+  rebuild_edges : int;
+      (** edge changes a full re-optimization would have required *)
+  rate_after : float;  (** max-flow rate of the patched overlay *)
+  optimal_after : float;  (** optimal acyclic rate of the new instance *)
+}
+
+val leave : Overlay.t -> node:int -> Overlay.t * stats
+(** [leave o ~node] removes node [node] (an index in [o.instance], not the
+    source) and patches the overlay. The returned overlay is
+    {!Overlay.well_formed}; its [rate] field keeps the original target.
+    Raises [Invalid_argument] on the source, an out-of-range index, or
+    when the overlay has a single receiver left. *)
+
+val join :
+  Overlay.t ->
+  bandwidth:float ->
+  cls:Platform.Instance.node_class ->
+  Overlay.t * stats
+(** [join o ~bandwidth ~cls] inserts a new node of the given class. The
+    node is placed at its sorted position in the instance (so a later
+    rebuild sees a sorted instance) but fed last. Raises
+    [Invalid_argument] on negative bandwidth. *)
+
+val rebuild : Overlay.t -> Overlay.t * stats
+(** [rebuild o] re-runs the full Theorem 4.1 pipeline on [o.instance] —
+    the expensive alternative the patch operations are measured against.
+    [patch_edges = rebuild_edges] in the returned stats. *)

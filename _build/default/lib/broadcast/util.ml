@@ -1,0 +1,38 @@
+let eps = 1e-9
+
+let scale a b = Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let feq ?(eps = eps) a b = Float.abs (a -. b) <= eps *. scale a b
+let fle ?(eps = eps) a b = a -. b <= eps *. scale a b
+let flt ?(eps = eps) a b = b -. a > eps *. scale a b
+let fge ?eps a b = fle ?eps b a
+let fgt ?eps a b = flt ?eps b a
+let is_zero ?eps x = feq ?eps x 0.
+
+let ceil_ratio b t =
+  if t <= 0. then invalid_arg "Util.ceil_ratio: rate must be positive";
+  if b < 0. then invalid_arg "Util.ceil_ratio: bandwidth must be non-negative";
+  let q = b /. t in
+  int_of_float (Float.ceil (q -. (eps *. Float.max 1. q)))
+
+let prefix_sums b =
+  let k = Array.length b in
+  let ps = Array.make (k + 1) 0. in
+  for i = 0 to k - 1 do
+    ps.(i + 1) <- ps.(i) +. b.(i)
+  done;
+  ps
+
+let dichotomic_max ?(iterations = 100) ~lo ~hi feasible =
+  if hi < lo then invalid_arg "Util.dichotomic_max: empty interval";
+  if feasible hi then hi
+  else if not (feasible lo) then lo
+  else begin
+    (* Invariant: feasible lo, not (feasible hi). *)
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to iterations do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if feasible mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

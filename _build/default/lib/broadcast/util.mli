@@ -1,0 +1,44 @@
+(** Floating-point conventions shared by the broadcast algorithms.
+
+    Bandwidths and rates are floats; every feasibility comparison in this
+    library goes through the tolerant comparisons below with the library
+    default [eps = 1e-9] (relative to the magnitude of the operands). *)
+
+val eps : float
+(** Default tolerance, [1e-9]. Comparisons are relative above magnitude 1
+    and absolute below it, so bandwidths should be expressed at scales
+    between roughly [1e-3] and [1e9] (rescale units otherwise); far below
+    that, results degrade gracefully to ~0.1% accuracy. *)
+
+val feq : ?eps:float -> float -> float -> bool
+(** [feq a b] — equal up to [eps * max (1, |a|, |b|)]. *)
+
+val fle : ?eps:float -> float -> float -> bool
+(** [fle a b] — [a <= b] up to tolerance. *)
+
+val flt : ?eps:float -> float -> float -> bool
+(** [flt a b] — [a < b] strictly beyond tolerance. *)
+
+val fge : ?eps:float -> float -> float -> bool
+val fgt : ?eps:float -> float -> float -> bool
+
+val is_zero : ?eps:float -> float -> bool
+
+val ceil_ratio : float -> float -> int
+(** [ceil_ratio b t] is the degree lower bound [ceil (b / t)] of the paper,
+    computed tolerantly so that [b] within [eps] of an exact multiple of
+    [t] does not round up spuriously. Requires [t > 0] and [b >= 0].
+    [ceil_ratio 0 t = 0]. *)
+
+val prefix_sums : float array -> float array
+(** [prefix_sums b] has length [Array.length b + 1]:
+    [ps.(k) = b.(0) + ... + b.(k - 1)], so the paper's
+    [S_k = b_0 + ... + b_k] is [ps.(k + 1)]. *)
+
+val dichotomic_max :
+  ?iterations:int -> lo:float -> hi:float -> (float -> bool) -> float
+(** [dichotomic_max ~lo ~hi feasible] is the supremum of feasible values in
+    [\[lo, hi\]], assuming [feasible] is downward-closed (monotone). The
+    interval is bisected [iterations] times (default 100, enough to exhaust
+    double precision); if [feasible hi] holds, [hi] is returned, and if
+    [feasible lo] fails, [lo] is returned. *)

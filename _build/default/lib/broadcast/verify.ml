@@ -1,0 +1,59 @@
+open Platform
+
+type report = {
+  bandwidth_ok : bool;
+  firewall_ok : bool;
+  bin_ok : bool;
+  source_receives : bool;
+  acyclic : bool;
+  throughput : float;
+}
+
+let check ?(eps = Util.eps) inst g =
+  let size = Instance.size inst in
+  if Flowgraph.Graph.node_count g <> size then
+    invalid_arg "Verify.check: node count mismatch";
+  let b = inst.Instance.bandwidth in
+  let bandwidth_ok = ref true and firewall_ok = ref true in
+  for i = 0 to size - 1 do
+    if not (Util.fle ~eps (Flowgraph.Graph.out_weight g i) b.(i)) then
+      bandwidth_ok := false
+  done;
+  Flowgraph.Graph.iter_edges
+    (fun ~src ~dst _w ->
+      if Instance.is_guarded inst src && Instance.is_guarded inst dst then
+        firewall_ok := false)
+    g;
+  let bin_ok =
+    match inst.Instance.bin with
+    | None -> true
+    | Some caps ->
+      let ok = ref true in
+      for i = 0 to size - 1 do
+        if not (Util.fle ~eps (Flowgraph.Graph.in_weight g i) caps.(i)) then
+          ok := false
+      done;
+      !ok
+  in
+  let source_receives = Flowgraph.Graph.in_edges g 0 <> [] in
+  let acyclic = Flowgraph.Topo.is_acyclic g in
+  let throughput =
+    if size = 1 then infinity else Flowgraph.Maxflow.min_broadcast_flow g ~src:0
+  in
+  {
+    bandwidth_ok = !bandwidth_ok;
+    firewall_ok = !firewall_ok;
+    bin_ok;
+    source_receives;
+    acyclic;
+    throughput;
+  }
+
+let valid ?eps inst g =
+  let r = check ?eps inst g in
+  r.bandwidth_ok && r.firewall_ok && r.bin_ok
+
+let achieves ?eps inst g ~rate =
+  let r = check ?eps inst g in
+  r.bandwidth_ok && r.firewall_ok && r.bin_ok
+  && Util.fge ~eps:1e-6 r.throughput rate

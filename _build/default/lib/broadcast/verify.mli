@@ -1,0 +1,34 @@
+(** Verification oracle for broadcast schemes.
+
+    Independent of the constructions: checks a candidate scheme (a weighted
+    communication graph) against the paper's definition — bandwidth
+    constraints [sum_j c i j <= b i], firewall constraints
+    [c i j = 0 for i, j guarded], optional incoming caps, and throughput
+    [T = min_i maxflow (C0 -> Ci)] computed with the {!Flowgraph.Maxflow}
+    substrate. Every algorithm in this library is tested against this
+    oracle. *)
+
+type report = {
+  bandwidth_ok : bool;  (** no node exceeds its outgoing bandwidth *)
+  firewall_ok : bool;  (** no guarded-to-guarded edge *)
+  bin_ok : bool;  (** incoming caps respected ([true] when absent) *)
+  source_receives : bool;  (** [true] iff some edge enters the source (legal but wasteful) *)
+  acyclic : bool;
+  throughput : float;
+      (** [min over i >= 1 of maxflow (C0 -> Ci)]; [infinity] when the
+          instance has no receiver *)
+}
+
+val check : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> report
+(** [check inst g] evaluates all properties. [eps] is the constraint
+    tolerance (default {!Util.eps}), applied relatively. The graph must
+    have exactly [Instance.size inst] nodes. *)
+
+val valid : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> bool
+(** Structural validity only: bandwidth, firewall and incoming caps. *)
+
+val achieves :
+  ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> rate:float -> bool
+(** [achieves inst g ~rate] — structurally valid and throughput at least
+    [rate] (within a relative [1e-6] slack on the max-flow values, which
+    are themselves iterative float computations). *)

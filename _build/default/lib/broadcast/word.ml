@@ -1,0 +1,232 @@
+open Platform
+
+type t = Instance.node_class array
+
+let length = Array.length
+
+let count_open w =
+  Array.fold_left (fun k c -> if c = Instance.Open then k + 1 else k) 0 w
+
+let count_guarded w = length w - count_open w
+
+let of_string s =
+  Array.init (String.length s) (fun k ->
+      match s.[k] with
+      | 'o' | 'O' -> Instance.Open
+      | 'g' | 'G' -> Instance.Guarded
+      | c -> invalid_arg (Printf.sprintf "Word.of_string: bad letter %C" c))
+
+let to_string w =
+  String.init (length w) (fun k ->
+      match w.(k) with Instance.Open -> 'o' | Instance.Guarded -> 'g')
+
+let complete w inst =
+  count_open w = inst.Instance.n && count_guarded w = inst.Instance.m
+
+let to_order w inst =
+  if not (complete w inst) then invalid_arg "Word.to_order: incomplete word";
+  let order = Array.make (length w + 1) 0 in
+  let next_open = ref 1 and next_guarded = ref (inst.Instance.n + 1) in
+  Array.iteri
+    (fun k letter ->
+      match letter with
+      | Instance.Open ->
+        order.(k + 1) <- !next_open;
+        incr next_open
+      | Instance.Guarded ->
+        order.(k + 1) <- !next_guarded;
+        incr next_guarded)
+    w;
+  order
+
+type state = {
+  avail_open : float;
+  avail_guarded : float;
+  waste : float;
+  fed_open : int;
+  fed_guarded : int;
+}
+
+let initial_state inst =
+  {
+    avail_open = inst.Instance.bandwidth.(0);
+    avail_guarded = 0.;
+    waste = 0.;
+    fed_open = 0;
+    fed_guarded = 0;
+  }
+
+let step inst ~rate st letter =
+  let b = inst.Instance.bandwidth in
+  match letter with
+  | Instance.Guarded ->
+    if st.fed_guarded >= inst.Instance.m then
+      invalid_arg "Word.step: no guarded node left";
+    (* A guarded node is fed entirely from open bandwidth (firewall
+       constraint); its own bandwidth then becomes available as guarded
+       supply. *)
+    if not (Util.fge st.avail_open rate) then None
+    else
+      Some
+        {
+          st with
+          avail_open = st.avail_open -. rate;
+          avail_guarded =
+            st.avail_guarded +. b.(inst.Instance.n + st.fed_guarded + 1);
+          fed_guarded = st.fed_guarded + 1;
+        }
+  | Instance.Open ->
+    if st.fed_open >= inst.Instance.n then invalid_arg "Word.step: no open node left";
+    (* Conservative rule (Lemma 4.3): drain guarded supply first; the
+       shortfall comes from open supply and counts as waste W. *)
+    if not (Util.fge (st.avail_open +. st.avail_guarded) rate) then None
+    else begin
+      let from_open = Float.max 0. (rate -. st.avail_guarded) in
+      Some
+        {
+          avail_open = st.avail_open +. b.(st.fed_open + 1) -. from_open;
+          avail_guarded = Float.max 0. (st.avail_guarded -. rate);
+          waste = st.waste +. from_open;
+          fed_open = st.fed_open + 1;
+          fed_guarded = st.fed_guarded;
+        }
+    end
+
+let check_sorted inst =
+  if not (Instance.sorted inst) then invalid_arg "Word: instance must be sorted"
+
+let run inst ~rate w =
+  check_sorted inst;
+  if not (complete w inst) then invalid_arg "Word.run: incomplete word";
+  let rec go st k acc =
+    if k = length w then Some (List.rev acc)
+    else
+      match step inst ~rate st w.(k) with
+      | None -> None
+      | Some st' -> go st' (k + 1) (st' :: acc)
+  in
+  go (initial_state inst) 0 [ initial_state inst ]
+
+let feasible inst ~rate w =
+  check_sorted inst;
+  if not (complete w inst) then invalid_arg "Word.feasible: incomplete word";
+  let rec go st k =
+    k = length w
+    ||
+    match step inst ~rate st w.(k) with None -> false | Some st' -> go st' (k + 1)
+  in
+  go (initial_state inst) 0
+
+(* Closed form for an arbitrary receiver sequence. Unfolding
+   W(rho) = max (0, max over open-ending prefixes tau of
+                     i_tau * T - Bg(j_tau))
+   in the validity conditions O(rho) >= T (before a guarded letter) and
+   O(rho) + G(rho) >= T (before an open letter) turns every condition into
+   an upper bound on T of the form (bandwidth sum) / (integer). *)
+let sequence_throughput ~b0 receivers =
+  let best = ref infinity in
+  let consider num den = if den > 0 then best := Float.min !best (num /. float_of_int den) in
+  (* taus: list of (i_tau, Bg(j_tau)) for open-ending prefixes seen so far. *)
+  let rec go bo bg i j taus = function
+    | [] -> ()
+    | (cls, bw) :: rest -> begin
+      match cls with
+      | Instance.Guarded ->
+        (* O(rho) >= T with rho = current prefix:
+           b0 + Bo(i) - j T - W(rho) >= T. *)
+        consider (b0 +. bo) (j + 1);
+        List.iter (fun (i_tau, bg_tau) -> consider (b0 +. bo +. bg_tau) (1 + j + i_tau)) taus;
+        go bo (bg +. bw) i (j + 1) taus rest
+      | Instance.Open ->
+        (* O(rho) + G(rho) >= T: the W terms cancel. *)
+        consider (b0 +. bo +. bg) (i + j + 1);
+        go (bo +. bw) bg (i + 1) j ((i + 1, bg) :: taus) rest
+    end
+  in
+  go 0. 0. 0 0 [] receivers;
+  !best
+
+let receivers_of_word inst w =
+  let b = inst.Instance.bandwidth in
+  let next_open = ref 1 and next_guarded = ref (inst.Instance.n + 1) in
+  Array.to_list w
+  |> List.map (fun cls ->
+         match cls with
+         | Instance.Open ->
+           let bw = b.(!next_open) in
+           incr next_open;
+           (cls, bw)
+         | Instance.Guarded ->
+           let bw = b.(!next_guarded) in
+           incr next_guarded;
+           (cls, bw))
+
+let optimal_throughput_closed_form inst w =
+  check_sorted inst;
+  if not (complete w inst) then
+    invalid_arg "Word.optimal_throughput_closed_form: incomplete word";
+  sequence_throughput ~b0:inst.Instance.bandwidth.(0) (receivers_of_word inst w)
+
+let optimal_throughput inst w =
+  check_sorted inst;
+  if not (complete w inst) then invalid_arg "Word.optimal_throughput: incomplete word";
+  if length w = 0 then infinity
+  else begin
+    let hi = Bounds.cyclic_upper inst in
+    if hi <= 0. then 0.
+    else Util.dichotomic_max ~lo:0. ~hi (fun rate ->
+        rate <= 0. || feasible inst ~rate w)
+  end
+
+let omega1 ~n ~m =
+  if n < 0 || m < 0 then invalid_arg "Word.omega1";
+  if n = 0 then Array.make m Instance.Guarded
+  else begin
+    let body = ref [] in
+    for i = n downto 1 do
+      let ai = (i * m / n) - ((i - 1) * m / n) in
+      body := (Instance.Open :: List.init ai (fun _ -> Instance.Guarded)) @ !body
+    done;
+    Array.of_list !body
+  end
+
+let omega2 ~n ~m =
+  if n < 0 || m < 0 then invalid_arg "Word.omega2";
+  if m = 0 then Array.make n Instance.Open
+  else begin
+    let ceil_div a b = (a + b - 1) / b in
+    let body = ref [] in
+    for i = m downto 1 do
+      let bi = ceil_div (i * n) m - ceil_div ((i - 1) * n) m in
+      body := (Instance.Guarded :: List.init bi (fun _ -> Instance.Open)) @ !body
+    done;
+    Array.of_list !body
+  end
+
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let enumerate ~n ~m =
+  if n < 0 || m < 0 then invalid_arg "Word.enumerate";
+  if n + m > 50 || binomial (n + m) m > 2_000_000 then
+    invalid_arg "Word.enumerate: too many words";
+  let rec go n m =
+    if n = 0 && m = 0 then [ [] ]
+    else
+      let with_open =
+        if n > 0 then List.map (fun w -> Instance.Open :: w) (go (n - 1) m) else []
+      in
+      let with_guarded =
+        if m > 0 then List.map (fun w -> Instance.Guarded :: w) (go n (m - 1)) else []
+      in
+      with_open @ with_guarded
+  in
+  List.map Array.of_list (go n m)

@@ -1,0 +1,116 @@
+(** Encoding words for increasing acyclic orders (Section IV of the paper).
+
+    An increasing order — open nodes in non-increasing bandwidth order,
+    guarded nodes likewise — is encoded by a word over
+    {© = open, □ = guarded} stating the class of each successive node
+    (Lemma 4.2 shows increasing orders dominate). This module implements:
+
+    - the conservative-solution accounting [O(π)], [G(π)], [W(π)] of
+      Lemma 4.4 (open bandwidth available, guarded bandwidth available,
+      open-to-open transfer so far) and the per-step feasibility test;
+    - the optimal throughput [T*ac(π)] of a fixed word, both by dichotomic
+      search on the linear-time feasibility test and by an exact
+      closed-form (minimum over [O(len^2)] bandwidth-sum ratios, obtained
+      by unfolding the [max] in the definition of [W]);
+    - the canonical interleavings [omega1] and [omega2] from the proof of
+      Theorem 6.2, which balance guarded nodes among open nodes and are
+      near-optimal on average (Appendix XII, blue curves of Figure 19);
+    - exhaustive word enumeration, the oracle used to validate the greedy
+      algorithm on small instances.
+
+    Letters reuse {!Platform.Instance.node_class}: [Open] is ©, [Guarded]
+    is □. *)
+
+type t = Platform.Instance.node_class array
+
+val length : t -> int
+val count_open : t -> int
+val count_guarded : t -> int
+
+val of_string : string -> t
+(** Parse ['o']/['O'] as open and ['g']/['G'] as guarded; raises
+    [Invalid_argument] on other characters. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}, using ['o'] and ['g']. *)
+
+val complete : t -> Platform.Instance.t -> bool
+(** [complete w inst] holds when [w] has exactly [n] open and [m] guarded
+    letters. *)
+
+val to_order : t -> Platform.Instance.t -> int array
+(** [to_order w inst] is the node ordering [sigma] induced by [w] on a
+    sorted instance: an array of length [1 + n + m] starting with the
+    source [0], then the node index of each letter (the paper writes e.g.
+    [sigma = 031425] for [gogog] on Figure 1). Requires [complete w inst]. *)
+
+(** {1 Conservative-solution accounting (Lemma 4.4)} *)
+
+type state = {
+  avail_open : float;  (** [O(pi)]: open bandwidth still available *)
+  avail_guarded : float;  (** [G(pi)]: guarded bandwidth still available *)
+  waste : float;  (** [W(pi)]: open-to-open transfer performed so far *)
+  fed_open : int;  (** number of open letters consumed, [i] *)
+  fed_guarded : int;  (** number of guarded letters consumed, [j] *)
+}
+
+val initial_state : Platform.Instance.t -> state
+(** [O(eps) = b0], [G(eps) = 0], [W(eps) = 0]. *)
+
+val step :
+  Platform.Instance.t ->
+  rate:float ->
+  state ->
+  Platform.Instance.node_class ->
+  state option
+(** [step inst ~rate st letter] feeds the next node of the letter's class
+    at rate [rate] in a conservative partial solution, returning [None]
+    when infeasible: a guarded node needs [O(pi) >= rate] (it can only be
+    fed from open nodes); an open node needs [O(pi) + G(pi) >= rate] and
+    consumes guarded bandwidth first. Comparisons use {!Util} tolerance.
+    Requires an unconsumed node of that class to remain. *)
+
+val feasible : Platform.Instance.t -> rate:float -> t -> bool
+(** [feasible inst ~rate w] — the word admits a conservative acyclic
+    scheme of throughput [rate], i.e. [T*ac(w) >= rate]. Linear time.
+    Requires [complete w inst] and a sorted instance. *)
+
+val run : Platform.Instance.t -> rate:float -> t -> state list option
+(** Like {!feasible} but returns the full state trajectory (initial state
+    first), or [None] at the first infeasible step. *)
+
+(** {1 Optimal throughput of a word} *)
+
+val optimal_throughput : Platform.Instance.t -> t -> float
+(** [T*ac(w)] by dichotomic search over {!feasible} (100 bisections of
+    [\[0, cyclic_upper\]]). Requires [complete w inst], sorted. *)
+
+val optimal_throughput_closed_form : Platform.Instance.t -> t -> float
+(** Exact [T*ac(w)] as the minimum of the ratio family
+    [(b0 + Bo(i_rho)) / (j_rho + 1)],
+    [(b0 + Bo(i_rho) + Bg(j_tau)) / (1 + j_rho + i_tau)] over prefixes
+    [rho] followed by □ and open-ending prefixes [tau] of [rho], and
+    [(b0 + Bo(i_rho) + Bg(j_rho)) / (|rho| + 1)] over prefixes followed by
+    ©. Quadratic time; agrees with {!optimal_throughput} to tolerance. *)
+
+val sequence_throughput :
+  b0:float -> (Platform.Instance.node_class * float) list -> float
+(** Generalization of {!optimal_throughput_closed_form} to an arbitrary
+    sequence of (class, bandwidth) receivers — the order need not be
+    increasing. Used by the exhaustive-order oracle validating Lemma 4.2. *)
+
+(** {1 Canonical words} *)
+
+val omega1 : n:int -> m:int -> t
+(** [©□^a1 ©□^a2 ... ©□^an] with [ai = floor (i m / n) - floor ((i-1) m / n)]
+    (each open node followed by its balanced share of guarded nodes).
+    For [n = 0] this is [□^m]. *)
+
+val omega2 : n:int -> m:int -> t
+(** [□©^b1 □©^b2 ... □©^bm] with [bi = ceil (i n / m) - ceil ((i-1) n / m)].
+    For [m = 0] this is [©^n]. *)
+
+val enumerate : n:int -> m:int -> t list
+(** All [C(n+m, m)] words with [n] open and [m] guarded letters, in
+    lexicographic order (© < □). Intended for small instances; raises
+    [Invalid_argument] when the count exceeds [2_000_000]. *)

@@ -1,0 +1,1 @@
+lib/experiments/churn_repair.ml: Array Broadcast Float Format Instance List Platform Prng Stats Tab

@@ -1,0 +1,1 @@
+lib/experiments/cyclic_walkthrough.ml: Array Broadcast Format Instance List Platform String Tab

@@ -1,0 +1,1 @@
+lib/experiments/cyclic_walkthrough.mli: Format Platform

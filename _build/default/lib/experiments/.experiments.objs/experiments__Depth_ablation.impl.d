@@ -1,0 +1,1 @@
+lib/experiments/depth_ablation.ml: Broadcast Format List Massoulie Platform Prng Tab

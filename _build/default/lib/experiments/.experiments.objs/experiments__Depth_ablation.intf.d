@@ -1,0 +1,1 @@
+lib/experiments/depth_ablation.mli: Broadcast Format

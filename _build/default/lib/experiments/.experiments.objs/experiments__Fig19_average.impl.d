@@ -1,0 +1,1 @@
+lib/experiments/fig19_average.ml: Array Broadcast Float Format List Platform Prng Stats Tab

@@ -1,0 +1,1 @@
+lib/experiments/fig19_average.mli: Format Prng Stats

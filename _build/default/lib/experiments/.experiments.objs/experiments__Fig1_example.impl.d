@@ -1,0 +1,1 @@
+lib/experiments/fig1_example.ml: Array Broadcast Format Instance List Platform String Tab

@@ -1,0 +1,1 @@
+lib/experiments/fig1_example.mli: Broadcast Format

@@ -1,0 +1,1 @@
+lib/experiments/fig6_unbounded.ml: Broadcast Flowgraph Format List Tab

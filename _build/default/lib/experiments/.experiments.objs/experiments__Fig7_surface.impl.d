@@ -1,0 +1,1 @@
+lib/experiments/fig7_surface.ml: Array Broadcast Float Format Hashtbl Instance List Platform String Tab

@@ -1,0 +1,1 @@
+lib/experiments/fig8_hardness.ml: Array Broadcast Format Int64 List Prng Tab

@@ -1,0 +1,1 @@
+lib/experiments/jitter_resilience.ml: Broadcast Format List Massoulie Platform Prng Tab

@@ -1,0 +1,1 @@
+lib/experiments/jitter_resilience.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/lastmile_validation.ml: Array Broadcast Float Format Lastmile List Platform Prng Stats Tab

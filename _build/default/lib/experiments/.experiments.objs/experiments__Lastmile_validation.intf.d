@@ -1,0 +1,1 @@
+lib/experiments/lastmile_validation.mli: Format

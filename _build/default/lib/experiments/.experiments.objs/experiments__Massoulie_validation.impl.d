@@ -1,0 +1,1 @@
+lib/experiments/massoulie_validation.ml: Broadcast Format Instance List Massoulie Platform Prng Tab

@@ -1,0 +1,1 @@
+lib/experiments/massoulie_validation.mli: Flowgraph Format

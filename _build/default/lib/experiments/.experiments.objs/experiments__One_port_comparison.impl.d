@@ -1,0 +1,1 @@
+lib/experiments/one_port_comparison.ml: Array Broadcast Float Format Lastmile List Massoulie Option Platform Prng Tab

@@ -1,0 +1,1 @@
+lib/experiments/one_port_comparison.mli: Format Prng

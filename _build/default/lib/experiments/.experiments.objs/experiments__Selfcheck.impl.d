@@ -1,0 +1,1 @@
+lib/experiments/selfcheck.ml: Array Broadcast Float Format Generator Instance Lastmile List Massoulie Platform Printf Prng Rational Tab

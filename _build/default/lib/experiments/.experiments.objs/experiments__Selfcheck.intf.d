@@ -1,0 +1,1 @@
+lib/experiments/selfcheck.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/tab.ml: Array List Printf String

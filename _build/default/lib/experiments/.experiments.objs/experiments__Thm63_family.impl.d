@@ -1,0 +1,1 @@
+lib/experiments/thm63_family.ml: Broadcast Format List Platform Tab

@@ -1,0 +1,1 @@
+lib/experiments/thm63_family.mli: Format

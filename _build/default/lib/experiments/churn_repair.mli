@@ -1,0 +1,46 @@
+(** Experiment E13 (extension) — churn resilience, the open problem named
+    in the paper's conclusion.
+
+    A swarm of [nodes] peers suffers a sequence of random churn events
+    (each a departure with probability 1/2, otherwise an arrival drawn
+    from the same bandwidth distribution and class mix). After every event
+    the overlay is patched locally ({!Broadcast.Repair}) and compared to a
+    full re-optimization: edges touched (connection churn imposed on the
+    swarm) and achieved rate relative to the current target.
+
+    The decisive knob is {e headroom}: an overlay operated at the full
+    optimal rate uses every unit of upload, so a departure upstream cannot
+    be compensated — only nodes later in the topological order have spare
+    capacity, and they are unusable without creating cycles. Operating at
+    a fraction [headroom] of the optimum leaves every node slack that the
+    local repair can draw on. The experiment sweeps headroom and reports
+    how much target rate survives patching, how many connections a patch
+    touches versus a rebuild, and how often the threshold policy (rebuild
+    when the kept fraction drops below [rebuild_threshold]) fires. *)
+
+type summary = {
+  events : int;
+  headroom : float;
+  patch_edges_mean : float;  (** mean connection churn of a local patch *)
+  rebuild_edges_mean : float;  (** mean churn a full rebuild would cost *)
+  kept_mean : float;
+      (** mean (patched rate / current target), target = headroom * T*ac
+          of the post-event instance, capped at 1 *)
+  kept_min : float;
+  rebuilds : int;  (** rebuilds triggered by the threshold policy *)
+}
+
+val run :
+  ?nodes:int ->
+  ?events:int ->
+  ?p_open:float ->
+  ?headroom:float ->
+  ?rebuild_threshold:float ->
+  ?seed:int64 ->
+  unit ->
+  summary
+(** Defaults: 40 nodes, 30 events, [p_open = 0.7], headroom 0.9,
+    threshold 0.8, seed 101. *)
+
+val print : Format.formatter -> unit
+(** Sweeps headroom in {0.99, 0.9, 0.75} on a 40-node swarm. *)

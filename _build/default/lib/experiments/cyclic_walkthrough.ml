@@ -1,0 +1,70 @@
+open Platform
+
+type row = {
+  label : string;
+  bandwidths : float array;
+  t : float;
+  deficit_index : int option;
+  throughput : float;
+  acyclic : bool;
+  max_excess : int;
+  degree_bound_ok : bool;
+}
+
+let compute inst ~t ~label =
+  let scheme = Broadcast.Cyclic_open.build ~t inst in
+  let report = Broadcast.Verify.check inst scheme in
+  let degrees = Broadcast.Metrics.degree_report inst ~t scheme in
+  let bound_ok =
+    let ok = ref true in
+    Array.iteri
+      (fun i o ->
+        let bound =
+          max (Broadcast.Bounds.degree_lower_bound inst ~t i + 2) 4
+        in
+        if o > bound then ok := false)
+      degrees.Broadcast.Metrics.degrees;
+    !ok
+  in
+  {
+    label;
+    bandwidths = inst.Instance.bandwidth;
+    t;
+    deficit_index = Broadcast.Acyclic_open.first_deficit inst ~t;
+    throughput = report.Broadcast.Verify.throughput;
+    acyclic = report.Broadcast.Verify.acyclic;
+    max_excess = degrees.Broadcast.Metrics.max_excess;
+    degree_bound_ok = bound_ok;
+  }
+
+let examples () =
+  let fig11 = Instance.create ~bandwidth:[| 5.; 5.; 3.; 2. |] ~n:3 ~m:0 () in
+  let fig14 = Instance.create ~bandwidth:[| 5.; 5.; 4.; 4.; 4.; 3. |] ~n:5 ~m:0 () in
+  [
+    compute fig11 ~t:5. ~label:"Fig 11-12 (i0 = n)";
+    compute fig14 ~t:5. ~label:"Fig 14-17 (induction)";
+  ]
+
+let print fmt =
+  Format.pp_print_string fmt
+    (Tab.section "E7 - Figures 11-17: cyclic construction (Theorem 5.2)");
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.label;
+          String.concat ","
+            (Array.to_list (Array.map (Tab.fmt "%g") r.bandwidths));
+          Tab.fmt "%g" r.t;
+          (match r.deficit_index with None -> "-" | Some i -> string_of_int i);
+          Tab.fmt "%.4f" r.throughput;
+          string_of_bool (not r.acyclic);
+          string_of_int r.max_excess;
+          string_of_bool r.degree_bound_ok;
+        ])
+      (examples ())
+  in
+  Format.pp_print_string fmt
+    (Tab.render
+       ~header:[ "example"; "b"; "T"; "i0"; "maxflow T"; "cyclic?"; "max excess"; "deg ok" ]
+       rows)

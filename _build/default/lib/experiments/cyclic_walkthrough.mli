@@ -1,0 +1,25 @@
+(** Experiment E7 — Figures 11–17: the cyclic construction of Theorem 5.2.
+
+    Replays both worked examples of Appendix X:
+    - [b = (5, 5, 3, 2)], [T = 5] (Figures 11–12, the [i0 = n] case);
+    - [b = (5, 5, 4, 4, 4, 3)], [T = 5] (Figures 14–17, initial case plus
+      one inductive step);
+    and checks the constructed schemes with the max-flow oracle and the
+    degree bound [max (ceil (b i / T) + 2, 4)]. *)
+
+type row = {
+  label : string;
+  bandwidths : float array;
+  t : float;
+  deficit_index : int option;  (** the paper's [i0] *)
+  throughput : float;  (** verified by max-flow *)
+  acyclic : bool;  (** whether the result needed no cycle *)
+  max_excess : int;
+  degree_bound_ok : bool;
+}
+
+val examples : unit -> row list
+
+val compute : Platform.Instance.t -> t:float -> label:string -> row
+
+val print : Format.formatter -> unit

@@ -1,0 +1,19 @@
+(** Experiment E14 (extension/ablation) — depth versus throughput versus
+    degree, the delay-minimization direction of the paper's conclusion.
+
+    On one platform, for several target-rate fractions of [T*ac], build
+    the Lemma 4.6 earliest-sender scheme and the min-depth variant
+    ({!Broadcast.Depth}) from the same witness word, and compare overlay
+    depth, degree excess, and the playout lag measured by the randomized
+    transport simulator in streaming mode. *)
+
+type row = {
+  point : Broadcast.Depth.tradeoff_point;
+  fifo_lag : float;  (** streaming lag of the FIFO scheme, chunk-times *)
+  min_depth_lag : float;  (** streaming lag of the min-depth scheme *)
+}
+
+val compute :
+  ?nodes:int -> ?fractions:float list -> ?seed:int64 -> unit -> row list
+
+val print : Format.formatter -> unit

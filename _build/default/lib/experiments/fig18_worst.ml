@@ -1,0 +1,59 @@
+type row = {
+  epsilon : float;
+  sigma1 : float;
+  sigma2 : float;
+  sigma1_measured : float;
+  sigma2_measured : float;
+  acyclic : float;
+  ratio : float;
+}
+
+let compute ~epsilon =
+  let inst = Broadcast.Ratio.five_sevenths_instance ~epsilon in
+  let c = Broadcast.Ratio.compare_instance inst in
+  (* sigma1 = 0123 (open node first), sigma2 = 0213 (guarded first). *)
+  let sigma1_measured = Broadcast.Exact.order_throughput inst [| 1; 2; 3 |] in
+  let sigma2_measured = Broadcast.Exact.order_throughput inst [| 2; 1; 3 |] in
+  {
+    epsilon;
+    sigma1 = Broadcast.Ratio.sigma1_throughput ~epsilon;
+    sigma2 = Broadcast.Ratio.sigma2_throughput ~epsilon;
+    sigma1_measured;
+    sigma2_measured;
+    acyclic = c.Broadcast.Ratio.acyclic;
+    ratio = Broadcast.Ratio.ratio c;
+  }
+
+let default_epsilons =
+  [ 0.01; 0.03; 0.05; 1. /. 14.; 0.09; 0.12; 0.2; 0.3 ]
+
+let print ?(epsilons = default_epsilons) fmt =
+  Format.pp_print_string fmt
+    (Tab.section "E8 - Figure 18 / Theorem 6.2: the 5/7 gadget");
+  let rows =
+    List.map
+      (fun epsilon ->
+        let r = compute ~epsilon in
+        [
+          Tab.fmt "%.5f" r.epsilon;
+          Tab.fmt "%.5f" r.sigma1;
+          Tab.fmt "%.5f" r.sigma1_measured;
+          Tab.fmt "%.5f" r.sigma2;
+          Tab.fmt "%.5f" r.sigma2_measured;
+          Tab.fmt "%.5f" r.acyclic;
+          Tab.fmt "%.5f" r.ratio;
+          (if Float.abs (epsilon -. (1. /. 14.)) < 1e-12 then "<- tight (5/7)"
+           else "");
+        ])
+      epsilons
+  in
+  Format.pp_print_string fmt
+    (Tab.render
+       ~header:
+         [
+           "epsilon"; "sigma1 (closed)"; "sigma1 (meas)"; "sigma2 (closed)";
+           "sigma2 (meas)"; "T*ac"; "ratio"; "";
+         ]
+       rows);
+  Format.fprintf fmt "5/7 = %.6f; worst-case bound of Theorem 6.2 is tight.@."
+    (5. /. 7.)

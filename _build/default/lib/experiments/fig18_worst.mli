@@ -1,0 +1,23 @@
+(** Experiment E8 — Figure 18 / Theorem 6.2: the tight [5/7] gadget.
+
+    Sweeps [epsilon] over the gadget (source 1, open [1 + 2 eps], two
+    guarded [1/2 - eps]) and reports the closed-form throughputs of the
+    two orderings [sigma1 = 0123] and [sigma2 = 0213]
+    ([2/3 (1 + eps)] and [3/4 - eps/2]), the greedy optimum, and the
+    acyclic/cyclic ratio. At [epsilon = 1/14] both orderings meet at
+    exactly [5/7]. *)
+
+type row = {
+  epsilon : float;
+  sigma1 : float;  (** closed form [2/3 (1 + eps)] *)
+  sigma2 : float;  (** closed form [3/4 - eps/2] *)
+  sigma1_measured : float;  (** [Exact.order_throughput] on [0123] *)
+  sigma2_measured : float;  (** [Exact.order_throughput] on [0213] *)
+  acyclic : float;  (** greedy optimum *)
+  ratio : float;  (** over the cyclic optimum [1] *)
+}
+
+val compute : epsilon:float -> row
+
+val print : ?epsilons:float list -> Format.formatter -> unit
+(** Default sweep includes the tight point [1/14]. *)

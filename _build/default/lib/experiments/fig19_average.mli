@@ -1,0 +1,50 @@
+(** Experiment E10 — Figure 19 / Appendix XII: average-case ratio between
+    acyclic and cyclic throughput on random instances.
+
+    Protocol (paper's): for each bandwidth distribution (Unif100, Power1,
+    Power2, LN1, LN2, PLab), each instance size [n] and each open-node
+    probability [p], draw [replicates] instances whose source bandwidth is
+    pinned to the cyclic optimum ({!Platform.Generator}), and record three
+    normalized throughputs:
+    - the optimal acyclic throughput (black boxplots in the paper);
+    - the best of the two canonical words [omega1]/[omega2] (blue lines);
+    - the single proof word of Theorem 6.2's case analysis (red lines).
+
+    The paper's findings to check against: mean ratios within 5% of 1
+    across all scenarios, more spread for small [n] and heavy tails, and
+    [omega]-words nearly matching the optimum at large [n]. *)
+
+type cell = {
+  dist_name : string;
+  n : int;
+  p : float;
+  acyclic : Stats.five_numbers;
+  acyclic_mean : float;
+  omega_mean : float;
+  proof_mean : float;
+}
+
+type config = {
+  dists : (string * Prng.Dist.t) list;
+  ns : int list;
+  ps : float list;
+  replicates : int;
+  seed : int64;
+}
+
+val default_config : config
+(** Paper's six distributions, [ns = [10; 100; 1000]],
+    [ps = [0.1; 0.5; 0.7; 0.9]], 100 replicates, seed 2010. The paper uses
+    1000 replicates; pass a custom config to match exactly. *)
+
+val quick_config : config
+(** Trimmed grid for smoke runs: [ns = [10; 50]], [ps = [0.5; 0.9]],
+    30 replicates, three distributions. *)
+
+val compute_cell :
+  dist:Prng.Dist.t -> name:string -> n:int -> p:float -> replicates:int ->
+  seed:int64 -> cell
+
+val compute : config -> cell list
+
+val print : ?config:config -> Format.formatter -> unit

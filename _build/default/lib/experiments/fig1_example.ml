@@ -1,0 +1,70 @@
+open Platform
+
+type data = {
+  cyclic : float;
+  acyclic : float;
+  word : Broadcast.Word.t;
+  order : int array;
+  trace : Broadcast.Greedy.decision list;
+  scheme_throughput : float;
+  max_excess_open : int;
+  max_excess_guarded : int;
+}
+
+let compute () =
+  let inst = Instance.fig1 in
+  let cyclic = Broadcast.Bounds.cyclic_upper inst in
+  let acyclic, word = Broadcast.Greedy.optimal_acyclic inst in
+  let rate = 4.0 in
+  let trace =
+    match Broadcast.Greedy.test_trace inst ~rate with
+    | Some _, trace -> trace
+    | None, _ -> failwith "Fig1_example: T = 4 should be feasible"
+  in
+  let scheme = Broadcast.Low_degree.build inst ~rate word in
+  let report = Broadcast.Verify.check inst scheme in
+  let degrees = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+  {
+    cyclic;
+    acyclic;
+    word;
+    order = Broadcast.Word.to_order word inst;
+    trace;
+    scheme_throughput = report.Broadcast.Verify.throughput;
+    max_excess_open = degrees.Broadcast.Metrics.max_excess_open;
+    max_excess_guarded = degrees.Broadcast.Metrics.max_excess_guarded;
+  }
+
+let print fmt =
+  let d = compute () in
+  Format.pp_print_string fmt (Tab.section "E1/E2 - Figure 1 instance & Table I");
+  Format.fprintf fmt "instance: %a@." Instance.pp Instance.fig1;
+  Format.fprintf fmt "optimal cyclic throughput T* (Lemma 5.1)   : %.4f  (paper: 4.4)@."
+    d.cyclic;
+  Format.fprintf fmt "optimal acyclic throughput T*ac (Thm 4.1)  : %.4f  (paper: 4)@."
+    d.acyclic;
+  Format.fprintf fmt "greedy word at T = 4                       : %s  (paper: order 031425)@."
+    (Broadcast.Word.to_string d.word);
+  Format.fprintf fmt "induced order sigma                        : %s@."
+    (String.concat "" (Array.to_list (Array.map string_of_int d.order)));
+  let rows =
+    List.map
+      (fun dec ->
+        let s = dec.Broadcast.Greedy.state in
+        [
+          (match dec.Broadcast.Greedy.letter with
+          | Instance.Open -> "O (open)"
+          | Instance.Guarded -> "G (guarded)");
+          Tab.fmt "%g" s.Broadcast.Word.avail_open;
+          Tab.fmt "%g" s.Broadcast.Word.avail_guarded;
+          Tab.fmt "%g" s.Broadcast.Word.waste;
+        ])
+      d.trace
+  in
+  Format.pp_print_string fmt "\nTable I - execution of Algorithm 2 at T = 4\n";
+  Format.pp_print_string fmt
+    (Tab.render ~header:[ "letter"; "O(pi)"; "G(pi)"; "W(pi)" ] rows);
+  Format.pp_print_string fmt
+    "(paper row:           O: 2 7 3 5 1 | G: 4 0 1 0 1 | W: 0 0 0 3 3)\n";
+  Format.fprintf fmt "@.low-degree scheme: max-flow throughput %.4f; degree excess open <= %d (bound 3), guarded <= %d (bound 1)@."
+    d.scheme_throughput d.max_excess_open d.max_excess_guarded

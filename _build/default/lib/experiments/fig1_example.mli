@@ -1,0 +1,30 @@
+(** Experiment E1/E2/E3 — the paper's running example (Figures 1–5 and
+    Table I).
+
+    Reproduces, on the Figure 1 instance (source 6, open 5/5, guarded
+    4/1/1):
+    - the optimal cyclic throughput [min (6, 16/3, 22/5) = 4.4]
+      (Lemma 5.1);
+    - the optimal acyclic throughput [4] with the word/order of Figure 5
+      ([sigma = 031425]);
+    - Table I — the [O(pi)], [G(pi)], [W(pi)] trace of Algorithm 2 at
+      [T = 4];
+    - the low-degree scheme of Lemma 4.6 with its verified throughput and
+      degree excesses;
+    - Algorithm 1 on an open-only variant (Figure 3's mechanics). *)
+
+type data = {
+  cyclic : float;  (** expected 4.4 *)
+  acyclic : float;  (** expected 4.0 *)
+  word : Broadcast.Word.t;  (** expected [gogog] *)
+  order : int array;  (** expected [|0;3;1;4;2;5|] *)
+  trace : Broadcast.Greedy.decision list;  (** Table I *)
+  scheme_throughput : float;  (** verified by max-flow, expected 4.0 *)
+  max_excess_open : int;  (** Lemma 4.6 bound: 3 *)
+  max_excess_guarded : int;  (** Lemma 4.6 bound: 1 *)
+}
+
+val compute : unit -> data
+
+val print : Format.formatter -> unit
+(** Renders the full report, including the Table I reproduction. *)

@@ -1,0 +1,23 @@
+(** Experiment E4 — Figure 6: with guarded nodes, optimal cyclic schemes
+    may need arbitrarily large degrees.
+
+    For each [m], builds the gadget (source 1, one open node [m - 1], [m]
+    guarded nodes [1/m]), the handcrafted optimal scheme, and reports the
+    verified throughput, the source's outdegree [m] against its lower
+    bound [ceil (b0 / T) = 1], and — for contrast — the throughput and
+    degrees of the best low-degree acyclic scheme. *)
+
+type row = {
+  m : int;
+  cyclic : float;  (** expected 1 *)
+  scheme_throughput : float;  (** verified, expected 1 *)
+  source_degree : int;  (** expected m *)
+  degree_bound : int;  (** expected 1 *)
+  acyclic : float;  (** optimal acyclic throughput of the gadget *)
+  acyclic_source_degree : int;  (** source degree of the low-degree scheme *)
+}
+
+val compute : m:int -> row
+
+val print : ?ms:int list -> Format.formatter -> unit
+(** Default [ms = [2; 4; 8; 16; 32; 64]]. *)

@@ -1,0 +1,97 @@
+open Platform
+
+type cell = {
+  n : int;
+  m : int;
+  ratio : float;
+  worst_delta : float;
+}
+
+type surface = {
+  cells : cell list;
+  global_min : cell;
+}
+
+let delta_samples ~n ~m =
+  let nf = float_of_int n in
+  let candidates =
+    [ 0.; nf /. 4.; nf /. 2.; 3. *. nf /. 4.; nf ]
+    (* o = 1 crossover: (m - 1 + delta) / n = 1. *)
+    @ [ nf -. float_of_int m +. 1. ]
+  in
+  List.sort_uniq Float.compare
+    (List.filter (fun d -> d >= 0. && d <= nf) candidates)
+
+let compute_cell ~n ~m =
+  let worst = ref infinity and worst_delta = ref 0. in
+  List.iter
+    (fun delta ->
+      let inst = Instance.tight_homogeneous ~n ~m ~delta in
+      let t_ac, _ = Broadcast.Greedy.optimal_acyclic inst in
+      let t_star = Broadcast.Bounds.cyclic_upper inst in
+      let ratio = t_ac /. t_star in
+      if ratio < !worst then begin
+        worst := ratio;
+        worst_delta := delta
+      end)
+    (delta_samples ~n ~m);
+  { n; m; ratio = !worst; worst_delta = !worst_delta }
+
+(* Small sizes first (where the 5/7 corner lives), then every fifth value
+   up to 100 as in the paper's plot. *)
+let default_axis = [ 1; 2; 3; 4 ] @ List.init 20 (fun k -> 5 * (k + 1))
+
+let compute ?(ns = default_axis) ?(ms = default_axis) () =
+  let cells =
+    List.concat_map (fun n -> List.map (fun m -> compute_cell ~n ~m) ms) ns
+  in
+  match cells with
+  | [] -> invalid_arg "Fig7_surface.compute: empty grid"
+  | first :: _ ->
+    let global_min =
+      List.fold_left (fun acc c -> if c.ratio < acc.ratio then c else acc) first cells
+    in
+    { cells; global_min }
+
+(* Character ramp for the ASCII heat map: '#' is near 1, '.' near 5/7. *)
+let glyph ratio =
+  let ramp = [| '.'; ':'; '-'; '='; '+'; '*'; '%'; '#' |] in
+  let lo = 5. /. 7. and hi = 1. in
+  let pos = (ratio -. lo) /. (hi -. lo) in
+  let idx = int_of_float (pos *. float_of_int (Array.length ramp - 1)) in
+  ramp.(max 0 (min (Array.length ramp - 1) idx))
+
+let print ?(ns = default_axis) ?(ms = default_axis) fmt =
+  Format.pp_print_string fmt
+    (Tab.section "E5 - Figure 7: ratio surface on tight homogeneous instances");
+  let surface = compute ~ns ~ms () in
+  let lookup =
+    let tbl = Hashtbl.create 512 in
+    List.iter (fun c -> Hashtbl.replace tbl (c.n, c.m) c) surface.cells;
+    fun n m -> Hashtbl.find tbl (n, m)
+  in
+  Format.fprintf fmt "T*ac / T* heat map ('#' ~ 1.0, '.' ~ 5/7 = %.4f):@." (5. /. 7.);
+  Format.fprintf fmt "        m -> %s@."
+    (String.concat " " (List.map (Tab.fmt "%3d") ms));
+  List.iter
+    (fun n ->
+      let line =
+        String.concat ""
+          (List.map (fun m -> Tab.fmt "  %c " (glyph (lookup n m).ratio)) ms)
+      in
+      Format.fprintf fmt "n = %3d      %s@." n line)
+    ns;
+  let g = surface.global_min in
+  Format.fprintf fmt
+    "@.global minimum: ratio %.5f at n = %d, m = %d (delta = %.2f); m/n = %.4f \
+     (Theorem 6.3 valley at %.4f)@."
+    g.ratio g.n g.m g.worst_delta
+    (float_of_int g.m /. float_of_int g.n)
+    Broadcast.Ratio.sqrt41_alpha;
+  let below_08 =
+    List.length (List.filter (fun c -> c.ratio < 0.8) surface.cells)
+  in
+  Format.fprintf fmt
+    "cells below 0.8: %d / %d (paper: ratio > 0.8 except for few small/valley \
+     instances)@."
+    below_08 (List.length surface.cells)

@@ -1,0 +1,34 @@
+(** Experiment E5 — Figure 7: worst-case acyclic/cyclic ratio over tight
+    homogeneous instances.
+
+    A tight homogeneous instance (Theorem 6.2's proof) has [b0 = T* = 1],
+    [n] open nodes of bandwidth [(m - 1 + delta) / n] and [m] guarded
+    nodes of bandwidth [(n - delta) / m] for some [delta] in [\[0, n\]].
+    For each [(n, m)] on a grid the driver minimizes [T*ac] over a set of
+    [delta] samples (the interval endpoints, the [o = 1] crossover that
+    splits the proof's case analysis, and quartile points) — reproducing
+    the ratio surface: a valley at [5/7] for tiny instances, a persistent
+    dip below 1 along [m ~ 0.4254 n] (Theorem 6.3), and ratios above 0.8
+    almost everywhere else. *)
+
+type cell = {
+  n : int;
+  m : int;
+  ratio : float;  (** worst [T*ac / T*] over the delta samples *)
+  worst_delta : float;
+}
+
+type surface = {
+  cells : cell list;
+  global_min : cell;
+}
+
+val delta_samples : n:int -> m:int -> float list
+
+val compute_cell : n:int -> m:int -> cell
+
+val compute : ?ns:int list -> ?ms:int list -> unit -> surface
+(** Default grids: [5, 10, ..., 100] on both axes. *)
+
+val print : ?ns:int list -> ?ms:int list -> Format.formatter -> unit
+(** Renders the surface as a coarse character map plus summary rows. *)

@@ -1,0 +1,26 @@
+(** Experiment E6 — Figure 8 / Theorem 3.1: the 3-PARTITION reduction.
+
+    Generates random YES instances of 3-PARTITION (by construction) and
+    random perturbed instances, runs the exact solver, and for solvable
+    ones builds the witness broadcast scheme on the reduction instance:
+    throughput exactly [T] with {e every} outdegree at the lower bound
+    [ceil (b i / T)] — the degree budget whose tightness makes the
+    problem NP-complete. *)
+
+type row = {
+  p : int;  (** number of triples *)
+  target : int;  (** triple sum [T] *)
+  solvable : bool;
+  scheme_ok : bool;
+      (** witness scheme built, verified at throughput [T] with zero
+          degree excess ([true] vacuously for unsolvable instances) *)
+}
+
+val yes_instance : p:int -> seed:int64 -> int array
+(** Random 3-PARTITION instance built from [p] hidden triples, each
+    summing to a common [T] with [T/4 < a_i < T/2] — guaranteed
+    solvable. *)
+
+val compute : int array -> row
+
+val print : ?seeds:int list -> ?p:int -> Format.formatter -> unit

@@ -1,0 +1,87 @@
+type row = {
+  noise : float;
+  rmse : float;
+  bout_median_rel_err : float;
+  throughput_true : float;
+  throughput_fitted : float;
+}
+
+let make_truth ~nodes rng =
+  (* Outgoing capacities from the PLab pool; incoming capacity 1-3x the
+     outgoing one (access links are usually download-favoured). *)
+  let bout =
+    Array.init nodes (fun _ -> Prng.Dist.sample Platform.Plab.dist rng)
+  in
+  let bin =
+    Array.map (fun b -> b *. (1. +. (2. *. Prng.Splitmix.next_float rng))) bout
+  in
+  { Lastmile.Model.bout; bin }
+
+let acyclic_of_model model ~p_guarded rng =
+  let nodes = Array.length model.Lastmile.Model.bout in
+  (* The best-provisioned node plays the source; others are guarded with
+     probability p_guarded. *)
+  let source = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b > model.Lastmile.Model.bout.(!source) then source := i)
+    model.Lastmile.Model.bout;
+  let guarded =
+    Array.init nodes (fun i ->
+        i <> !source && Prng.Splitmix.next_float rng < p_guarded)
+  in
+  let inst, _perm = Lastmile.Model.to_instance model ~source:!source ~guarded in
+  fst (Broadcast.Greedy.optimal_acyclic inst)
+
+let compute ?(nodes = 40) ?(p_guarded = 0.3) ~noise ~seed () =
+  let rng = Prng.Splitmix.create seed in
+  let truth = make_truth ~nodes rng in
+  let matrix = Lastmile.Model.synthetic_matrix ~noise truth rng in
+  let fitted = Lastmile.Model.fit matrix in
+  let rel_errs =
+    Array.mapi
+      (fun i b ->
+        Float.abs (fitted.Lastmile.Model.bout.(i) -. b) /. Float.max b 1e-9)
+      truth.Lastmile.Model.bout
+  in
+  (* The class assignment must match across the two pipelines, so reuse
+     one RNG stream per pipeline seeded identically. *)
+  let class_seed = Prng.Splitmix.next rng in
+  let t_true =
+    acyclic_of_model truth ~p_guarded (Prng.Splitmix.create class_seed)
+  in
+  let t_fitted =
+    acyclic_of_model fitted ~p_guarded (Prng.Splitmix.create class_seed)
+  in
+  {
+    noise;
+    rmse = Lastmile.Model.rmse fitted matrix;
+    bout_median_rel_err = Stats.quantile rel_errs 0.5;
+    throughput_true = t_true;
+    throughput_fitted = t_fitted;
+  }
+
+let print ?(noises = [ 0.; 0.05; 0.2; 0.5 ]) fmt =
+  Format.pp_print_string fmt
+    (Tab.section "E12 - LastMile model fitting (Bedibe substitute)");
+  let rows =
+    List.map
+      (fun noise ->
+        let r = compute ~noise ~seed:11L () in
+        [
+          Tab.fmt "%.2f" r.noise;
+          Tab.fmt "%.4f" r.rmse;
+          Tab.fmt "%.4f" r.bout_median_rel_err;
+          Tab.fmt "%.3f" r.throughput_true;
+          Tab.fmt "%.3f" r.throughput_fitted;
+        ])
+      noises
+  in
+  Format.pp_print_string fmt
+    (Tab.render
+       ~header:
+         [ "noise"; "fit RMSE"; "median |bout err|"; "T*ac (truth)"; "T*ac (fitted)" ]
+       rows);
+  Format.pp_print_string fmt
+    "Noise-free matrices are recovered exactly; moderate measurement noise\n\
+     perturbs the computed overlay throughput only marginally.\n"

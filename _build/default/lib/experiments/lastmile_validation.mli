@@ -1,0 +1,24 @@
+(** Experiment E12 — instantiating the LastMile model (the paper's Bedibe
+    step, Section II-C).
+
+    Ground-truth per-node capacities are drawn from the synthetic
+    PlanetLab pool; a full measurement matrix
+    [M i j = min (bout i) (bin j)] is synthesized with multiplicative
+    noise, the last-mile model is re-estimated from the matrix alone
+    ({!Lastmile.Model.fit}), and the recovered capacities feed the
+    broadcast pipeline. Reported per noise level: prediction RMSE,
+    median relative error on the out-capacities, and the acyclic
+    throughput computed on recovered versus true capacities. *)
+
+type row = {
+  noise : float;
+  rmse : float;  (** prediction RMSE of the fitted model *)
+  bout_median_rel_err : float;
+  throughput_true : float;  (** T*ac on the ground-truth capacities *)
+  throughput_fitted : float;  (** T*ac on the recovered capacities *)
+}
+
+val compute :
+  ?nodes:int -> ?p_guarded:float -> noise:float -> seed:int64 -> unit -> row
+
+val print : ?noises:float list -> Format.formatter -> unit

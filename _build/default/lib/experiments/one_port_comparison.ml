@@ -1,0 +1,114 @@
+type row = {
+  scenario : string;
+  heterogeneity : float;
+  one_port_rate : float;
+  multi_port_rate : float;
+  advantage : float;
+}
+
+let compute ?(nodes = 24) ?(chunks = 120) ?(seed = 31L) ?source_bout ~scenario ~dist () =
+  let rng = Prng.Splitmix.create seed in
+  (* Platform: heterogeneous uplinks; every downlink is a uniform multiple
+     of the median uplink (typical asymmetric access links). This is the
+     regime of the paper's motivating example: a fast server's uplink can
+     feed many moderate downlinks concurrently — unless the model forces
+     it to serve them one at a time. *)
+  let bout = Array.init (nodes + 1) (fun _ -> Prng.Dist.sample dist rng) in
+  (* A strong source, as in the paper's streaming scenarios. *)
+  bout.(0) <- Option.value ~default:(Array.fold_left Float.max 1. bout) source_bout;
+  let sorted = Array.copy bout in
+  Array.sort Float.compare sorted;
+  let median = sorted.(Array.length sorted / 2) in
+  let bin = Array.map (fun _ -> 4. *. median) bout in
+  let guarded =
+    Array.init (nodes + 1) (fun i -> i > 0 && Prng.Splitmix.next_float rng < 0.3)
+  in
+  (* One-port baseline. *)
+  let op =
+    Massoulie.One_port.simulate
+      ~config:{ Massoulie.One_port.default_config with chunks; seed = 7L }
+      ~bout ~bin ~guarded ()
+  in
+  (* Multi-port pipeline: overlay at the downlink-clipped optimal rate. *)
+  let model = { Lastmile.Model.bout; bin } in
+  let inst, _perm = Lastmile.Model.to_instance model ~source:0 ~guarded in
+  let t_ac, _ = Broadcast.Greedy.optimal_acyclic inst in
+  let min_bin = Array.fold_left Float.min infinity bin in
+  let rate = Float.min (t_ac *. (1. -. 1e-6)) min_bin in
+  let mp_rate =
+    match Broadcast.Greedy.test inst ~rate with
+    | None -> 0.
+    | Some word ->
+      let overlay = Broadcast.Low_degree.build inst ~rate word in
+      let sim =
+        Massoulie.Sim.simulate
+          ~config:
+            {
+              Massoulie.Sim.default_config with
+              chunks;
+              dedup_inflight = false;
+              seed = 7L;
+            }
+          overlay ~rate
+      in
+      if sim.Massoulie.Sim.delivered_all then
+        float_of_int chunks /. sim.Massoulie.Sim.completion_time
+      else 0.
+  in
+  let non_source = Array.sub bout 1 nodes in
+  let hi = Array.fold_left Float.max 0. non_source in
+  let lo = Array.fold_left Float.min infinity non_source in
+  {
+    scenario;
+    heterogeneity = (if lo > 0. then hi /. lo else infinity);
+    one_port_rate = op.Massoulie.One_port.achieved_rate;
+    multi_port_rate = mp_rate;
+    advantage =
+      (if op.Massoulie.One_port.achieved_rate > 0. then
+         mp_rate /. op.Massoulie.One_port.achieved_rate
+       else infinity);
+  }
+
+let print fmt =
+  Format.pp_print_string fmt
+    (Tab.section "E16 (extension) - bounded multi-port vs one-port baseline");
+  let rows =
+    List.map
+      (fun (scenario, dist) ->
+        let r = compute ~scenario ~dist () in
+        [
+          r.scenario;
+          Tab.fmt "%.0fx" r.heterogeneity;
+          Tab.fmt "%.2f" r.one_port_rate;
+          Tab.fmt "%.2f" r.multi_port_rate;
+          Tab.fmt "%.2fx" r.advantage;
+        ])
+      [
+        ("homogeneous", Prng.Dist.Uniform { lo = 50.; hi = 50.0001 });
+        ("Unif100", Prng.Dist.unif100);
+        ("PLab", Platform.Plab.dist);
+        ("Power2", Prng.Dist.power2);
+      ]
+    @ [ (let r =
+           (* The paper's own example: a server-class source uploading to
+              DSL peers. *)
+           compute ~scenario:"server+DSL" ~source_bout:1000.
+             ~dist:(Prng.Dist.Uniform { lo = 1.5; hi = 2.5 }) ()
+         in
+         [
+           r.scenario;
+           Tab.fmt "%.0fx" (1000. /. 2.);
+           Tab.fmt "%.2f" r.one_port_rate;
+           Tab.fmt "%.2f" r.multi_port_rate;
+           Tab.fmt "%.2fx" r.advantage;
+         ]) ]
+  in
+  Format.pp_print_string fmt
+    (Tab.render
+       ~header:
+         [ "scenario"; "heterogeneity"; "one-port rate"; "multi-port rate"; "advantage" ]
+       rows);
+  Format.pp_print_string fmt
+    "One-port is competitive on homogeneous platforms; under heterogeneity\n\
+     fast nodes serialize behind slow receivers and the bounded multi-port\n\
+     overlay pulls ahead — the paper's Section II-A motivation.\n"

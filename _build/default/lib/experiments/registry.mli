@@ -1,0 +1,18 @@
+(** Name-indexed registry of all experiment drivers, shared by the CLI and
+    the benchmark harness. *)
+
+type entry = {
+  name : string;  (** CLI identifier, e.g. ["fig7"] *)
+  paper_artifact : string;  (** e.g. ["Figure 7"] *)
+  description : string;
+  run : Format.formatter -> unit;  (** default-parameter run *)
+}
+
+val all : entry list
+(** In paper order. *)
+
+val find : string -> entry option
+
+val run_all : Format.formatter -> unit
+(** Runs every experiment with default parameters — the content of
+    EXPERIMENTS.md. *)

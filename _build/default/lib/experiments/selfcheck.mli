@@ -1,0 +1,20 @@
+(** Portable self-validation — `bmp selfcheck`.
+
+    A condensed, deterministic battery of cross-checks a user can run on
+    any installation without the development test harness: paper constants
+    (Figure 1, Table I, 5/7), oracle agreement (greedy vs exhaustive,
+    closed form vs simulation, float vs exact rationals), scheme validity
+    on random platforms (max-flow, degrees, firewall), and transport
+    delivery. Prints one line per check; returns the number of failures. *)
+
+type outcome = {
+  name : string;
+  passed : bool;
+  detail : string;  (** measured-vs-expected summary *)
+}
+
+val run_all : unit -> outcome list
+
+val print : Format.formatter -> int
+(** Runs everything, prints a PASS/FAIL line per check and a summary;
+    returns the failure count (0 = healthy). *)

@@ -1,0 +1,50 @@
+type five_numbers = {
+  min : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  max : float;
+}
+
+let check_non_empty xs =
+  if Array.length xs = 0 then invalid_arg "Stats: empty sample"
+
+let mean xs =
+  check_non_empty xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let std xs =
+  check_non_empty xs;
+  let mu = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. mu) ** 2.)) 0. xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let quantile xs p =
+  check_non_empty xs;
+  if p < 0. || p > 1. then invalid_arg "Stats.quantile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let k = Array.length sorted in
+  let pos = p *. float_of_int (k - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (k - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let five_numbers xs =
+  check_non_empty xs;
+  {
+    min = quantile xs 0.;
+    q25 = quantile xs 0.25;
+    median = quantile xs 0.5;
+    q75 = quantile xs 0.75;
+    max = quantile xs 1.;
+  }
+
+let pp_five fmt f =
+  Format.fprintf fmt "%.4f/%.4f/%.4f/%.4f/%.4f" f.min f.q25 f.median f.q75 f.max
+
+let fraction_below xs x =
+  check_non_empty xs;
+  let below = Array.fold_left (fun k v -> if v < x then k + 1 else k) 0 xs in
+  float_of_int below /. float_of_int (Array.length xs)

@@ -1,0 +1,27 @@
+(** Descriptive statistics for experiment outputs (Figure 19's boxplots). *)
+
+type five_numbers = {
+  min : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Requires a non-empty array. *)
+
+val std : float array -> float
+(** Population standard deviation; 0 for singletons. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] with linear interpolation, [p] in [\[0, 1\]]. The input
+    need not be sorted. Requires a non-empty array. *)
+
+val five_numbers : float array -> five_numbers
+
+val pp_five : Format.formatter -> five_numbers -> unit
+(** Renders as [min/q25/med/q75/max] with 4 digits. *)
+
+val fraction_below : float array -> float -> float
+(** [fraction_below xs x] — share of samples strictly below [x]. *)

@@ -1,0 +1,30 @@
+let fmt = Printf.sprintf
+
+let render ~header rows =
+  let cols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= cols then row else row @ List.init (cols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun c cell ->
+        if c < cols then widths.(c) <- max widths.(c) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let pad c cell = cell ^ String.make (widths.(c) - String.length cell) ' ' in
+  let line row =
+    String.concat "  " (List.mapi pad row) |> String.trim |> fun s -> s ^ "\n"
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+    ^ "\n"
+  in
+  line header ^ rule ^ String.concat "" (List.map line rows)
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  fmt "\n%s\n=== %s ===\n%s\n" bar title bar

@@ -1,0 +1,12 @@
+(** Minimal aligned ASCII tables for experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] pads every column to its widest cell and
+    separates the header with a dashed rule. Rows shorter than the header
+    are right-padded with empty cells. *)
+
+val fmt : ('a, unit, string) format -> 'a
+(** Alias of [Printf.sprintf] to keep call sites short. *)
+
+val section : string -> string
+(** A visually separated section banner. *)

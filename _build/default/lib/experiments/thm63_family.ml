@@ -1,0 +1,51 @@
+type row = {
+  k : int;
+  n : int;
+  m : int;
+  cyclic : float;
+  acyclic : float;
+  bound : float;
+  limit : float;
+}
+
+let limit = (1. +. sqrt 41.) /. 8.
+
+let compute ~k =
+  let inst, alpha = Broadcast.Ratio.sqrt41_instance ~k () in
+  let cyclic = Broadcast.Bounds.cyclic_upper inst in
+  let acyclic, _ = Broadcast.Greedy.optimal_acyclic inst in
+  {
+    k;
+    n = inst.Platform.Instance.n;
+    m = inst.Platform.Instance.m;
+    cyclic;
+    acyclic;
+    bound = Broadcast.Ratio.sqrt41_acyclic_upper ~alpha;
+    limit;
+  }
+
+let print ?(ks = [ 1; 2; 4; 8 ]) fmt =
+  Format.pp_print_string fmt
+    (Tab.section "E9 - Theorem 6.3: asymptotic gap (1+sqrt 41)/8");
+  let rows =
+    List.map
+      (fun k ->
+        let r = compute ~k in
+        [
+          string_of_int r.k;
+          string_of_int r.n;
+          string_of_int r.m;
+          Tab.fmt "%.4f" r.cyclic;
+          Tab.fmt "%.5f" r.acyclic;
+          Tab.fmt "%.5f" r.bound;
+          Tab.fmt "%.5f" r.limit;
+        ])
+      ks
+  in
+  Format.pp_print_string fmt
+    (Tab.render
+       ~header:[ "k"; "n"; "m"; "T*"; "T*ac"; "paper bound"; "(1+sqrt41)/8" ]
+       rows);
+  Format.pp_print_string fmt
+    "T*ac stays below the bound for every k: acyclic schemes cannot approach\n\
+     the cyclic optimum on this family, however large the instance.\n"

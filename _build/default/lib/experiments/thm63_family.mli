@@ -1,0 +1,23 @@
+(** Experiment E9 — Theorem 6.3: the acyclic gap does not vanish on large
+    instances.
+
+    The family [I(alpha, k)] (source 1, [k q] open nodes of bandwidth
+    [alpha = p/q ~ (sqrt 41 - 3) / 8], [k p] guarded nodes of bandwidth
+    [1/alpha]) has cyclic optimum [1] for every [k], while its acyclic
+    optimum stays below [(1 + sqrt 41) / 8 ~ 0.9254]. The driver sweeps
+    [k], measuring [T*ac] and checking it against the paper's per-family
+    upper bound [max (f_alpha(floor 1/alpha), g_alpha(ceil 1/alpha))]. *)
+
+type row = {
+  k : int;
+  n : int;
+  m : int;
+  cyclic : float;  (** expected 1 *)
+  acyclic : float;
+  bound : float;  (** the paper's upper bound on [T*ac] for this alpha *)
+  limit : float;  (** [(1 + sqrt 41) / 8] *)
+}
+
+val compute : k:int -> row
+
+val print : ?ks:int list -> Format.formatter -> unit

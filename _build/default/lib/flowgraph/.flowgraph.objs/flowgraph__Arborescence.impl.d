@@ -1,0 +1,1 @@
+lib/flowgraph/arborescence.ml: Array Float Graph List Topo

@@ -1,0 +1,1 @@
+lib/flowgraph/arborescence.mli: Graph

@@ -1,0 +1,1 @@
+lib/flowgraph/export.ml: Arborescence Array Buffer Graph List Printf

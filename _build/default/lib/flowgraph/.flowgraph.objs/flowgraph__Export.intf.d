@@ -1,0 +1,1 @@
+lib/flowgraph/export.mli: Arborescence Graph

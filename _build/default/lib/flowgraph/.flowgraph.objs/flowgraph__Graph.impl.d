@@ -1,0 +1,1 @@
+lib/flowgraph/graph.ml: Array Float Format Hashtbl List Option

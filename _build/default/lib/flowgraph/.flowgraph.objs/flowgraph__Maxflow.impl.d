@@ -1,0 +1,1 @@
+lib/flowgraph/maxflow.ml: Array Float Graph Hashtbl List Queue

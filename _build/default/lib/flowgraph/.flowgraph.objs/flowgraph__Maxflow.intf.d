@@ -1,0 +1,1 @@
+lib/flowgraph/maxflow.mli: Graph

@@ -1,0 +1,1 @@
+lib/flowgraph/topo.ml: Array Graph List

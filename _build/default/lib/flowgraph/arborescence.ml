@@ -1,0 +1,89 @@
+type tree = {
+  weight : float;
+  parent : int array;
+}
+
+let decompose ?(eps = 1e-6) g ~root =
+  if not (Topo.is_acyclic g) then
+    invalid_arg "Arborescence.decompose: graph has a cycle";
+  let k = Graph.node_count g in
+  if root < 0 || root >= k then invalid_arg "Arborescence.decompose: bad root";
+  (* Determine the common rate T and the set of receiving nodes. *)
+  let rate = ref None in
+  for v = 0 to k - 1 do
+    if v <> root then begin
+      let w = Graph.in_weight g v in
+      if w > eps then
+        match !rate with
+        | None -> rate := Some w
+        | Some t ->
+          if Float.abs (w -. t) > eps *. Float.max 1. t then
+            invalid_arg
+              "Arborescence.decompose: non-uniform in-weights (not a \
+               constant-rate scheme)"
+    end
+  done;
+  match !rate with
+  | None -> []
+  | Some t ->
+    let remaining = Graph.copy g in
+    let cutoff = eps *. Float.max 1. t in
+    let trees = ref [] in
+    let total = ref 0. in
+    while t -. !total > cutoff do
+      let parent = Array.make k (-1) in
+      let weight = ref (t -. !total) in
+      for v = 0 to k - 1 do
+        if v <> root && Graph.in_weight g v > eps then begin
+          (* Choose the heaviest remaining in-edge: a fair heuristic that
+             keeps the number of trees small. *)
+          let best = ref (-1) and best_w = ref 0. in
+          List.iter
+            (fun (u, w) ->
+              if w > !best_w then begin
+                best := u;
+                best_w := w
+              end)
+            (Graph.in_edges remaining v);
+          if !best < 0 then
+            invalid_arg
+              "Arborescence.decompose: a node ran out of incoming weight \
+               (in-weights below the common rate)";
+          parent.(v) <- !best;
+          weight := Float.min !weight !best_w
+        end
+      done;
+      Array.iteri
+        (fun v u -> if u >= 0 then Graph.add_edge remaining ~src:u ~dst:v (-. !weight))
+        parent;
+      trees := { weight = !weight; parent } :: !trees;
+      total := !total +. !weight
+    done;
+    List.rev !trees
+
+let recompose trees ~node_count =
+  let g = Graph.create node_count in
+  List.iter
+    (fun { weight; parent } ->
+      Array.iteri
+        (fun v u -> if u >= 0 then Graph.add_edge g ~src:u ~dst:v weight)
+        parent)
+    trees;
+  g
+
+let tree_depth { parent; _ } =
+  let k = Array.length parent in
+  let memo = Array.make k (-1) in
+  let rec depth v =
+    if memo.(v) >= 0 then memo.(v)
+    else begin
+      let d = if parent.(v) < 0 then 0 else 1 + depth parent.(v) in
+      memo.(v) <- d;
+      d
+    end
+  in
+  let best = ref 0 in
+  for v = 0 to k - 1 do
+    if parent.(v) >= 0 then best := max !best (depth v)
+  done;
+  !best

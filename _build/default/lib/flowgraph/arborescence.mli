@@ -1,0 +1,35 @@
+(** Decomposition of an acyclic broadcast scheme into weighted broadcast
+    trees.
+
+    The paper (Section II-C) notes that the weighted overlay "can be
+    decomposed into a set of weighted broadcast trees" (Schrijver, vol. B,
+    ch. 53), which specifies which data goes on which edge at each time
+    step. For the acyclic schemes produced by the algorithms in this
+    repository — where every non-source node receives flow at exactly the
+    target rate [T] — the decomposition is computed greedily: repeatedly
+    pick, for every non-source node, an incoming edge with remaining
+    weight; in a DAG these choices always form an arborescence rooted at
+    the source; peel off the minimum chosen weight and recurse. Each round
+    zeroes at least one edge, so at most [edge_count] trees are produced. *)
+
+type tree = {
+  weight : float;  (** rate carried by this tree *)
+  parent : int array;
+      (** [parent.(v)] is the node feeding [v] in this tree; [-1] for the
+          root (and for nodes outside the tree, which only happens if they
+          receive no flow at all). *)
+}
+
+val decompose : ?eps:float -> Graph.t -> root:int -> tree list
+(** [decompose g ~root] splits [g] into weighted arborescences covering all
+    nodes with positive in-weight. Requires [g] acyclic and every
+    non-[root] node's in-weight equal to the common rate [T] (within a
+    [eps]-relative check, default [1e-6]); raises [Invalid_argument]
+    otherwise. The returned weights sum to [T]. *)
+
+val recompose : tree list -> node_count:int -> Graph.t
+(** [recompose trees ~node_count] rebuilds the edge-weight graph implied by
+    the trees (inverse of {!decompose}, up to float accumulation). *)
+
+val tree_depth : tree -> int
+(** Longest root-to-leaf hop count of the tree. *)

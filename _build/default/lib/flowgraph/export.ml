@@ -1,0 +1,57 @@
+let sorted_edges g =
+  Graph.fold_edges (fun ~src ~dst w acc -> (src, dst, w) :: acc) g []
+  |> List.sort compare
+
+let to_dot ?(name = "overlay") ?(node_label = Printf.sprintf "C%d")
+    ?(node_class = fun _ -> None) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" name);
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontname=\"sans-serif\"];\n";
+  for v = 0 to Graph.node_count g - 1 do
+    let style =
+      match node_class v with
+      | Some "source" -> ", shape=doublecircle, style=filled, fillcolor=\"#ffd27f\""
+      | Some "open" -> ", shape=circle"
+      | Some "guarded" -> ", shape=box, style=filled, fillcolor=\"#d7e3f4\""
+      | Some _ | None -> ", shape=circle"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v (node_label v) style)
+  done;
+  List.iter
+    (fun (src, dst, w) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%.3g\"];\n" src dst w))
+    (sorted_edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_json g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\"nodes\": %d, \"edges\": [" (Graph.node_count g));
+  List.iteri
+    (fun i (src, dst, w) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"src\": %d, \"dst\": %d, \"rate\": %.12g}" src dst w))
+    (sorted_edges g);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let schedule_to_json trees =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"trees\": [";
+  List.iteri
+    (fun i tree ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"rate\": %.12g, \"parent\": [" tree.Arborescence.weight);
+      Array.iteri
+        (fun v p ->
+          if v > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (string_of_int p))
+        tree.Arborescence.parent;
+      Buffer.add_string buf "]}")
+    trees;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Export of communication graphs for external tooling.
+
+    A release-quality broadcast library must hand its overlays to other
+    systems: visualization (Graphviz), deployment (a JSON description of
+    which connections to open at which rate), and schedulers (the
+    broadcast-tree decomposition as an explicit edge/tree table). All
+    emitters are dependency-free string builders. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?node_class:(int -> string option) ->
+  Graph.t ->
+  string
+(** [to_dot g] renders a Graphviz digraph: one node per vertex (labelled by
+    [node_label], default ["C<i>"]) and one edge per positive-weight arc,
+    labelled with its rate. [node_class] may return a style class:
+    ["source"], ["open"], ["guarded"] get distinct shapes/colors, other
+    strings are ignored. *)
+
+val to_json : Graph.t -> string
+(** [to_json g] is a compact JSON object
+    [{"nodes": <count>, "edges": [{"src": i, "dst": j, "rate": w}, ...]}]
+    with edges sorted by [(src, dst)] for reproducible output. *)
+
+val schedule_to_json : Arborescence.tree list -> string
+(** Renders a tree decomposition as JSON:
+    [{"trees": [{"rate": w, "parent": [-1, 0, ...]}, ...]}] — the form a
+    block-scheduler consumes (tree [k] carries the byte ranges congruent
+    to its share of the rate). *)

@@ -1,0 +1,125 @@
+(* Adjacency is a hashtable per node keyed by destination. Graphs in this
+   project are sparse (a low-degree broadcast scheme has O(size) edges), so
+   hashtables beat dense matrices past a few hundred nodes while keeping
+   edge updates O(1). An inverse adjacency is maintained for in_* queries. *)
+
+type t = {
+  succ : (int, float) Hashtbl.t array;
+  pred : (int, float) Hashtbl.t array;
+  mutable edges : int;
+}
+
+let create k =
+  if k < 0 then invalid_arg "Graph.create: negative node count";
+  {
+    succ = Array.init k (fun _ -> Hashtbl.create 4);
+    pred = Array.init k (fun _ -> Hashtbl.create 4);
+    edges = 0;
+  }
+
+let node_count g = Array.length g.succ
+
+let edge_count g = g.edges
+
+let check_pair g ~src ~dst =
+  let k = node_count g in
+  if src < 0 || src >= k || dst < 0 || dst >= k then
+    invalid_arg "Graph: node out of range";
+  if src = dst then invalid_arg "Graph: self loop"
+
+let set_edge g ~src ~dst w =
+  check_pair g ~src ~dst;
+  if Float.is_nan w then invalid_arg "Graph: NaN weight";
+  let existed = Hashtbl.mem g.succ.(src) dst in
+  if w > 0. then begin
+    Hashtbl.replace g.succ.(src) dst w;
+    Hashtbl.replace g.pred.(dst) src w;
+    if not existed then g.edges <- g.edges + 1
+  end
+  else if existed then begin
+    Hashtbl.remove g.succ.(src) dst;
+    Hashtbl.remove g.pred.(dst) src;
+    g.edges <- g.edges - 1
+  end
+
+let edge_weight g ~src ~dst =
+  check_pair g ~src ~dst;
+  Option.value ~default:0. (Hashtbl.find_opt g.succ.(src) dst)
+
+let add_edge g ~src ~dst w =
+  set_edge g ~src ~dst (edge_weight g ~src ~dst +. w)
+
+let out_edges g i =
+  Hashtbl.fold (fun dst w acc -> (dst, w) :: acc) g.succ.(i) []
+
+let in_edges g i =
+  Hashtbl.fold (fun src w acc -> (src, w) :: acc) g.pred.(i) []
+
+let out_degree g i = Hashtbl.length g.succ.(i)
+
+let sum_weights tbl = Hashtbl.fold (fun _ w acc -> acc +. w) tbl 0.
+
+let out_weight g i = sum_weights g.succ.(i)
+let in_weight g i = sum_weights g.pred.(i)
+
+let iter_edges f g =
+  Array.iteri
+    (fun src tbl -> Hashtbl.iter (fun dst w -> f ~src ~dst w) tbl)
+    g.succ
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun ~src ~dst w -> acc := f ~src ~dst w !acc) g;
+  !acc
+
+let copy g =
+  let g' = create (node_count g) in
+  iter_edges (fun ~src ~dst w -> set_edge g' ~src ~dst w) g;
+  g'
+
+let scale g f =
+  if f < 0. then invalid_arg "Graph.scale: negative factor";
+  let g' = create (node_count g) in
+  iter_edges (fun ~src ~dst w -> set_edge g' ~src ~dst (w *. f)) g;
+  g'
+
+let of_matrix c =
+  let k = Array.length c in
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Graph.of_matrix: not square")
+    c;
+  let g = create k in
+  for i = 0 to k - 1 do
+    if c.(i).(i) > 0. then invalid_arg "Graph.of_matrix: positive diagonal";
+    for j = 0 to k - 1 do
+      if i <> j && c.(i).(j) > 0. then set_edge g ~src:i ~dst:j c.(i).(j)
+    done
+  done;
+  g
+
+let to_matrix g =
+  let k = node_count g in
+  let c = Array.make_matrix k k 0. in
+  iter_edges (fun ~src ~dst w -> c.(src).(dst) <- w) g;
+  c
+
+let equal ?(eps = 1e-9) a b =
+  node_count a = node_count b
+  && fold_edges
+       (fun ~src ~dst w ok -> ok && Float.abs (edge_weight b ~src ~dst -. w) <= eps)
+       a true
+  && fold_edges
+       (fun ~src ~dst w ok -> ok && Float.abs (edge_weight a ~src ~dst -. w) <= eps)
+       b true
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph %d nodes, %d edges" (node_count g) (edge_count g);
+  for i = 0 to node_count g - 1 do
+    let outs = List.sort compare (out_edges g i) in
+    if outs <> [] then begin
+      Format.fprintf fmt "@,%d ->" i;
+      List.iter (fun (j, w) -> Format.fprintf fmt " %d:%g" j w) outs
+    end
+  done;
+  Format.fprintf fmt "@]"

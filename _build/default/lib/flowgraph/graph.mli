@@ -1,0 +1,67 @@
+(** Directed graphs with non-negative float edge weights, over a fixed node
+    set [0 .. node_count - 1].
+
+    This is the communication-graph substrate shared by the broadcast
+    schemes (edge weight = allocated rate [c i j]), the max-flow
+    verification oracle and the arborescence decomposition. Parallel edges
+    are merged by accumulation; edges whose weight drops to (or below) zero
+    are dropped. *)
+
+type t
+
+val create : int -> t
+(** [create k] is the empty graph on [k] nodes. Requires [k >= 0]. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+(** Number of edges with strictly positive weight. *)
+
+val add_edge : t -> src:int -> dst:int -> float -> unit
+(** [add_edge g ~src ~dst w] adds [w] to the weight of edge [src -> dst]
+    (creating it if absent; removing it if the result is [<= 0]). Self
+    loops are rejected. Raises [Invalid_argument] on out-of-range nodes,
+    self loops, or NaN weight. *)
+
+val set_edge : t -> src:int -> dst:int -> float -> unit
+(** [set_edge g ~src ~dst w] sets the weight to exactly [w] ([<= 0] removes
+    the edge). *)
+
+val edge_weight : t -> src:int -> dst:int -> float
+(** Weight of the edge, [0.] if absent. *)
+
+val out_edges : t -> int -> (int * float) list
+(** [(dst, weight)] pairs with positive weight, in unspecified order. *)
+
+val in_edges : t -> int -> (int * float) list
+(** [(src, weight)] pairs with positive weight, in unspecified order. *)
+
+val out_degree : t -> int -> int
+(** Number of positive-weight out-edges — the paper's [o i]. *)
+
+val out_weight : t -> int -> float
+(** Total weight leaving a node — must satisfy [out_weight g i <= b i] in a
+    valid broadcast scheme. *)
+
+val in_weight : t -> int -> float
+(** Total weight entering a node. *)
+
+val iter_edges : (src:int -> dst:int -> float -> unit) -> t -> unit
+
+val fold_edges : (src:int -> dst:int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val copy : t -> t
+
+val scale : t -> float -> t
+(** [scale g f] multiplies every weight by [f >= 0]. *)
+
+val of_matrix : float array array -> t
+(** Dense adjacency matrix [c.(i).(j)]; non-positive entries are absent
+    edges. The matrix must be square; the diagonal must be [<= 0]. *)
+
+val to_matrix : t -> float array array
+
+val equal : ?eps:float -> t -> t -> bool
+(** Edge-set equality up to [eps] (default [1e-9]) per edge weight. *)
+
+val pp : Format.formatter -> t -> unit

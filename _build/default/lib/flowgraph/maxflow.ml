@@ -1,0 +1,119 @@
+(* Dinic's algorithm on an arena of forward/backward arc pairs. The arena
+   is rebuilt per call from the input graph; verification workloads call
+   max_flow O(size) times on O(size)-edge graphs, which stays cheap. *)
+
+type arena = {
+  (* arc i: head.(i) = destination, cap.(i) = residual capacity;
+     arc i lxor 1 is its reverse. *)
+  head : int array;
+  cap : float array;
+  adj : int list array;  (* arc indices leaving each node *)
+  level : int array;
+  arc_of_edge : (int * int, int) Hashtbl.t;
+      (* forward-arc index of each original (src, dst) edge, recorded at
+         build time so flow readback does not depend on iteration order *)
+}
+
+let build g =
+  let k = Graph.node_count g in
+  let arcs = Graph.edge_count g in
+  let head = Array.make (2 * arcs) 0 in
+  let cap = Array.make (2 * arcs) 0. in
+  let adj = Array.make k [] in
+  let arc_of_edge = Hashtbl.create arcs in
+  let next = ref 0 in
+  Graph.iter_edges
+    (fun ~src ~dst w ->
+      let a = !next in
+      next := a + 2;
+      head.(a) <- dst;
+      cap.(a) <- w;
+      head.(a + 1) <- src;
+      cap.(a + 1) <- 0.;
+      adj.(src) <- a :: adj.(src);
+      adj.(dst) <- (a + 1) :: adj.(dst);
+      Hashtbl.replace arc_of_edge (src, dst) a)
+    g;
+  { head; cap; adj; level = Array.make k (-1); arc_of_edge }
+
+let bfs eps a ~src ~dst =
+  Array.fill a.level 0 (Array.length a.level) (-1);
+  a.level.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun arc ->
+        let v = a.head.(arc) in
+        if a.cap.(arc) > eps && a.level.(v) < 0 then begin
+          a.level.(v) <- a.level.(u) + 1;
+          Queue.add v q
+        end)
+      a.adj.(u)
+  done;
+  a.level.(dst) >= 0
+
+(* Blocking flow by DFS with per-node arc cursors. *)
+let rec dfs eps a cursors ~dst u pushed =
+  if u = dst then pushed
+  else
+    match cursors.(u) with
+    | [] -> 0.
+    | arc :: rest ->
+      let v = a.head.(arc) in
+      if a.cap.(arc) > eps && a.level.(v) = a.level.(u) + 1 then begin
+        let sent = dfs eps a cursors ~dst v (Float.min pushed a.cap.(arc)) in
+        if sent > eps then begin
+          a.cap.(arc) <- a.cap.(arc) -. sent;
+          a.cap.(arc lxor 1) <- a.cap.(arc lxor 1) +. sent;
+          sent
+        end
+        else begin
+          cursors.(u) <- rest;
+          dfs eps a cursors ~dst u pushed
+        end
+      end
+      else begin
+        cursors.(u) <- rest;
+        dfs eps a cursors ~dst u pushed
+      end
+
+let run ?(eps = 1e-12) g ~src ~dst =
+  if src = dst then invalid_arg "Maxflow: src = dst";
+  let k = Graph.node_count g in
+  if src < 0 || src >= k || dst < 0 || dst >= k then
+    invalid_arg "Maxflow: node out of range";
+  let a = build g in
+  let total = ref 0. in
+  while bfs eps a ~src ~dst do
+    let cursors = Array.copy a.adj in
+    let continue = ref true in
+    while !continue do
+      let sent = dfs eps a cursors ~dst src infinity in
+      if sent > eps then total := !total +. sent else continue := false
+    done
+  done;
+  (!total, a)
+
+let max_flow ?eps g ~src ~dst = fst (run ?eps g ~src ~dst)
+
+let min_broadcast_flow ?eps g ~src =
+  let k = Graph.node_count g in
+  let best = ref infinity in
+  for v = 0 to k - 1 do
+    if v <> src then best := Float.min !best (max_flow ?eps g ~src ~dst:v)
+  done;
+  !best
+
+let flow_assignment ?(eps = 1e-12) g ~src ~dst =
+  let value, a = run ~eps g ~src ~dst in
+  (* Flow on a forward arc = original capacity - residual = reverse cap. *)
+  let flow = Graph.create (Graph.node_count g) in
+  Graph.iter_edges
+    (fun ~src:u ~dst:v _w ->
+      let arc = Hashtbl.find a.arc_of_edge (u, v) in
+      let f = a.cap.(arc + 1) in
+      if f > eps then Graph.set_edge flow ~src:u ~dst:v f)
+    g;
+  (value, flow)

@@ -1,0 +1,26 @@
+(** Maximum flow on float-capacity digraphs (Dinic's algorithm).
+
+    The throughput of a broadcast scheme is
+    [min over i of maxflow (C0 -> Ci)] on the weighted communication graph
+    (paper, Section II-D); this module is the verification oracle behind
+    that definition. Dinic runs in [O(V^2 E)] in general — far below what
+    the test instances require — and capacities are floats, so a relative
+    tolerance [eps] bounds the residual-capacity cutoff. *)
+
+val max_flow : ?eps:float -> Graph.t -> src:int -> dst:int -> float
+(** [max_flow g ~src ~dst] is the value of a maximum [src]-[dst] flow in
+    [g], treating edge weights as capacities. [eps] (default [1e-12])
+    is the smallest residual capacity considered usable. Requires
+    [src <> dst]. The input graph is not modified. *)
+
+val min_broadcast_flow : ?eps:float -> Graph.t -> src:int -> float
+(** [min_broadcast_flow g ~src] is
+    [min over all v <> src of max_flow g ~src ~dst:v] — the broadcast
+    throughput of the scheme described by [g]. Returns [infinity] on a
+    single-node graph. *)
+
+val flow_assignment :
+  ?eps:float -> Graph.t -> src:int -> dst:int -> float * Graph.t
+(** [flow_assignment g ~src ~dst] additionally returns the flow itself as a
+    graph (edge weight = flow routed on that edge), for callers that need a
+    witness (e.g. decomposition into paths). *)

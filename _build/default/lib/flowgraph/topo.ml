@@ -1,0 +1,85 @@
+(* Min-index tie-breaking uses a simple module-free binary heap over ints. *)
+
+let sort g =
+  let k = Graph.node_count g in
+  let indeg = Array.init k (fun v -> List.length (Graph.in_edges g v)) in
+  let heap = ref [] in
+  (* The frontier is small; an ordered list keeps the code obvious and the
+     deterministic smallest-index-first property. *)
+  let push v = heap := List.merge compare [ v ] !heap in
+  let pop () =
+    match !heap with
+    | [] -> None
+    | v :: rest ->
+      heap := rest;
+      Some v
+  in
+  for v = 0 to k - 1 do
+    if indeg.(v) = 0 then push v
+  done;
+  let order = Array.make k (-1) in
+  let filled = ref 0 in
+  let rec drain () =
+    match pop () with
+    | None -> ()
+    | Some v ->
+      order.(!filled) <- v;
+      incr filled;
+      List.iter
+        (fun (w, _) ->
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then push w)
+        (Graph.out_edges g v);
+      drain ()
+  in
+  drain ();
+  if !filled = k then Some order else None
+
+let is_acyclic g = sort g <> None
+
+let find_cycle g =
+  let k = Graph.node_count g in
+  (* Colors: 0 = unvisited, 1 = on stack, 2 = done. *)
+  let color = Array.make k 0 in
+  let parent = Array.make k (-1) in
+  let result = ref None in
+  let rec visit v =
+    color.(v) <- 1;
+    List.iter
+      (fun (w, _) ->
+        if !result = None then
+          if color.(w) = 0 then begin
+            parent.(w) <- v;
+            visit w
+          end
+          else if color.(w) = 1 then begin
+            (* Back edge v -> w: walk parents from v back to w. *)
+            let rec collect u acc = if u = w then u :: acc else collect parent.(u) (u :: acc) in
+            result := Some (collect v [])
+          end)
+      (Graph.out_edges g v);
+    color.(v) <- 2
+  in
+  let v = ref 0 in
+  while !result = None && !v < k do
+    if color.(!v) = 0 then visit !v;
+    incr v
+  done;
+  !result
+
+let depth_from g root =
+  match sort g with
+  | None -> invalid_arg "Topo.depth_from: graph has a cycle"
+  | Some order ->
+    let k = Graph.node_count g in
+    let depth = Array.make k (-1) in
+    if root < 0 || root >= k then invalid_arg "Topo.depth_from: root out of range";
+    depth.(root) <- 0;
+    Array.iter
+      (fun v ->
+        if depth.(v) >= 0 then
+          List.iter
+            (fun (w, _) -> if depth.(w) < depth.(v) + 1 then depth.(w) <- depth.(v) + 1)
+            (Graph.out_edges g v))
+      order;
+    depth

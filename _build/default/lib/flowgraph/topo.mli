@@ -1,0 +1,25 @@
+(** Topological structure of communication graphs.
+
+    A broadcast scheme is {e acyclic} iff its communication graph admits a
+    topological order (Section II-D); these helpers implement that test and
+    produce the witness order [sigma]. *)
+
+val sort : Graph.t -> int array option
+(** [sort g] is [Some order] where [order] lists all nodes such that every
+    edge goes from an earlier to a later position, or [None] if [g] has a
+    directed cycle. Kahn's algorithm; ties are broken by smallest node
+    index, so the output is deterministic. *)
+
+val is_acyclic : Graph.t -> bool
+
+val find_cycle : Graph.t -> int list option
+(** [find_cycle g] returns the node sequence of some directed cycle
+    ([v1; v2; ...; vk] with edges [v1->v2 ... vk->v1]), or [None] if the
+    graph is acyclic. *)
+
+val depth_from : Graph.t -> int -> int array
+(** [depth_from g root] is, for each node, the length (in hops) of the
+    longest path from [root] following positive-weight edges, or [-1] for
+    unreachable nodes. Requires the graph to be acyclic. This is the
+    scheme-depth metric discussed in the paper's conclusion (delay
+    minimization perspective). *)

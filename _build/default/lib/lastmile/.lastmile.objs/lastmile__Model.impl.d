@@ -1,0 +1,1 @@
+lib/lastmile/model.ml: Array Float List Platform Prng

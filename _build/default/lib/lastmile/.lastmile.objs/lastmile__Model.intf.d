@@ -1,0 +1,1 @@
+lib/lastmile/model.mli: Platform Prng

@@ -1,0 +1,143 @@
+type t = {
+  bout : float array;
+  bin : float array;
+}
+
+let predict m i j =
+  if i = j then invalid_arg "Model.predict: i = j";
+  Float.min m.bout.(i) m.bin.(j)
+
+let synthetic_matrix ?(noise = 0.) m rng =
+  let k = Array.length m.bout in
+  if Array.length m.bin <> k then invalid_arg "Model.synthetic_matrix: size mismatch";
+  Array.init k (fun i ->
+      Array.init k (fun j ->
+          if i = j then nan
+          else begin
+            let base = predict m i j in
+            if noise <= 0. then base
+            else begin
+              (* Multiplicative log-normal noise with unit median. *)
+              let z = Prng.Dist.gaussian rng in
+              base *. exp (noise *. z)
+            end
+          end))
+
+(* Exact coordinate update: given targets (cap_j, y_j), minimize
+   f(x) = sum_j (min (x, cap_j) - y_j)^2.
+   On the segment where exactly the caps >= x are active, f is quadratic
+   with minimum at the mean of the corresponding y's; scan segments in
+   decreasing cap order. *)
+let best_capacity pairs =
+  match pairs with
+  | [] -> 0.
+  | _ ->
+    let sorted =
+      List.sort (fun (c1, _) (c2, _) -> Float.compare c2 c1) pairs
+    in
+    let arr = Array.of_list sorted in
+    let total = Array.length arr in
+    (* active set = indices 0 .. a - 1 have cap >= x. Candidate minima:
+       for each a, x = mean of y over active set, clamped to the segment
+       [cap(a-1) ... cap(a-2)]... simpler: evaluate f at every candidate
+       (segment means and breakpoints) and keep the best. *)
+    let f x =
+      Array.fold_left
+        (fun acc (c, y) ->
+          let p = Float.min x c -. y in
+          acc +. (p *. p))
+        0. arr
+    in
+    let candidates = ref [] in
+    let sum_y = ref 0. in
+    for a = 1 to total do
+      let _, y = arr.(a - 1) in
+      sum_y := !sum_y +. y;
+      (* Segment: x in [cap of arr.(a-1) upper? ...] — active set is the
+         a largest caps when x <= cap.(a-1) and (a = total or x > cap.(a)). *)
+      let mean = !sum_y /. float_of_int a in
+      let hi = fst arr.(a - 1) in
+      let lo = if a = total then 0. else fst arr.(a) in
+      let clamped = Float.max lo (Float.min hi mean) in
+      candidates := clamped :: hi :: !candidates
+    done;
+    List.fold_left
+      (fun best x -> if f x < f best then x else best)
+      (fst arr.(0)) !candidates
+
+let valid_entry v = not (Float.is_nan v)
+
+let fit ?(rounds = 25) matrix =
+  let k = Array.length matrix in
+  Array.iter
+    (fun row -> if Array.length row <> k then invalid_arg "Model.fit: not square")
+    matrix;
+  let bout =
+    Array.init k (fun i ->
+        Array.fold_left
+          (fun acc v -> if valid_entry v then Float.max acc v else acc)
+          0. matrix.(i))
+  in
+  let bin =
+    Array.init k (fun j ->
+        let acc = ref 0. in
+        for i = 0 to k - 1 do
+          if i <> j && valid_entry matrix.(i).(j) then
+            acc := Float.max !acc matrix.(i).(j)
+        done;
+        !acc)
+  in
+  for _ = 1 to rounds do
+    for i = 0 to k - 1 do
+      let pairs = ref [] in
+      for j = 0 to k - 1 do
+        if i <> j && valid_entry matrix.(i).(j) then
+          pairs := (bin.(j), matrix.(i).(j)) :: !pairs
+      done;
+      if !pairs <> [] then bout.(i) <- best_capacity !pairs
+    done;
+    for j = 0 to k - 1 do
+      let pairs = ref [] in
+      for i = 0 to k - 1 do
+        if i <> j && valid_entry matrix.(i).(j) then
+          pairs := (bout.(i), matrix.(i).(j)) :: !pairs
+      done;
+      if !pairs <> [] then bin.(j) <- best_capacity !pairs
+    done
+  done;
+  { bout; bin }
+
+let rmse m matrix =
+  let k = Array.length matrix in
+  let acc = ref 0. and count = ref 0 in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j && valid_entry matrix.(i).(j) then begin
+        let e = predict m i j -. matrix.(i).(j) in
+        acc := !acc +. (e *. e);
+        incr count
+      end
+    done
+  done;
+  if !count = 0 then 0. else sqrt (!acc /. float_of_int !count)
+
+let to_instance m ~source ~guarded =
+  let k = Array.length m.bout in
+  if source < 0 || source >= k then invalid_arg "Model.to_instance: bad source";
+  if Array.length guarded <> k then invalid_arg "Model.to_instance: flags size mismatch";
+  if guarded.(source) then invalid_arg "Model.to_instance: source must be open";
+  let opens = ref [] and guardeds = ref [] in
+  for v = k - 1 downto 0 do
+    if v <> source then
+      if guarded.(v) then guardeds := v :: !guardeds else opens := v :: !opens
+  done;
+  let order = (source :: !opens) @ !guardeds in
+  let bandwidth = Array.of_list (List.map (fun v -> m.bout.(v)) order) in
+  let bin = Array.of_list (List.map (fun v -> m.bin.(v)) order) in
+  let inst =
+    Platform.Instance.create ~bin ~bandwidth ~n:(List.length !opens)
+      ~m:(List.length !guardeds) ()
+  in
+  let inst, perm = Platform.Instance.normalize inst in
+  let pre = Array.of_list order in
+  (inst, Array.map (fun p -> pre.(p)) perm)

@@ -1,0 +1,49 @@
+(** Last-mile (bounded multi-port) model instantiation — the Bedibe
+    substitute.
+
+    The paper instantiates its platform model with Bedibe (Beaumont,
+    Eyraud-Dubois & Won, EuroPar 2011): from a matrix of point-to-point
+    available-bandwidth measurements, estimate per-node outgoing and
+    incoming capacities such that the achievable bandwidth between [Ci]
+    and [Cj] is [min (bout i) (bin j)]. This module reimplements that
+    estimation: alternating least-squares on the last-mile prediction
+    error, each coordinate update solved exactly (the objective is
+    piecewise quadratic in one capacity once the others are fixed).
+
+    The pipeline [measurements -> fit -> instance -> broadcast overlay]
+    is exercised end-to-end in [examples/planetlab_overlay.ml]. *)
+
+type t = {
+  bout : float array;  (** estimated outgoing capacity per node *)
+  bin : float array;  (** estimated incoming capacity per node *)
+}
+
+val predict : t -> int -> int -> float
+(** [predict m i j] is [min m.bout.(i) m.bin.(j)] — the last-mile estimate
+    of the [i -> j] bandwidth. Requires [i <> j]. *)
+
+val synthetic_matrix :
+  ?noise:float -> t -> Prng.Splitmix.t -> float array array
+(** [synthetic_matrix m rng] builds a full measurement matrix from a
+    ground-truth model, with i.i.d. multiplicative log-normal noise of
+    standard deviation [noise] (default [0.], exact measurements).
+    Diagonal entries are [nan] (no self-measurements). *)
+
+val fit : ?rounds:int -> float array array -> t
+(** [fit matrix] estimates a last-mile model from a measurement matrix
+    ([nan] entries are treated as missing). [rounds] alternating sweeps
+    (default 25). Initialization: [bout i = max over j of matrix i j],
+    [bin j = max over i] — exact when measurements are noise-free. *)
+
+val rmse : t -> float array array -> float
+(** Root-mean-square prediction error over non-[nan] off-diagonal
+    entries. *)
+
+val to_instance :
+  t -> source:int -> guarded:bool array -> Platform.Instance.t * int array
+(** [to_instance m ~source ~guarded] builds a (normalized) broadcast
+    instance whose outgoing bandwidths are [m.bout] and whose incoming
+    caps are [m.bin]: node [source] becomes [C0], the remaining nodes are
+    split by the [guarded] flags (indexed like [m.bout]; [guarded.(source)]
+    must be false). Also returns the permutation mapping new indices to
+    original ones. *)

@@ -1,0 +1,1 @@
+lib/massoulie/one_port.ml: Array Bytes Float Pqueue Prng

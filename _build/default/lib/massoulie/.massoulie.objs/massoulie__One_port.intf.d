@@ -1,0 +1,1 @@
+lib/massoulie/one_port.mli:

@@ -1,0 +1,1 @@
+lib/massoulie/pqueue.ml: Array

@@ -1,0 +1,1 @@
+lib/massoulie/sim.ml: Array Bytes Float Flowgraph List Pqueue Prng

@@ -1,0 +1,1 @@
+lib/massoulie/sim.mli: Flowgraph

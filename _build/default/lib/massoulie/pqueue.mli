@@ -1,0 +1,22 @@
+(** Minimal binary min-heap priority queue, keyed by float.
+
+    The discrete-event simulator needs a classic event queue: O(log n)
+    insert and extract-min, stable enough that simultaneous events pop in
+    insertion order is {e not} guaranteed (ties break arbitrarily) — the
+    simulator's results do not depend on tie order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key binding. *)
+
+val peek_key : 'a t -> float option

@@ -1,0 +1,195 @@
+type config = {
+  chunks : int;
+  chunk_size : float;
+  seed : int64;
+  max_time : float;
+  streaming : bool;
+  jitter : float;
+  dedup_inflight : bool;
+}
+
+let default_config =
+  {
+    chunks = 200;
+    chunk_size = 1.;
+    seed = 42L;
+    max_time = 1e6;
+    streaming = false;
+    jitter = 0.;
+    dedup_inflight = true;
+  }
+
+type result = {
+  delivered_all : bool;
+  completion_time : float;
+  per_node_completion : float array;
+  efficiency : float;
+  max_lag : float;
+  transfers : int;
+  duplicates : int;
+}
+
+type event =
+  | Arrival of int  (** edge index whose in-flight chunk lands *)
+  | Release of int  (** streaming: source publishes this chunk *)
+
+type edge = {
+  src : int;
+  dst : int;
+  duration : float;  (** transfer time of one chunk on this edge *)
+  mutable carrying : int;  (** chunk in flight, [-1] when idle *)
+}
+
+let simulate ?(config = default_config) overlay ~rate =
+  if rate <= 0. then invalid_arg "Sim.simulate: rate must be positive";
+  if config.chunks < 1 || config.chunk_size <= 0. then
+    invalid_arg "Sim.simulate: bad chunk configuration";
+  if config.jitter < 0. then invalid_arg "Sim.simulate: negative jitter";
+  let nodes = Flowgraph.Graph.node_count overlay in
+  let k = config.chunks in
+  let rng = Prng.Splitmix.create config.seed in
+  (* Edge arena. *)
+  let edges = ref [] in
+  Flowgraph.Graph.iter_edges
+    (fun ~src ~dst w ->
+      (* Edges too slow to deliver a single chunk within the horizon would
+         only pin chunks in flight forever; leave them out. *)
+      if w > 0. && config.chunk_size /. w < config.max_time then
+        edges :=
+          { src; dst; duration = config.chunk_size /. w; carrying = -1 } :: !edges)
+    overlay;
+  let edges = Array.of_list !edges in
+  let out_edges = Array.make nodes [] in
+  Array.iteri (fun e edge -> out_edges.(edge.src) <- e :: out_edges.(edge.src)) edges;
+  (* Ownership: owned.(v).(c); the source's ownership in streaming mode is
+     governed by the release clock. *)
+  let owned = Array.init nodes (fun _ -> Bytes.make k '\000') in
+  let owned_count = Array.make nodes 0 in
+  let inflight = Array.init nodes (fun _ -> Bytes.make k '\000') in
+  let release_time =
+    Array.init k (fun c ->
+        if config.streaming then float_of_int c *. config.chunk_size /. rate else 0.)
+  in
+  if not config.streaming then begin
+    Bytes.fill owned.(0) 0 k '\001';
+    owned_count.(0) <- k
+  end;
+  let arrival_time = Array.make_matrix nodes k infinity in
+  for c = 0 to k - 1 do
+    arrival_time.(0).(c) <- release_time.(c)
+  done;
+  let per_node_completion = Array.make nodes infinity in
+  per_node_completion.(0) <- (if config.streaming then release_time.(k - 1) else 0.);
+  let complete_nodes = ref (if config.streaming then 0 else 1) in
+  let queue = Pqueue.create () in
+  let transfers = ref 0 and duplicates = ref 0 in
+  (* Pick a uniformly random chunk owned by src, not owned by nor flying
+     to dst (reservoir sampling over the ownership bitmaps). *)
+  let pick_useful src dst =
+    let choice = ref (-1) and seen = ref 0 in
+    let s = owned.(src) and d = owned.(dst) and f = inflight.(dst) in
+    for c = 0 to k - 1 do
+      if
+        Bytes.get s c = '\001'
+        && Bytes.get d c = '\000'
+        && ((not config.dedup_inflight) || Bytes.get f c = '\000')
+      then begin
+        incr seen;
+        if Prng.Splitmix.next_below rng !seen = 0 then choice := c
+      end
+    done;
+    !choice
+  in
+  let try_start now e =
+    let edge = edges.(e) in
+    if edge.carrying < 0 then begin
+      let c = pick_useful edge.src edge.dst in
+      if c >= 0 then begin
+        edge.carrying <- c;
+        Bytes.set inflight.(edge.dst) c '\001';
+        let duration =
+          if config.jitter <= 0. then edge.duration
+          else begin
+            (* Log-uniform factor in [1/(1+j), 1+j]: symmetric slowdowns
+               and speedups around the nominal rate. *)
+            let span = log (1. +. config.jitter) in
+            let u = (2. *. Prng.Splitmix.next_float rng) -. 1. in
+            edge.duration *. exp (u *. span)
+          end
+        in
+        Pqueue.push queue (now +. duration) (Arrival e)
+      end
+    end
+  in
+  let wake_out now v = List.iter (try_start now) out_edges.(v) in
+  let learn now v c =
+    if Bytes.get owned.(v) c = '\000' then begin
+      Bytes.set owned.(v) c '\001';
+      owned_count.(v) <- owned_count.(v) + 1;
+      arrival_time.(v).(c) <- now;
+      if owned_count.(v) = k then begin
+        per_node_completion.(v) <- now;
+        incr complete_nodes
+      end;
+      wake_out now v
+    end
+  in
+  (* Seed events. *)
+  if config.streaming then
+    Array.iteri (fun c t -> Pqueue.push queue t (Release c)) release_time
+  else wake_out 0. 0;
+  let finished () = !complete_nodes = nodes in
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (now, _) when now > config.max_time -> ()
+    | Some (now, Release c) ->
+      Bytes.set owned.(0) c '\001';
+      owned_count.(0) <- owned_count.(0) + 1;
+      if owned_count.(0) = k then begin
+        per_node_completion.(0) <- now;
+        incr complete_nodes
+      end;
+      wake_out now 0;
+      loop ()
+    | Some (now, Arrival e) ->
+      let edge = edges.(e) in
+      let c = edge.carrying in
+      edge.carrying <- -1;
+      Bytes.set inflight.(edge.dst) c '\000';
+      incr transfers;
+      if Bytes.get owned.(edge.dst) c = '\001' then incr duplicates
+      else learn now edge.dst c;
+      (* The sender is free again. *)
+      try_start now e;
+      if not (finished ()) then loop ()
+  in
+  loop ();
+  let delivered_all = finished () in
+  let completion_time =
+    Array.fold_left Float.max 0. per_node_completion
+  in
+  let ideal = float_of_int k *. config.chunk_size /. rate in
+  let efficiency =
+    if delivered_all && completion_time > 0. then ideal /. completion_time
+    else 0.
+  in
+  let max_lag =
+    let worst = ref 0. in
+    for v = 0 to nodes - 1 do
+      for c = 0 to k - 1 do
+        if arrival_time.(v).(c) < infinity then
+          worst := Float.max !worst (arrival_time.(v).(c) -. release_time.(c))
+      done
+    done;
+    !worst
+  in
+  {
+    delivered_all;
+    completion_time = (if delivered_all then completion_time else infinity);
+    per_node_completion;
+    efficiency;
+    max_lag;
+    transfers = !transfers;
+    duplicates = !duplicates;
+  }

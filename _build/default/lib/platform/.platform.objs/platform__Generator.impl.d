@@ -1,0 +1,1 @@
+lib/platform/generator.ml: Array Float Instance List Prng

@@ -1,0 +1,1 @@
+lib/platform/generator.mli: Instance Prng

@@ -1,0 +1,1 @@
+lib/platform/instance.ml: Array Buffer Float Format Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/platform/instance.mli: Format

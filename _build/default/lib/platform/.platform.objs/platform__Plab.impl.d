@@ -1,0 +1,1 @@
+lib/platform/plab.ml: Array Float Printf Prng

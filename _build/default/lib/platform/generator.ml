@@ -1,0 +1,46 @@
+type spec = {
+  total : int;
+  p_open : float;
+  dist : Prng.Dist.t;
+}
+
+let source_fixed_point ~open_sum ~guarded_sum ~n ~m =
+  let candidates = ref [] in
+  if m >= 2 then candidates := (open_sum /. float_of_int (m - 1)) :: !candidates;
+  if n + m >= 2 then
+    candidates :=
+      ((open_sum +. guarded_sum) /. float_of_int (n + m - 1)) :: !candidates;
+  match !candidates with
+  | [] ->
+    (* Degenerate single-node platform: any positive source rate works;
+       use the total bandwidth (or 1 if the platform is empty). *)
+    Float.max 1. (open_sum +. guarded_sum)
+  | l -> List.fold_left Float.min infinity l
+
+let generate spec rng =
+  if spec.total < 1 then invalid_arg "Generator.generate: total must be >= 1";
+  if spec.p_open < 0. || spec.p_open > 1. then
+    invalid_arg "Generator.generate: p_open must lie in [0, 1]";
+  let classes =
+    Array.init spec.total (fun _ -> Prng.Splitmix.next_float rng < spec.p_open)
+  in
+  let bandwidths =
+    let draw = Prng.Dist.sampler spec.dist in
+    Array.init spec.total (fun _ -> draw rng)
+  in
+  let opens = ref [] and guardeds = ref [] in
+  Array.iteri
+    (fun i is_open ->
+      if is_open then opens := bandwidths.(i) :: !opens
+      else guardeds := bandwidths.(i) :: !guardeds)
+    classes;
+  let opens = List.rev !opens and guardeds = List.rev !guardeds in
+  let n = List.length opens and m = List.length guardeds in
+  let open_sum = List.fold_left ( +. ) 0. opens in
+  let guarded_sum = List.fold_left ( +. ) 0. guardeds in
+  let b0 = source_fixed_point ~open_sum ~guarded_sum ~n ~m in
+  let bandwidth = Array.of_list ((b0 :: opens) @ guardeds) in
+  let t = Instance.create ~bandwidth ~n ~m () in
+  fst (Instance.normalize t)
+
+let generate_many spec rng k = List.init k (fun _ -> generate spec rng)

@@ -1,0 +1,33 @@
+(** Random instance generation following the paper's average-case protocol
+    (Appendix XII).
+
+    Each of the [total] non-source nodes draws its bandwidth independently
+    from a distribution and is open with probability [p_open] (guarded
+    otherwise). To "concentrate on difficult instances", the source
+    bandwidth is set to the optimal cyclic throughput of the resulting
+    platform — the unique fixed point of Lemma 5.1's closed form under
+    [b0 = T*] — so the source is neither a bottleneck nor able to feed
+    everyone by itself. *)
+
+type spec = {
+  total : int;  (** number of non-source nodes, [>= 1] *)
+  p_open : float;  (** probability that a node is open, in [\[0, 1\]] *)
+  dist : Prng.Dist.t;  (** bandwidth distribution *)
+}
+
+val source_fixed_point : open_sum:float -> guarded_sum:float -> n:int -> m:int -> float
+(** [source_fixed_point ~open_sum ~guarded_sum ~n ~m] is the value [b0]
+    satisfying [b0 = min (b0, (b0 + O) / m, (b0 + O + G) / (n + m))] as an
+    equality with the binding non-trivial constraint, i.e.
+    [min (O / (m - 1)) ((O + G) / (n + m - 1))] with each term dropped when
+    its denominator is [<= 0]. Falls back to the per-node average when no
+    constraint binds (n + m <= 1). *)
+
+val generate : spec -> Prng.Splitmix.t -> Instance.t
+(** [generate spec rng] draws one instance, already {!Instance.normalize}d
+    (classes sorted by non-increasing bandwidth). The class of each node and
+    its bandwidth consume exactly two draws from [rng] per node, so streams
+    are reproducible. *)
+
+val generate_many : spec -> Prng.Splitmix.t -> int -> Instance.t list
+(** [generate_many spec rng k] draws [k] independent instances. *)

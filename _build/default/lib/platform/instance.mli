@@ -1,0 +1,89 @@
+(** Problem instances of the bounded multi-port broadcast problem.
+
+    An instance is a source node [C0] (always an open node), [n] open nodes
+    [C1 .. Cn] and [m] guarded nodes [C(n+1) .. C(n+m)], each with an
+    outgoing bandwidth [b i]. Input bandwidths are assumed unbounded by the
+    paper; an optional per-node incoming cap is carried for the model
+    extension exercised by the verification oracle.
+
+    The algorithms of the paper require nodes of each class to be sorted by
+    non-increasing bandwidth (Lemma 4.2 shows increasing orders dominate);
+    {!normalize} establishes that invariant and records the permutation so
+    results can be mapped back to original node identities. *)
+
+type node_class = Open | Guarded
+
+type t = private {
+  bandwidth : float array;
+      (** [bandwidth.(i)] is the outgoing bandwidth of [Ci]; index 0 is the
+          source. All entries are non-negative. *)
+  n : int;  (** number of open nodes besides the source *)
+  m : int;  (** number of guarded nodes *)
+  bin : float array option;
+      (** optional incoming caps, same indexing; [None] = unbounded *)
+}
+
+val create : ?bin:float array -> bandwidth:float array -> n:int -> m:int -> unit -> t
+(** [create ~bandwidth ~n ~m ()] builds an instance. [bandwidth] must have
+    length [1 + n + m]: source, then the [n] open nodes, then the [m]
+    guarded nodes. Raises [Invalid_argument] on negative bandwidths or
+    length mismatch. The node order is kept as given (use {!normalize} to
+    sort). *)
+
+val size : t -> int
+(** [size t] is [1 + n + m], the total number of nodes. *)
+
+val node_class : t -> int -> node_class
+(** [node_class t i] is the class of node [Ci]. The source is [Open].
+    Raises [Invalid_argument] if [i] is out of range. *)
+
+val is_open : t -> int -> bool
+val is_guarded : t -> int -> bool
+
+val open_sum : t -> float
+(** [open_sum t] is [O], the total bandwidth of non-source open nodes. *)
+
+val guarded_sum : t -> float
+(** [guarded_sum t] is [G], the total bandwidth of guarded nodes. *)
+
+val total_sum : t -> float
+(** [b0 + O + G]. *)
+
+val sorted : t -> bool
+(** [sorted t] holds when open nodes [C1..Cn] and guarded nodes
+    [C(n+1)..C(n+m)] are each in non-increasing bandwidth order. *)
+
+val normalize : t -> t * int array
+(** [normalize t] returns [(t', perm)] where [t'] has each class sorted by
+    non-increasing bandwidth and [perm.(new_index) = old_index]. The sort is
+    stable so equal-bandwidth nodes keep their relative order. *)
+
+val fig1 : t
+(** The running example of the paper (Figure 1): source [b0 = 6], open
+    nodes [5; 5], guarded nodes [4; 1; 1]. Optimal cyclic throughput 4.4,
+    optimal acyclic throughput 4. *)
+
+val homogeneous : n:int -> m:int -> b0:float -> bopen:float -> bguarded:float -> t
+(** Homogeneous instance: all open nodes share [bopen], all guarded share
+    [bguarded] (Section VI's worst-case families). *)
+
+val tight_homogeneous : n:int -> m:int -> delta:float -> t
+(** The tight homogeneous instances of Theorem 6.2's proof: [b0 = 1], open
+    bandwidth [(m - 1 + delta) / n], guarded bandwidth [(n - delta) / m],
+    so that [b0 = (b0 + O + G) / (n + m) = T*] and [b0 + O >= m T*].
+    Requires [n >= 1], [m >= 1] and [0 <= delta <= n]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same classes and bandwidths). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line summary. *)
+
+val to_string : t -> string
+(** Full textual serialization (one node per line), parsable by
+    {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse the {!to_string} format: a line [source <b>] then lines
+    [open <b>] / [guarded <b>] in any order ([#] comments and blank lines
+    ignored). *)

@@ -1,0 +1,31 @@
+let pool_size = 500
+
+(* Mixture weights and per-mode samplers. The modes follow the access-link
+   classes reported in PlanetLab bandwidth studies: most nodes sit on
+   campus-class links, a minority on ADSL-class uplinks, and a few on
+   server-class links with a heavy upper tail. *)
+let synthesize () =
+  let rng = Prng.Splitmix.create 0x506C616E4C6162L (* "PlanLab" *) in
+  let adsl = Prng.Dist.Lognormal { mean = 4.; std = 3. } in
+  let campus = Prng.Dist.Lognormal { mean = 45.; std = 30. } in
+  let server = Prng.Dist.Pareto { mean = 300.; std = 400. } in
+  let sample_one () =
+    let u = Prng.Splitmix.next_float rng in
+    let d = if u < 0.25 then adsl else if u < 0.85 then campus else server in
+    (* Clamp to a physically plausible range: 256 kb/s .. 1 Gb/s. *)
+    Float.min 1000. (Float.max 0.256 (Prng.Dist.sample d rng))
+  in
+  let values = Array.init pool_size (fun _ -> sample_one ()) in
+  Array.sort Float.compare values;
+  values
+
+let pool = synthesize ()
+
+let dist = Prng.Dist.Empirical pool
+
+let summary () =
+  let q p = pool.(int_of_float (p *. float_of_int (pool_size - 1))) in
+  Printf.sprintf
+    "PLab pool (n=%d, Mb/s): min=%.2f q25=%.2f median=%.2f q75=%.2f max=%.2f"
+    pool_size pool.(0) (q 0.25) (q 0.5) (q 0.75)
+    pool.(pool_size - 1)

@@ -1,0 +1,28 @@
+(** Synthetic substitute for the PlanetLab outgoing-bandwidth measurements.
+
+    The paper's [PLab] scenario samples node bandwidths uniformly from
+    outgoing-bandwidth values measured on PlanetLab with the last-mile
+    estimation of Beaumont, Eyraud-Dubois & Won (EuroPar 2011). That trace
+    is not redistributable, so this module synthesizes a fixed pool with the
+    same qualitative features reported for PlanetLab access links:
+
+    - three modes — ADSL-class uplinks (~1–10 Mb/s), campus/commodity links
+      (~10–100 Mb/s), and well-provisioned servers (~100–1000 Mb/s);
+    - a heavy Pareto tail on the top mode;
+    - several orders of magnitude of heterogeneity overall.
+
+    The pool is generated deterministically (fixed seed) at module
+    initialization, so every run of every experiment sees the same values.
+    Substituting a real trace is a one-line change: build a
+    [Prng.Dist.Empirical] from your measurements. *)
+
+val pool : float array
+(** The 500-entry synthetic bandwidth pool (Mb/s), sorted increasing. *)
+
+val dist : Prng.Dist.t
+(** [Empirical pool] — plug-in replacement for the paper's [PLab]
+    distribution. *)
+
+val summary : unit -> string
+(** One-line five-number summary of the pool (min / quartiles / max), for
+    logging and documentation. *)

@@ -1,0 +1,77 @@
+type t =
+  | Uniform of { lo : float; hi : float }
+  | Pareto of { mean : float; std : float }
+  | Lognormal of { mean : float; std : float }
+  | Empirical of float array
+
+let gaussian rng =
+  (* Box-Muller; guard against log 0 by excluding u1 = 0. *)
+  let rec positive () =
+    let u = Splitmix.next_float rng in
+    if u > 0. then u else positive ()
+  in
+  let u1 = positive () and u2 = Splitmix.next_float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let pareto_params ~mean ~std =
+  if std <= 0. then invalid_arg "Dist.pareto_params: std must be positive";
+  let r = mean /. std in
+  (* Moments of Pareto(alpha, x_m): mean = alpha x_m / (alpha - 1),
+     var / mean^2 = 1 / (alpha (alpha - 2)); solving
+     alpha^2 - 2 alpha - r^2 = 0 for alpha > 2. *)
+  let alpha = 1. +. sqrt (1. +. (r *. r)) in
+  let x_m = mean *. (alpha -. 1.) /. alpha in
+  (alpha, x_m)
+
+let lognormal_params ~mean ~std =
+  if mean <= 0. then invalid_arg "Dist.lognormal_params: mean must be positive";
+  let sigma2 = log (1. +. ((std /. mean) ** 2.)) in
+  let mu = log mean -. (sigma2 /. 2.) in
+  (mu, sqrt sigma2)
+
+(* Staged sampling: derived parameters are computed once when the
+   distribution is fixed, not per draw. *)
+let sampler d =
+  match d with
+  | Uniform { lo; hi } ->
+    let span = hi -. lo in
+    fun rng -> lo +. (span *. Splitmix.next_float rng)
+  | Pareto { mean; std } ->
+    let alpha, x_m = pareto_params ~mean ~std in
+    let inv_alpha = -1. /. alpha in
+    fun rng ->
+      let rec u () =
+        let v = Splitmix.next_float rng in
+        if v < 1. then v else u ()
+      in
+      x_m *. ((1. -. u ()) ** inv_alpha)
+  | Lognormal { mean; std } ->
+    let mu, sigma = lognormal_params ~mean ~std in
+    fun rng -> exp (mu +. (sigma *. gaussian rng))
+  | Empirical pool ->
+    if Array.length pool = 0 then invalid_arg "Dist.sample: empty pool";
+    fun rng -> pool.(Splitmix.next_below rng (Array.length pool))
+
+let sample d rng = sampler d rng
+
+let sample_many d rng k =
+  let draw = sampler d in
+  Array.init k (fun _ -> draw rng)
+
+let name = function
+  | Uniform { lo; hi } -> Printf.sprintf "Unif[%g,%g]" lo hi
+  | Pareto { mean; std } -> Printf.sprintf "Pareto(%g,%g)" mean std
+  | Lognormal { mean; std } -> Printf.sprintf "LogNormal(%g,%g)" mean std
+  | Empirical _ -> "Empirical"
+
+let mean = function
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | Pareto { mean; _ } | Lognormal { mean; _ } -> mean
+  | Empirical pool ->
+    Array.fold_left ( +. ) 0. pool /. float_of_int (Array.length pool)
+
+let unif100 = Uniform { lo = 1.; hi = 100. }
+let power1 = Pareto { mean = 100.; std = 100. }
+let power2 = Pareto { mean = 100.; std = 1000. }
+let ln1 = Lognormal { mean = 100.; std = 100. }
+let ln2 = Lognormal { mean = 100.; std = 1000. }

@@ -1,0 +1,69 @@
+(** Bandwidth distributions used in the paper's average-case study
+    (Appendix XII): uniform, power-law (Pareto), and log-normal, each
+    parameterized by mean and standard deviation exactly as the paper
+    states them, plus sampling from an arbitrary empirical pool (the
+    PlanetLab substitute).
+
+    All samplers draw from a {!Splitmix.t} stream, so experiments are
+    deterministic given the seed. *)
+
+type t =
+  | Uniform of { lo : float; hi : float }
+      (** Uniform on [\[lo, hi\]]. The paper's [Unif100] is
+          [Uniform {lo = 1.; hi = 100.}]. *)
+  | Pareto of { mean : float; std : float }
+      (** Pareto (type I power law) with prescribed mean and standard
+          deviation. [Power1] is mean 100 / std 100; [Power2] is mean 100 /
+          std 1000. *)
+  | Lognormal of { mean : float; std : float }
+      (** Log-normal with prescribed mean and standard deviation. [LN1] is
+          100/100, [LN2] is 100/1000. *)
+  | Empirical of float array
+      (** Uniform sampling with replacement from a pool of observed values
+          (the paper's [PLab] scenario). The array must be non-empty. *)
+
+val sample : t -> Splitmix.t -> float
+(** [sample d rng] draws one value from [d]. All samples are strictly
+    positive for the built-in parameterizations. *)
+
+val sampler : t -> Splitmix.t -> float
+(** Staged form of {!sample}: [let draw = sampler d] precomputes the
+    distribution's derived parameters (Pareto shape/scale, log-normal
+    mu/sigma) once, so per-draw cost is a couple of arithmetic operations.
+    [sampler d rng] and [sample d rng] consume identical randomness and
+    return identical values. Prefer this in sampling loops. *)
+
+val sample_many : t -> Splitmix.t -> int -> float array
+(** [sample_many d rng k] draws [k] independent values. *)
+
+val name : t -> string
+(** Short display name, matching the paper's labels where applicable
+    ([Unif\[1,100\]], [Pareto(100,100)], ...). *)
+
+val mean : t -> float
+(** Theoretical (or pool) mean of the distribution. *)
+
+(** {1 Paper presets} *)
+
+val unif100 : t
+val power1 : t
+val power2 : t
+val ln1 : t
+val ln2 : t
+
+(** {1 Low-level samplers} *)
+
+val gaussian : Splitmix.t -> float
+(** Standard normal via Box–Muller (one value per call; the spare is
+    discarded to keep the stream usage deterministic per call). *)
+
+val pareto_params : mean:float -> std:float -> float * float
+(** [pareto_params ~mean ~std] returns [(alpha, x_m)], the shape and scale of
+    the Pareto type-I law with the given first two moments. Requires
+    [std > 0] (the shape solves [alpha (alpha - 2) = (mean/std)^2]... i.e.
+    [alpha = 1 + sqrt (1 + (mean/std)^2)], which always exceeds 2, so the
+    variance is finite). *)
+
+val lognormal_params : mean:float -> std:float -> float * float
+(** [lognormal_params ~mean ~std] returns [(mu, sigma)] of the underlying
+    normal law. *)

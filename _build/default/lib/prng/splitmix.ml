@@ -1,0 +1,41 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* Mixing function "mix64variant13" from the SplitMix64 reference
+   implementation: two xor-shift-multiply rounds with distinct odd
+   constants, which is enough to pass BigCrush when driven by a Weyl
+   sequence. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let next_float t =
+  (* Top 53 bits scaled by 2^-53: uniform on [0,1) with full double
+     precision granularity. *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let next_below t n =
+  if n <= 0 then invalid_arg "Splitmix.next_below: n must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec loop () =
+    let bits = Int64.shift_right_logical (next t) 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.sub (Int64.add (Int64.sub bits v) (Int64.sub n64 1L)) bits >= 0L
+    then Int64.to_int v
+    else loop ()
+  in
+  loop ()
+
+let split t = create (next t)

@@ -1,0 +1,31 @@
+(** SplitMix64 pseudo-random generator core.
+
+    A tiny, fast, statistically solid 64-bit PRNG (Steele, Lea & Flood,
+    OOPSLA 2014). Used as the deterministic randomness source for every
+    experiment in this repository so that all paper reproductions are
+    bit-reproducible across runs and machines. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator seeded with [seed]. Distinct
+    seeds yield independent-looking streams. *)
+
+val copy : t -> t
+(** [copy t] is a generator that will produce the same future stream as [t]
+    without sharing state. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns 64 uniformly distributed bits. *)
+
+val next_float : t -> float
+(** [next_float t] is a uniform float in [\[0, 1)], using the top 53 bits. *)
+
+val next_below : t -> int -> int
+(** [next_below t n] is a uniform integer in [\[0, n)]. Requires [n > 0].
+    Uses rejection sampling, so the result is exactly uniform. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing [t].
+    Useful to hand child streams to parallel experiment arms. *)

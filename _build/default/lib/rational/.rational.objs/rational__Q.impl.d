@@ -1,0 +1,1 @@
+lib/rational/q.ml: Float Format List Printf Stdlib

@@ -1,0 +1,114 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Overflow-checked native multiplication: the product of two ints fits iff
+   dividing it back recovers the operands. *)
+let mul_int a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let add_int a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then raise Overflow;
+  s
+
+let make num den =
+  if den = 0 then invalid_arg "Q.make: zero denominator";
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let sign = if (num < 0) = (den < 0) then 1 else -1 in
+    let num = abs num and den = abs den in
+    let g = gcd num den in
+    { num = sign * (num / g); den = den / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+
+let add a b =
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  make (add_int (mul_int a.num db) (mul_int b.num da)) (mul_int a.den db)
+
+let neg a = { a with num = -a.num }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-reduce before multiplying to keep intermediates small. *)
+  let g1 = gcd (abs a.num) b.den and g2 = gcd (abs b.num) a.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  make (mul_int (a.num / g1) (b.num / g2)) (mul_int (a.den / g2) (b.den / g1))
+
+let div a b =
+  if b.num = 0 then invalid_arg "Q.div: division by zero";
+  mul a { num = b.den; den = abs b.num } |> fun r ->
+  if b.num < 0 then neg r else r
+
+let abs a = { a with num = abs a.num }
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den <=> a.num*b.den ? b.num*a.den, both dens > 0. *)
+  Stdlib.compare (mul_int a.num b.den) (mul_int b.num a.den)
+
+let equal a b = compare a b = 0
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+
+let ceil_div a b =
+  if Stdlib.( <= ) b.num 0 then invalid_arg "Q.ceil_div: divisor must be positive";
+  if Stdlib.( < ) a.num 0 then invalid_arg "Q.ceil_div: dividend must be non-negative";
+  let q = div a b in
+  (* ceil(num/den) for num >= 0, den > 0. *)
+  Stdlib.( / ) (add_int q.num (Stdlib.( - ) q.den 1)) q.den
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let of_float_approx ?(max_den = 10_000) x =
+  if Float.is_nan x || Float.is_integer x then of_int (int_of_float x)
+  else begin
+    let negative = Stdlib.( < ) x 0. in
+    let x = Float.abs x in
+    (* Continued-fraction convergents p/q until the denominator cap. *)
+    let rec loop x p0 q0 p1 q1 =
+      let a = int_of_float (Float.floor x) in
+      let p2 = add_int (mul_int a p1) p0 and q2 = add_int (mul_int a q1) q0 in
+      if Stdlib.( > ) q2 max_den then (p1, q1)
+      else
+        let frac = x -. Float.floor x in
+        if Stdlib.( < ) frac 1e-12 then (p2, q2)
+        else loop (1. /. frac) p1 q1 p2 q2
+    in
+    let a0 = int_of_float (Float.floor x) in
+    let frac0 = x -. Float.floor x in
+    let p, q =
+      if Stdlib.( < ) frac0 1e-12 then (a0, 1)
+      else loop (1. /. frac0) 1 0 a0 1
+    in
+    make (if negative then -p else p) q
+  end
+
+let to_string a =
+  if Stdlib.( = ) a.den 1 then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let sum l = List.fold_left add zero l

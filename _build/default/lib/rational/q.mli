@@ -1,0 +1,63 @@
+(** Exact rational arithmetic over native integers.
+
+    The tight worst-case results of the paper (the [5/7] ratio of Theorem
+    6.2, the [(1 + sqrt 41) / 8] family of Theorem 6.3 approximated by
+    rationals, Table I's exact bandwidth accounting) are statements about
+    exact arithmetic; verifying them with floats would only establish them
+    up to rounding. This module provides normalized rationals with overflow
+    detection — all the paper's gadgets involve tiny numerators, so native
+    [int] range (63 bits) is ample, and any overflow raises rather than
+    silently wrapping. *)
+
+type t = private { num : int; den : int }
+(** A rational in lowest terms with [den > 0]. [num = 0] implies [den = 1]. *)
+
+exception Overflow
+(** Raised when an intermediate product would exceed native-int range. *)
+
+val make : int -> int -> t
+(** [make num den] normalizes [num/den]. Requires [den <> 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div a b] requires [b <> zero]. *)
+
+val neg : t -> t
+val abs : t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+val ceil_div : t -> t -> int
+(** [ceil_div a b] is [ceil (a / b)] as an integer; the degree lower bound
+    [ceil (bi / T)] of the paper. Requires [b > zero] and [a >= zero]. *)
+
+val to_float : t -> float
+val of_float_approx : ?max_den:int -> float -> t
+(** Best rational approximation with denominator at most [max_den]
+    (default [10_000]), by continued fractions. Used to embed measured
+    bandwidths into exact gadgets. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val sum : t list -> t

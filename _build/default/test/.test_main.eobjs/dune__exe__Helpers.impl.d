@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Broadcast Float Format Instance Platform QCheck

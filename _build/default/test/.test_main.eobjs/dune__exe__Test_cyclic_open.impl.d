@@ -1,0 +1,1 @@
+test/test_cyclic_open.ml: Alcotest Array Broadcast Flowgraph Helpers Instance Platform QCheck QCheck_alcotest

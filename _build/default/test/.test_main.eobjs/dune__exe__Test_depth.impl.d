@@ -1,0 +1,1 @@
+test/test_depth.ml: Alcotest Broadcast Flowgraph Helpers Instance Platform QCheck QCheck_alcotest

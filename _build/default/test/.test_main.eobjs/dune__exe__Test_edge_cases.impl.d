@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Broadcast Flowgraph Generator Helpers Instance Platform Prng

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Broadcast Helpers Instance Platform QCheck QCheck_alcotest

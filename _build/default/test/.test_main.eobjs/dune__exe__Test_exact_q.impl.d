@@ -1,0 +1,1 @@
+test/test_exact_q.ml: Alcotest Array Broadcast Float Gen Instance List Platform QCheck QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Broadcast Experiments Float Format Helpers List Prng String

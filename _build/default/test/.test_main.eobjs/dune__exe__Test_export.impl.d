@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Broadcast Flowgraph List Platform Printf String

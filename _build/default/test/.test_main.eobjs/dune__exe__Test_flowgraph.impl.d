@@ -1,0 +1,1 @@
+test/test_flowgraph.ml: Alcotest Array Broadcast Float Flowgraph List Platform Prng

@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Broadcast Helpers Instance List Platform QCheck QCheck_alcotest

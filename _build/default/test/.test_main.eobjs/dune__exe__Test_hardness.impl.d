@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Array Broadcast Experiments Flowgraph Fun Helpers Instance Int64 List Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Broadcast Float Generator Instance List Plab Platform Prng

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Broadcast Float Flowgraph Generator Helpers Instance Lastmile List Massoulie Platform Prng

@@ -1,0 +1,1 @@
+test/test_lastmile.ml: Alcotest Array Float Helpers Int64 Lastmile Platform Prng QCheck QCheck_alcotest

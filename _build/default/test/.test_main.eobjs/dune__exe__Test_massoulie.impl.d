@@ -1,0 +1,1 @@
+test/test_massoulie.ml: Alcotest Broadcast Float Flowgraph Helpers List Massoulie Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_one_port.ml: Alcotest Array Experiments Massoulie Prng

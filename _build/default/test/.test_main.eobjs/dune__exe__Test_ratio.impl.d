@@ -1,0 +1,1 @@
+test/test_ratio.ml: Alcotest Broadcast Experiments Float Helpers Instance List Platform QCheck QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Float QCheck QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Array Broadcast Flowgraph Helpers Instance List Platform QCheck QCheck_alcotest

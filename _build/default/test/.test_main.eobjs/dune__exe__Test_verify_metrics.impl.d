@@ -1,0 +1,1 @@
+test/test_verify_metrics.ml: Alcotest Array Broadcast Flowgraph Helpers Instance Platform

@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Array Broadcast Format Helpers Instance List Platform Printf QCheck QCheck_alcotest

@@ -1,0 +1,49 @@
+(* Shared QCheck generators and checking utilities for the broadcast test
+   suites. *)
+
+open Platform
+
+let close ?(tol = 1e-9) what a b =
+  if Float.abs (a -. b) > tol *. Float.max 1. (Float.abs b) then
+    Alcotest.failf "%s: %g vs %g" what a b
+
+(* A positive bandwidth with several orders of magnitude of spread, so
+   generated instances cover both homogeneous and pathological shapes. *)
+let bandwidth_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun x -> 1. +. (99. *. x)) (float_bound_inclusive 1.);
+        map (fun x -> 0.1 +. x) (float_bound_inclusive 1.);
+        map (fun x -> 100. +. (900. *. x)) (float_bound_inclusive 1.);
+        return 1.;
+      ])
+
+(* Sorted instance with [n] open nodes, [m] guarded nodes, and a source at
+   least as strong as needed to avoid the degenerate b0 = 0 corner. *)
+let instance_gen ~max_open ~max_guarded =
+  QCheck.Gen.(
+    int_range 1 max_open >>= fun n ->
+    int_range 0 max_guarded >>= fun m ->
+    array_repeat (1 + n + m) bandwidth_gen >>= fun bandwidth ->
+    let inst = Instance.create ~bandwidth ~n ~m () in
+    return (fst (Instance.normalize inst)))
+
+let instance_arb ~max_open ~max_guarded =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a / %s" Instance.pp t (Instance.to_string t))
+    (instance_gen ~max_open ~max_guarded)
+
+let open_instance_arb ~max_open = instance_arb ~max_open ~max_guarded:0
+
+(* Check that a scheme delivers [rate] to every node, structurally. *)
+let check_scheme ?(what = "scheme") inst scheme ~rate =
+  let report = Broadcast.Verify.check inst scheme in
+  if not report.Broadcast.Verify.bandwidth_ok then
+    Alcotest.failf "%s: bandwidth constraint violated" what;
+  if not report.Broadcast.Verify.firewall_ok then
+    Alcotest.failf "%s: guarded-guarded edge" what;
+  if not (Broadcast.Util.fge ~eps:1e-6 report.Broadcast.Verify.throughput rate) then
+    Alcotest.failf "%s: throughput %g below target %g" what
+      report.Broadcast.Verify.throughput rate;
+  report

@@ -1,0 +1,92 @@
+(* Tests for Algorithm 1 (acyclic schemes on open nodes only). *)
+
+open Platform
+
+let test_fig3_structure () =
+  (* Deterministic example: b = (6, 5, 4, 3), T*ac = 5. *)
+  let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
+  let t = Broadcast.Bounds.acyclic_open_optimal inst in
+  Helpers.close "T*ac" t 5.;
+  let g = Broadcast.Acyclic_open.build inst in
+  ignore (Helpers.check_scheme inst g ~rate:t);
+  (* Source fills C1 (5) then starts C2 with its remaining 1; C1 fills the
+     rest of C2 and starts C3... consecutive-interval structure. *)
+  Helpers.close "c01" (Flowgraph.Graph.edge_weight g ~src:0 ~dst:1) 5.;
+  Helpers.close "c02" (Flowgraph.Graph.edge_weight g ~src:0 ~dst:2) 1.;
+  Helpers.close "c12" (Flowgraph.Graph.edge_weight g ~src:1 ~dst:2) 4.;
+  Helpers.close "c13" (Flowgraph.Graph.edge_weight g ~src:1 ~dst:3) 1.;
+  Helpers.close "c23" (Flowgraph.Graph.edge_weight g ~src:2 ~dst:3) 4.
+
+let test_every_node_receives_rate () =
+  let inst = Instance.create ~bandwidth:[| 10.; 8.; 8.; 2.; 1.; 1. |] ~n:5 ~m:0 () in
+  let t = Broadcast.Bounds.acyclic_open_optimal inst in
+  let g = Broadcast.Acyclic_open.build inst in
+  for v = 1 to 5 do
+    Helpers.close ~tol:1e-6 "in-weight = T" (Flowgraph.Graph.in_weight g v) t
+  done
+
+let test_lower_rate () =
+  let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
+  let g = Broadcast.Acyclic_open.build ~t:2.5 inst in
+  ignore (Helpers.check_scheme inst g ~rate:2.5);
+  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic g)
+
+let test_rejects () =
+  let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
+  (try
+     ignore (Broadcast.Acyclic_open.build ~t:5.5 inst);
+     Alcotest.fail "infeasible rate accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Broadcast.Acyclic_open.build Instance.fig1);
+    Alcotest.fail "guarded instance accepted"
+  with Invalid_argument _ -> ()
+
+let test_first_deficit () =
+  let inst = Instance.create ~bandwidth:[| 5.; 5.; 3.; 2. |] ~n:3 ~m:0 () in
+  (* At T = 5 (the cyclic optimum): S2 = 13 < 15 -> i0 = 3 (Fig 11). *)
+  Alcotest.(check (option int)) "fig11 deficit" (Some 3)
+    (Broadcast.Acyclic_open.first_deficit inst ~t:5.);
+  (* At T*ac there is no deficit. *)
+  let t_ac = Broadcast.Bounds.acyclic_open_optimal inst in
+  Alcotest.(check (option int)) "no deficit at T*ac" None
+    (Broadcast.Acyclic_open.first_deficit inst ~t:t_ac)
+
+(* Property: on random sorted open instances, Algorithm 1 achieves T*ac
+   acyclically with outdegrees at most ceil(b/T) + 1 (Section III-B). *)
+let prop_algorithm1 =
+  QCheck.Test.make ~name:"Algorithm 1: optimal, acyclic, degree +1" ~count:60
+    (Helpers.open_instance_arb ~max_open:20) (fun inst ->
+      let t = Broadcast.Bounds.acyclic_open_optimal inst in
+      QCheck.assume (t > 1e-6);
+      let g = Broadcast.Acyclic_open.build inst in
+      ignore (Helpers.check_scheme inst g ~rate:(t *. (1. -. 1e-9)));
+      if not (Flowgraph.Topo.is_acyclic g) then Alcotest.fail "cyclic output";
+      let d = Broadcast.Metrics.degree_report inst ~t g in
+      if d.Broadcast.Metrics.max_excess > 1 then
+        Alcotest.failf "degree excess %d > 1" d.Broadcast.Metrics.max_excess;
+      true)
+
+(* Property: the closed form really is an upper bound for acyclic schemes —
+   cross-checked against the exhaustive word oracle on small instances. *)
+let prop_closed_form_is_optimal =
+  QCheck.Test.make ~name:"closed form matches exhaustive optimum" ~count:40
+    (Helpers.open_instance_arb ~max_open:7) (fun inst ->
+      let t = Broadcast.Bounds.acyclic_open_optimal inst in
+      let t_brute, _ = Broadcast.Exact.optimal_acyclic_words inst in
+      Helpers.close ~tol:1e-9 "closed form vs brute force" t t_brute;
+      true)
+
+let suites =
+  [
+    ( "acyclic_open",
+      [
+        Alcotest.test_case "Figure 3 structure" `Quick test_fig3_structure;
+        Alcotest.test_case "every node receives T" `Quick test_every_node_receives_rate;
+        Alcotest.test_case "sub-optimal target rate" `Quick test_lower_rate;
+        Alcotest.test_case "rejects bad inputs" `Quick test_rejects;
+        Alcotest.test_case "first_deficit" `Quick test_first_deficit;
+        QCheck_alcotest.to_alcotest prop_algorithm1;
+        QCheck_alcotest.to_alcotest prop_closed_form_is_optimal;
+      ] );
+  ]

@@ -1,0 +1,105 @@
+(* Tests for the cyclic construction of Theorem 5.2. *)
+
+open Platform
+
+let check_theorem52_degrees inst ~t scheme =
+  let d = Broadcast.Metrics.degree_report inst ~t scheme in
+  Array.iteri
+    (fun i o ->
+      let bound = max (Broadcast.Bounds.degree_lower_bound inst ~t i + 2) 4 in
+      if o > bound then Alcotest.failf "node %d: degree %d > bound %d" i o bound)
+    d.Broadcast.Metrics.degrees
+
+let test_fig12 () =
+  (* b = (5, 5, 3, 2), T = 5 (Figures 11-12; i0 = n case). *)
+  let inst = Instance.create ~bandwidth:[| 5.; 5.; 3.; 2. |] ~n:3 ~m:0 () in
+  let g = Broadcast.Cyclic_open.build ~t:5. inst in
+  ignore (Helpers.check_scheme inst g ~rate:5.);
+  Alcotest.(check bool) "cyclic" false (Flowgraph.Topo.is_acyclic g);
+  check_theorem52_degrees inst ~t:5. g
+
+let test_fig17 () =
+  (* b = (5, 5, 4, 4, 4, 3), T = 5 (Figures 14-17; induction case). *)
+  let inst = Instance.create ~bandwidth:[| 5.; 5.; 4.; 4.; 4.; 3. |] ~n:5 ~m:0 () in
+  let g = Broadcast.Cyclic_open.build ~t:5. inst in
+  ignore (Helpers.check_scheme inst g ~rate:5.);
+  Alcotest.(check bool) "cyclic" false (Flowgraph.Topo.is_acyclic g);
+  check_theorem52_degrees inst ~t:5. g;
+  (* P1 holds for the most recently inserted pair (earlier pairs are
+     modified by later insertions): c(n, n-1) + c(n-1, n) = T. *)
+  Helpers.close ~tol:1e-6 "property P1"
+    (Flowgraph.Graph.edge_weight g ~src:4 ~dst:5
+    +. Flowgraph.Graph.edge_weight g ~src:5 ~dst:4)
+    5.
+
+let test_no_deficit_stays_acyclic () =
+  (* When Algorithm 1 already reaches T, the output is the acyclic scheme. *)
+  let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
+  let t = Broadcast.Bounds.cyclic_open_optimal inst in
+  (* T* = min(6, 18/3) = 6 > T*ac = 5: deficit occurs. Use a smaller t. *)
+  let g = Broadcast.Cyclic_open.build ~t:4.5 inst in
+  Alcotest.(check bool) "acyclic when feasible" true (Flowgraph.Topo.is_acyclic g);
+  ignore (Helpers.check_scheme inst g ~rate:4.5);
+  ignore t
+
+let test_gap_instance () =
+  (* An instance where cyclic strictly beats acyclic. *)
+  let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
+  let t_cy = Broadcast.Bounds.cyclic_open_optimal inst in
+  let t_ac = Broadcast.Bounds.acyclic_open_optimal inst in
+  Alcotest.(check bool) "cyclic strictly better" true (t_cy > t_ac +. 0.5);
+  let g = Broadcast.Cyclic_open.build inst in
+  ignore (Helpers.check_scheme inst g ~rate:t_cy);
+  check_theorem52_degrees inst ~t:t_cy g
+
+let test_rejects () =
+  let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
+  (try
+     ignore (Broadcast.Cyclic_open.build ~t:6.5 inst);
+     Alcotest.fail "infeasible rate accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Broadcast.Cyclic_open.build Instance.fig1);
+    Alcotest.fail "guarded instance accepted"
+  with Invalid_argument _ -> ()
+
+(* Theorem 5.2, property-tested at the optimal rate on random sorted
+   open-only instances. *)
+let prop_theorem52 =
+  QCheck.Test.make ~name:"Theorem 5.2: optimal cyclic with bounded degrees"
+    ~count:60 (Helpers.open_instance_arb ~max_open:15) (fun inst ->
+      let t = Broadcast.Bounds.cyclic_open_optimal inst in
+      QCheck.assume (t > 1e-6);
+      (* Back off an epsilon so max-flow verification is clean. *)
+      let t = t *. (1. -. 1e-9) in
+      let g = Broadcast.Cyclic_open.build ~t inst in
+      ignore (Helpers.check_scheme inst g ~rate:t);
+      check_theorem52_degrees inst ~t g;
+      true)
+
+(* The construction also works at any sub-optimal rate. *)
+let prop_suboptimal_rates =
+  QCheck.Test.make ~name:"cyclic construction at fractional rates" ~count:40
+    (QCheck.pair
+       (Helpers.open_instance_arb ~max_open:10)
+       (QCheck.float_range 0.3 0.95))
+    (fun (inst, frac) ->
+      let t = Broadcast.Bounds.cyclic_open_optimal inst *. frac in
+      QCheck.assume (t > 1e-6);
+      let g = Broadcast.Cyclic_open.build ~t inst in
+      ignore (Helpers.check_scheme inst g ~rate:t);
+      true)
+
+let suites =
+  [
+    ( "cyclic_open",
+      [
+        Alcotest.test_case "Figures 11-12 example" `Quick test_fig12;
+        Alcotest.test_case "Figures 14-17 example" `Quick test_fig17;
+        Alcotest.test_case "acyclic when no deficit" `Quick test_no_deficit_stays_acyclic;
+        Alcotest.test_case "cyclic beats acyclic" `Quick test_gap_instance;
+        Alcotest.test_case "rejects bad inputs" `Quick test_rejects;
+        QCheck_alcotest.to_alcotest prop_theorem52;
+        QCheck_alcotest.to_alcotest prop_suboptimal_rates;
+      ] );
+  ]

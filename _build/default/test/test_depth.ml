@@ -1,0 +1,99 @@
+(* Tests for the depth-aware scheme construction. *)
+
+open Platform
+
+let test_fig1_depth_build () =
+  let inst = Instance.fig1 in
+  let w = Broadcast.Word.of_string "gogog" in
+  let g = Broadcast.Depth.build inst ~rate:4. w in
+  ignore (Helpers.check_scheme inst g ~rate:4.);
+  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic g);
+  for v = 1 to 5 do
+    Helpers.close ~tol:1e-6 "in-rate" (Flowgraph.Graph.in_weight g v) 4.
+  done
+
+let test_build_optimal () =
+  let inst = Instance.fig1 in
+  let rate, g = Broadcast.Depth.build_optimal inst in
+  ignore (Helpers.check_scheme inst g ~rate);
+  Helpers.close ~tol:1e-6 "optimal rate" rate 4.
+
+let test_fraction_validation () =
+  (try
+     ignore (Broadcast.Depth.build_optimal ~fraction:0. Instance.fig1);
+     Alcotest.fail "zero fraction accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Broadcast.Depth.build_optimal ~fraction:1.5 Instance.fig1);
+    Alcotest.fail "fraction > 1 accepted"
+  with Invalid_argument _ -> ()
+
+let test_infeasible_word () =
+  let inst = Instance.fig1 in
+  let w = Broadcast.Word.of_string "ggoog" in
+  try
+    ignore (Broadcast.Depth.build inst ~rate:4. w);
+    Alcotest.fail "infeasible word accepted"
+  with Invalid_argument _ -> ()
+
+let test_tradeoff_monotone () =
+  (* A wide homogeneous platform: depth must drop as rate backs off. *)
+  let inst =
+    Instance.homogeneous ~n:64 ~m:0 ~b0:1. ~bopen:1. ~bguarded:0.
+  in
+  let points = Broadcast.Depth.tradeoff ~fractions:[ 1.0; 0.5 ] inst in
+  match points with
+  | [ full; half ] ->
+    Alcotest.(check bool) "half rate is shallower" true
+      (half.Broadcast.Depth.min_depth <= full.Broadcast.Depth.min_depth);
+    (* At half rate on a homogeneous platform each node can feed two
+       others: depth should be near log2(n), far below n. *)
+    Alcotest.(check bool) "near-logarithmic at half rate" true
+      (half.Broadcast.Depth.min_depth <= 14);
+    Alcotest.(check bool) "chain-like at full rate" true
+      (full.Broadcast.Depth.min_depth >= 16)
+  | _ -> Alcotest.fail "expected two tradeoff points"
+
+(* Min-depth schemes are never deeper than the FIFO scheme built from the
+   same word at the same rate. *)
+let prop_depth_no_worse =
+  QCheck.Test.make ~name:"min-depth <= FIFO depth" ~count:40
+    (Helpers.instance_arb ~max_open:12 ~max_guarded:8) (fun inst ->
+      let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+      QCheck.assume (t > 1e-6);
+      let rate = t *. 0.8 in
+      match Broadcast.Greedy.test inst ~rate with
+      | None -> QCheck.assume_fail ()
+      | Some word ->
+        let fifo = Broadcast.Low_degree.build inst ~rate word in
+        let shallow = Broadcast.Depth.build inst ~rate word in
+        Broadcast.Metrics.depth shallow <= Broadcast.Metrics.depth fifo)
+
+(* Same feasibility envelope: whenever the FIFO construction succeeds, the
+   min-depth one does too, and both verify at the same rate. *)
+let prop_same_feasibility =
+  QCheck.Test.make ~name:"depth build verifies like FIFO" ~count:40
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:8) (fun inst ->
+      let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+      QCheck.assume (t > 1e-6);
+      let rate = t *. (1. -. (4. *. Broadcast.Util.eps)) in
+      match Broadcast.Greedy.test inst ~rate with
+      | None -> QCheck.assume_fail ()
+      | Some word ->
+        let shallow = Broadcast.Depth.build inst ~rate word in
+        ignore (Helpers.check_scheme inst shallow ~rate);
+        Flowgraph.Topo.is_acyclic shallow)
+
+let suites =
+  [
+    ( "depth",
+      [
+        Alcotest.test_case "fig1 construction" `Quick test_fig1_depth_build;
+        Alcotest.test_case "build_optimal" `Quick test_build_optimal;
+        Alcotest.test_case "fraction validation" `Quick test_fraction_validation;
+        Alcotest.test_case "infeasible word" `Quick test_infeasible_word;
+        Alcotest.test_case "tradeoff monotone" `Quick test_tradeoff_monotone;
+        QCheck_alcotest.to_alcotest prop_depth_no_worse;
+        QCheck_alcotest.to_alcotest prop_same_feasibility;
+      ] );
+  ]

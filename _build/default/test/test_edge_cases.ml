@@ -1,0 +1,153 @@
+(* Adversarial and degenerate platforms exercised through the whole
+   pipeline: zero-bandwidth nodes, guarded-only platforms, massive ties,
+   weak sources, and a large-instance smoke test. *)
+
+open Platform
+
+let test_guarded_only () =
+  (* n = 0: every guarded node is fed by the source alone, so
+     T*ac = b0 / m. *)
+  let inst = Instance.create ~bandwidth:[| 6.; 9.; 9.; 9. |] ~n:0 ~m:3 () in
+  let t, w = Broadcast.Greedy.optimal_acyclic inst in
+  Helpers.close ~tol:1e-9 "T*ac = b0/m" t 2.;
+  Alcotest.(check string) "word all guarded" "ggg" (Broadcast.Word.to_string w);
+  Helpers.close "cyclic also b0/m" (Broadcast.Bounds.cyclic_upper inst) 2.;
+  let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+  ignore (Helpers.check_scheme inst scheme ~rate);
+  (* The guarded nodes' own bandwidth is unusable: only source edges. *)
+  Flowgraph.Graph.iter_edges
+    (fun ~src ~dst:_ _ -> Alcotest.(check int) "all from source" 0 src)
+    scheme
+
+let test_single_guarded_receiver () =
+  let inst = Instance.create ~bandwidth:[| 3.; 100. |] ~n:0 ~m:1 () in
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  Helpers.close ~tol:1e-9 "T = b0" t 3.
+
+let test_zero_bandwidth_tail () =
+  (* Pure sinks (b = 0) must be served and cost nothing in degree. *)
+  let inst =
+    Instance.create ~bandwidth:[| 9.; 6.; 0.; 3.; 0.; 0. |] ~n:2 ~m:3 ()
+    |> Instance.normalize |> fst
+  in
+  let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+  Alcotest.(check bool) "positive rate" true (rate > 0.);
+  ignore (Helpers.check_scheme inst scheme ~rate);
+  (* Zero-bandwidth nodes never send. *)
+  for v = 0 to Instance.size inst - 1 do
+    if inst.Instance.bandwidth.(v) = 0. then
+      Alcotest.(check int) "sink sends nothing" 0
+        (Flowgraph.Graph.out_degree scheme v)
+  done
+
+let test_zero_source () =
+  (* b0 = 0: nothing can be broadcast; every optimum is 0 and the search
+     degrades gracefully. *)
+  let inst = Instance.create ~bandwidth:[| 0.; 5.; 5. |] ~n:2 ~m:0 () in
+  Helpers.close "cyclic 0" (Broadcast.Bounds.cyclic_upper inst) 0.;
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  Helpers.close "acyclic 0" t 0.
+
+let test_all_equal () =
+  (* Full tie-breaking stress: 20 identical nodes, half guarded. *)
+  let inst = Instance.homogeneous ~n:10 ~m:10 ~b0:7. ~bopen:7. ~bguarded:7. in
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  let t_cyc = Broadcast.Bounds.cyclic_upper inst in
+  Alcotest.(check bool) "close to cyclic" true (t >= 0.9 *. t_cyc);
+  let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+  ignore (Helpers.check_scheme inst scheme ~rate);
+  let d = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+  Alcotest.(check bool) "lemma 4.6 degrees" true (d.Broadcast.Metrics.max_excess <= 3)
+
+let test_weak_source () =
+  (* The source is the bottleneck: T = b0, everyone else has slack. *)
+  let inst = Instance.create ~bandwidth:[| 1.; 50.; 50.; 50.; 50. |] ~n:4 ~m:0 () in
+  let t = Broadcast.Bounds.acyclic_open_optimal inst in
+  Helpers.close "T = b0" t 1.;
+  let g = Broadcast.Acyclic_open.build inst in
+  ignore (Helpers.check_scheme inst g ~rate:1.)
+
+let test_strong_guarded () =
+  (* Guarded nodes hold nearly all the bandwidth; open relays are scarce.
+     The greedy must interleave to recycle guarded bandwidth. *)
+  let inst =
+    Instance.create ~bandwidth:[| 2.; 1.; 40.; 40.; 40. |] ~n:1 ~m:3 ()
+  in
+  let t, w = Broadcast.Greedy.optimal_acyclic inst in
+  (* T*: guarded demand 3T <= b0 + O = 3 -> T <= 1; open+source supply
+     everything else. *)
+  Alcotest.(check bool) "T at most 1" true (t <= 1. +. 1e-9);
+  Alcotest.(check bool) "T positive" true (t > 0.5);
+  (* The first letter must be guarded (conserve open bandwidth). *)
+  Alcotest.(check bool) "starts guarded" true (w.(0) = Instance.Guarded)
+
+let test_large_instance_smoke () =
+  (* n + m = 2000: the full Theorem 4.1 pipeline stays fast and correct
+     (structural checks only; max-flow verification would dominate). *)
+  let rng = Prng.Splitmix.create 77L in
+  let inst =
+    Generator.generate
+      { Generator.total = 2000; p_open = 0.7; dist = Prng.Dist.ln1 }
+      rng
+  in
+  let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+  Alcotest.(check bool) "positive rate" true (rate > 0.);
+  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic scheme);
+  let ok = ref true in
+  for v = 1 to Instance.size inst - 1 do
+    if
+      not
+        (Broadcast.Util.feq ~eps:1e-6 (Flowgraph.Graph.in_weight scheme v) rate)
+    then ok := false
+  done;
+  Alcotest.(check bool) "every node receives the rate" true !ok;
+  let d = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+  Alcotest.(check bool) "degree bounds at scale" true
+    (d.Broadcast.Metrics.max_excess <= 3)
+
+let test_normalize_idempotent () =
+  let inst = Instance.create ~bandwidth:[| 1.; 3.; 9.; 2.; 8. |] ~n:2 ~m:2 () in
+  let once, _ = Instance.normalize inst in
+  let twice, perm = Instance.normalize once in
+  Alcotest.(check bool) "idempotent" true (Instance.equal once twice);
+  Alcotest.(check (array int)) "identity permutation" [| 0; 1; 2; 3; 4 |] perm
+
+let test_tiny_bandwidth_scale () =
+  (* At magnitudes far below 1 the library's tolerance floor (absolute
+     1e-9 near zero) dominates: results stay correct only to ~0.1%.
+     Rescale bandwidths towards O(1) for exact work — this test pins the
+     documented graceful degradation. *)
+  let inst =
+    Instance.create
+      ~bandwidth:[| 6e-7; 5e-7; 5e-7; 4e-7; 1e-7; 1e-7 |]
+      ~n:2 ~m:3 ()
+  in
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  Helpers.close ~tol:1e-2 "fig1 scaled down" (t /. 4e-7) 1.
+
+let test_huge_bandwidth_scale () =
+  let inst =
+    Instance.create
+      ~bandwidth:[| 6e9; 5e9; 5e9; 4e9; 1e9; 1e9 |]
+      ~n:2 ~m:3 ()
+  in
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  Helpers.close ~tol:1e-6 "fig1 scaled up" (t /. 4e9) 1.
+
+let suites =
+  [
+    ( "edge_cases",
+      [
+        Alcotest.test_case "guarded-only platform" `Quick test_guarded_only;
+        Alcotest.test_case "single guarded receiver" `Quick test_single_guarded_receiver;
+        Alcotest.test_case "zero-bandwidth sinks" `Quick test_zero_bandwidth_tail;
+        Alcotest.test_case "zero source" `Quick test_zero_source;
+        Alcotest.test_case "all-equal ties" `Quick test_all_equal;
+        Alcotest.test_case "weak source" `Quick test_weak_source;
+        Alcotest.test_case "guarded-heavy bandwidth" `Quick test_strong_guarded;
+        Alcotest.test_case "2000-node smoke" `Quick test_large_instance_smoke;
+        Alcotest.test_case "normalize idempotent" `Quick test_normalize_idempotent;
+        Alcotest.test_case "tiny magnitudes" `Quick test_tiny_bandwidth_scale;
+        Alcotest.test_case "huge magnitudes" `Quick test_huge_bandwidth_scale;
+      ] );
+  ]

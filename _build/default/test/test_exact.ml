@@ -1,0 +1,60 @@
+(* Tests for the exhaustive oracles, including the empirical validation of
+   Lemma 4.2 (increasing orders dominate all orders). *)
+
+open Platform
+
+let test_order_throughput_fig1 () =
+  (* sigma = 031425 achieves 4 (Figure 5). *)
+  Helpers.close "031425" (Broadcast.Exact.order_throughput Instance.fig1 [| 3; 1; 4; 2; 5 |]) 4.;
+  (* sigma = 031245 achieves 4 (Figure 2). *)
+  Helpers.close "031245" (Broadcast.Exact.order_throughput Instance.fig1 [| 3; 1; 2; 4; 5 |]) 4.
+
+let test_order_validation () =
+  (try
+     ignore (Broadcast.Exact.order_throughput Instance.fig1 [| 1; 2 |]);
+     Alcotest.fail "short order accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Broadcast.Exact.order_throughput Instance.fig1 [| 1; 1; 2; 3; 4 |]);
+     Alcotest.fail "duplicate accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Broadcast.Exact.order_throughput Instance.fig1 [| 0; 1; 2; 3; 4 |]);
+    Alcotest.fail "source in order accepted"
+  with Invalid_argument _ -> ()
+
+let test_words_oracle_fig1 () =
+  let t, w = Broadcast.Exact.optimal_acyclic_words Instance.fig1 in
+  Helpers.close "fig1 exhaustive" t 4.;
+  Alcotest.(check bool) "witness complete" true
+    (Broadcast.Word.complete w Instance.fig1)
+
+(* Lemma 4.2: the best over ALL orders equals the best over increasing
+   orders (encoded words), on random small instances. *)
+let prop_lemma42 =
+  QCheck.Test.make ~name:"Lemma 4.2: increasing orders dominate" ~count:30
+    (Helpers.instance_arb ~max_open:3 ~max_guarded:3) (fun inst ->
+      QCheck.assume (inst.Instance.n + inst.Instance.m <= 6);
+      let t_words, _ = Broadcast.Exact.optimal_acyclic_words inst in
+      let t_orders, _ = Broadcast.Exact.optimal_acyclic_orders inst in
+      Helpers.close ~tol:1e-9 "words vs orders" t_words t_orders;
+      true)
+
+let test_orders_size_limit () =
+  let big = Instance.create ~bandwidth:(Array.make 11 1.) ~n:10 ~m:0 () in
+  try
+    ignore (Broadcast.Exact.optimal_acyclic_orders big);
+    Alcotest.fail "oversized instance accepted"
+  with Invalid_argument _ -> ()
+
+let suites =
+  [
+    ( "exact",
+      [
+        Alcotest.test_case "fig1 order throughputs" `Quick test_order_throughput_fig1;
+        Alcotest.test_case "order validation" `Quick test_order_validation;
+        Alcotest.test_case "fig1 word oracle" `Quick test_words_oracle_fig1;
+        Alcotest.test_case "size limit" `Quick test_orders_size_limit;
+        QCheck_alcotest.to_alcotest prop_lemma42;
+      ] );
+  ]

@@ -1,0 +1,140 @@
+(* Exact-rational certification of the paper's tight constants. *)
+
+module Q = Rational.Q
+open Platform
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let test_fig1_exact () =
+  let b0, receivers = Broadcast.Exact_q.of_instance Instance.fig1 in
+  Alcotest.check q "b0 = 6" (Q.of_int 6) b0;
+  (* T*ac = exactly 4. *)
+  let t, _ =
+    Broadcast.Exact_q.optimal_acyclic ~b0
+      ~opens:[ Q.of_int 5; Q.of_int 5 ]
+      ~guardeds:[ Q.of_int 4; Q.one; Q.one ]
+  in
+  Alcotest.check q "T*ac = 4 exactly" (Q.of_int 4) t;
+  ignore receivers
+
+let test_table1_exact () =
+  (* Table I's O/G/W values at T = 4 on the gogog order, exactly. *)
+  let receivers =
+    [
+      (Instance.Guarded, Q.of_int 4);
+      (Instance.Open, Q.of_int 5);
+      (Instance.Guarded, Q.one);
+      (Instance.Open, Q.of_int 5);
+      (Instance.Guarded, Q.one);
+    ]
+  in
+  match
+    Broadcast.Exact_q.accounting ~b0:(Q.of_int 6) ~rate:(Q.of_int 4) receivers
+  with
+  | None -> Alcotest.fail "gogog infeasible at 4"
+  | Some states ->
+    let expected =
+      [ (2, 4, 0); (7, 0, 0); (3, 1, 0); (5, 0, 3); (1, 1, 3) ]
+    in
+    List.iter2
+      (fun (o, g, w) (eo, eg, ew) ->
+        Alcotest.check q "O exact" (Q.of_int eo) o;
+        Alcotest.check q "G exact" (Q.of_int eg) g;
+        Alcotest.check q "W exact" (Q.of_int ew) w)
+      states expected
+
+let test_five_sevenths_exact () =
+  (* Theorem 6.2's gadget at eps = 1/14, in exact arithmetic:
+     b0 = 1, open 1 + 2/14 = 8/7, guarded 1/2 - 1/14 = 3/7 each. *)
+  let b0 = Q.one in
+  let opens = [ Q.make 8 7 ] and guardeds = [ Q.make 3 7; Q.make 3 7 ] in
+  let t, _ = Broadcast.Exact_q.optimal_acyclic ~b0 ~opens ~guardeds in
+  Alcotest.check q "T*ac = 5/7 exactly" (Q.make 5 7) t;
+  (* Both orderings meet at 5/7. *)
+  let sigma1 =
+    Broadcast.Exact_q.sequence_throughput ~b0
+      [
+        (Instance.Open, Q.make 8 7);
+        (Instance.Guarded, Q.make 3 7);
+        (Instance.Guarded, Q.make 3 7);
+      ]
+  in
+  let sigma2 =
+    Broadcast.Exact_q.sequence_throughput ~b0
+      [
+        (Instance.Guarded, Q.make 3 7);
+        (Instance.Open, Q.make 8 7);
+        (Instance.Guarded, Q.make 3 7);
+      ]
+  in
+  Alcotest.check q "sigma1 = 5/7" (Q.make 5 7) sigma1;
+  Alcotest.check q "sigma2 = 5/7" (Q.make 5 7) sigma2
+
+let test_feasibility_boundary_exact () =
+  let b0 = Q.one in
+  let receivers =
+    [
+      (Instance.Guarded, Q.make 3 7);
+      (Instance.Open, Q.make 8 7);
+      (Instance.Guarded, Q.make 3 7);
+    ]
+  in
+  Alcotest.(check bool) "feasible exactly at 5/7" true
+    (Broadcast.Exact_q.feasible ~b0 ~rate:(Q.make 5 7) receivers);
+  Alcotest.(check bool) "infeasible at 5/7 + 1/1000000" false
+    (Broadcast.Exact_q.feasible ~b0
+       ~rate:(Q.add (Q.make 5 7) (Q.make 1 1_000_000))
+       receivers)
+
+let test_sorted_validation () =
+  try
+    ignore
+      (Broadcast.Exact_q.optimal_acyclic ~b0:Q.one ~opens:[ Q.one; Q.of_int 2 ]
+         ~guardeds:[]);
+    Alcotest.fail "unsorted accepted"
+  with Invalid_argument _ -> ()
+
+(* Cross-validation: the exact pipeline agrees with the float pipeline on
+   random small rational instances. *)
+let prop_exact_matches_float =
+  QCheck.Test.make ~name:"exact Q optimum = float optimum" ~count:40
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 4) (int_range 1 64))
+        (list_of_size (Gen.int_range 0 4) (int_range 1 64)))
+    (fun (opens_i, guardeds_i) ->
+      let sort_desc l = List.sort (fun a b -> compare b a) l in
+      let opens_i = sort_desc opens_i and guardeds_i = sort_desc guardeds_i in
+      let b0_i = 16 in
+      (* Exact side: eighths of the integers, to exercise denominators. *)
+      let to_q k = Q.make k 8 in
+      let t_q, _ =
+        Broadcast.Exact_q.optimal_acyclic ~b0:(to_q b0_i)
+          ~opens:(List.map to_q opens_i)
+          ~guardeds:(List.map to_q guardeds_i)
+      in
+      (* Float side. *)
+      let to_f k = float_of_int k /. 8. in
+      let bandwidth =
+        Array.of_list
+          ((to_f b0_i :: List.map to_f opens_i) @ List.map to_f guardeds_i)
+      in
+      let inst =
+        Instance.create ~bandwidth ~n:(List.length opens_i)
+          ~m:(List.length guardeds_i) ()
+      in
+      let t_f, _ = Broadcast.Exact.optimal_acyclic_words inst in
+      Float.abs (Q.to_float t_q -. t_f) <= 1e-9 *. Float.max 1. t_f)
+
+let suites =
+  [
+    ( "exact_q",
+      [
+        Alcotest.test_case "fig1 exact optimum" `Quick test_fig1_exact;
+        Alcotest.test_case "Table I exact" `Quick test_table1_exact;
+        Alcotest.test_case "5/7 exact" `Quick test_five_sevenths_exact;
+        Alcotest.test_case "exact feasibility boundary" `Quick test_feasibility_boundary_exact;
+        Alcotest.test_case "sorted validation" `Quick test_sorted_validation;
+        QCheck_alcotest.to_alcotest prop_exact_matches_float;
+      ] );
+  ]

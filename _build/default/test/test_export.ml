@@ -1,0 +1,77 @@
+(* Tests for the DOT/JSON overlay exporters. *)
+
+module G = Flowgraph.Graph
+
+let sample () =
+  let g = G.create 3 in
+  G.add_edge g ~src:0 ~dst:1 2.5;
+  G.add_edge g ~src:1 ~dst:2 1.25;
+  g
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_dot () =
+  let dot =
+    Flowgraph.Export.to_dot
+      ~node_class:(fun v -> if v = 0 then Some "source" else Some "open")
+      (sample ())
+  in
+  Alcotest.(check bool) "digraph header" true (contains dot "digraph \"overlay\"");
+  Alcotest.(check bool) "edge 0->1" true (contains dot "n0 -> n1 [label=\"2.5\"]");
+  Alcotest.(check bool) "edge 1->2" true (contains dot "n1 -> n2 [label=\"1.25\"]");
+  Alcotest.(check bool) "source styled" true (contains dot "doublecircle");
+  Alcotest.(check bool) "closed" true (contains dot "}\n")
+
+let test_dot_custom_labels () =
+  let dot =
+    Flowgraph.Export.to_dot ~name:"g2" ~node_label:(Printf.sprintf "peer-%d") (sample ())
+  in
+  Alcotest.(check bool) "custom name" true (contains dot "digraph \"g2\"");
+  Alcotest.(check bool) "custom label" true (contains dot "label=\"peer-2\"")
+
+let test_json () =
+  let json = Flowgraph.Export.to_json (sample ()) in
+  Alcotest.(check string) "exact json"
+    "{\"nodes\": 3, \"edges\": [{\"src\": 0, \"dst\": 1, \"rate\": 2.5}, \
+     {\"src\": 1, \"dst\": 2, \"rate\": 1.25}]}"
+    json
+
+let test_json_empty () =
+  Alcotest.(check string) "empty graph" "{\"nodes\": 2, \"edges\": []}"
+    (Flowgraph.Export.to_json (G.create 2))
+
+let test_schedule_json () =
+  let scheme = Broadcast.Acyclic_open.build
+      (Platform.Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 ())
+  in
+  let trees = Flowgraph.Arborescence.decompose scheme ~root:0 in
+  let json = Flowgraph.Export.schedule_to_json trees in
+  Alcotest.(check bool) "has trees" true (contains json "{\"trees\": [{\"rate\":");
+  Alcotest.(check bool) "root parent -1" true (contains json "[-1");
+  (* One 'parent' array per tree. *)
+  let count_occurrences hay needle =
+    let rec go i acc =
+      if i + String.length needle > String.length hay then acc
+      else if String.sub hay i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "parents arrays" (List.length trees)
+    (count_occurrences json "\"parent\"")
+
+let suites =
+  [
+    ( "export",
+      [
+        Alcotest.test_case "dot rendering" `Quick test_dot;
+        Alcotest.test_case "dot custom labels" `Quick test_dot_custom_labels;
+        Alcotest.test_case "json rendering" `Quick test_json;
+        Alcotest.test_case "json empty" `Quick test_json_empty;
+        Alcotest.test_case "schedule json" `Quick test_schedule_json;
+      ] );
+  ]

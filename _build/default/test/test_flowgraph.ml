@@ -1,0 +1,283 @@
+(* Tests for the graph substrate: adjacency bookkeeping, Dinic max-flow,
+   topological structure and arborescence decomposition. *)
+
+module G = Flowgraph.Graph
+
+let close ?(tol = 1e-9) what a b =
+  if Float.abs (a -. b) > tol *. Float.max 1. (Float.abs b) then
+    Alcotest.failf "%s: %g vs %g" what a b
+
+let test_edges_basic () =
+  let g = G.create 4 in
+  Alcotest.(check int) "empty" 0 (G.edge_count g);
+  G.add_edge g ~src:0 ~dst:1 2.;
+  G.add_edge g ~src:0 ~dst:1 3.;
+  close "accumulated" (G.edge_weight g ~src:0 ~dst:1) 5.;
+  Alcotest.(check int) "one edge" 1 (G.edge_count g);
+  G.set_edge g ~src:0 ~dst:1 1.5;
+  close "set" (G.edge_weight g ~src:0 ~dst:1) 1.5;
+  G.add_edge g ~src:0 ~dst:1 (-1.5);
+  Alcotest.(check int) "removed at zero" 0 (G.edge_count g);
+  close "absent weight" (G.edge_weight g ~src:0 ~dst:1) 0.
+
+let test_edges_validation () =
+  let g = G.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph: self loop") (fun () ->
+      G.add_edge g ~src:1 ~dst:1 1.);
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph: node out of range")
+    (fun () -> G.add_edge g ~src:0 ~dst:3 1.);
+  Alcotest.check_raises "nan" (Invalid_argument "Graph: NaN weight") (fun () ->
+      G.set_edge g ~src:0 ~dst:1 nan)
+
+let test_in_out_consistency () =
+  let g = G.create 5 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  G.add_edge g ~src:0 ~dst:2 2.;
+  G.add_edge g ~src:1 ~dst:2 3.;
+  G.add_edge g ~src:3 ~dst:2 4.;
+  close "out 0" (G.out_weight g 0) 3.;
+  close "in 2" (G.in_weight g 2) 9.;
+  Alcotest.(check int) "out degree 0" 2 (G.out_degree g 0);
+  Alcotest.(check int) "in edges of 2" 3 (List.length (G.in_edges g 2));
+  let total_out = ref 0. and total_in = ref 0. in
+  for v = 0 to 4 do
+    total_out := !total_out +. G.out_weight g v;
+    total_in := !total_in +. G.in_weight g v
+  done;
+  close "flow conservation of bookkeeping" !total_out !total_in
+
+let test_matrix_roundtrip () =
+  let c = [| [| 0.; 1.; 2. |]; [| 0.; 0.; 3. |]; [| 0.5; 0.; 0. |] |] in
+  let g = G.of_matrix c in
+  Alcotest.(check bool) "roundtrip" true (G.equal (G.of_matrix (G.to_matrix g)) g);
+  close "entry" (G.edge_weight g ~src:2 ~dst:0) 0.5
+
+let test_copy_scale () =
+  let g = G.create 3 in
+  G.add_edge g ~src:0 ~dst:1 2.;
+  let g' = G.copy g in
+  G.add_edge g' ~src:0 ~dst:1 1.;
+  close "copy independent" (G.edge_weight g ~src:0 ~dst:1) 2.;
+  let s = G.scale g 2.5 in
+  close "scaled" (G.edge_weight s ~src:0 ~dst:1) 5.
+
+(* -- max flow -- *)
+
+let diamond () =
+  (* 0 -> {1, 2} -> 3 with a cross edge; classic value 4 + 3 = ... *)
+  let g = G.create 4 in
+  G.add_edge g ~src:0 ~dst:1 3.;
+  G.add_edge g ~src:0 ~dst:2 2.;
+  G.add_edge g ~src:1 ~dst:3 2.;
+  G.add_edge g ~src:1 ~dst:2 1.;
+  G.add_edge g ~src:2 ~dst:3 3.;
+  g
+
+let test_maxflow_known () =
+  let g = diamond () in
+  close "diamond" (Flowgraph.Maxflow.max_flow g ~src:0 ~dst:3) 5.;
+  let g2 = G.create 2 in
+  G.add_edge g2 ~src:0 ~dst:1 7.5;
+  close "single edge" (Flowgraph.Maxflow.max_flow g2 ~src:0 ~dst:1) 7.5;
+  let g3 = G.create 3 in
+  G.add_edge g3 ~src:0 ~dst:1 7.5;
+  close "disconnected" (Flowgraph.Maxflow.max_flow g3 ~src:0 ~dst:2) 0.
+
+let test_maxflow_needs_back_edges () =
+  (* The textbook case where a greedy augmentation must be undone. *)
+  let g = G.create 4 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  G.add_edge g ~src:0 ~dst:2 1.;
+  G.add_edge g ~src:1 ~dst:2 1.;
+  G.add_edge g ~src:1 ~dst:3 1.;
+  G.add_edge g ~src:2 ~dst:3 1.;
+  close "needs residual arcs" (Flowgraph.Maxflow.max_flow g ~src:0 ~dst:3) 2.
+
+let test_maxflow_cycle () =
+  (* Max-flow must be correct on cyclic graphs (cyclic schemes rely on it). *)
+  let g = G.create 3 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  G.add_edge g ~src:1 ~dst:2 2.;
+  G.add_edge g ~src:2 ~dst:1 2.;
+  close "through cycle" (Flowgraph.Maxflow.max_flow g ~src:0 ~dst:2) 1.
+
+let test_maxflow_invalid () =
+  let g = G.create 2 in
+  Alcotest.check_raises "src = dst" (Invalid_argument "Maxflow: src = dst") (fun () ->
+      ignore (Flowgraph.Maxflow.max_flow g ~src:1 ~dst:1))
+
+let random_graph rng nodes density =
+  let g = G.create nodes in
+  for i = 0 to nodes - 1 do
+    for j = 0 to nodes - 1 do
+      if i <> j && Prng.Splitmix.next_float rng < density then
+        G.add_edge g ~src:i ~dst:j (1. +. (9. *. Prng.Splitmix.next_float rng))
+    done
+  done;
+  g
+
+let test_maxflow_bounds_random () =
+  let rng = Prng.Splitmix.create 55L in
+  for _ = 1 to 40 do
+    let g = random_graph rng 8 0.4 in
+    let v = Flowgraph.Maxflow.max_flow g ~src:0 ~dst:7 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.);
+    Alcotest.(check bool) "cut bound (out of src)" true (v <= G.out_weight g 0 +. 1e-9);
+    Alcotest.(check bool) "cut bound (into dst)" true (v <= G.in_weight g 7 +. 1e-9)
+  done
+
+let test_flow_assignment_conservation () =
+  let rng = Prng.Splitmix.create 56L in
+  for _ = 1 to 25 do
+    let g = random_graph rng 8 0.4 in
+    let v, flow = Flowgraph.Maxflow.flow_assignment g ~src:0 ~dst:7 in
+    (* Flow within capacity. *)
+    G.iter_edges
+      (fun ~src ~dst w ->
+        if w > G.edge_weight g ~src ~dst +. 1e-9 then
+          Alcotest.failf "flow %g exceeds capacity %g" w (G.edge_weight g ~src ~dst))
+      flow;
+    (* Conservation at inner nodes; net out of src = value. *)
+    for n = 1 to 6 do
+      close "conservation" (G.in_weight flow n) (G.out_weight flow n)
+    done;
+    close "value at source" (G.out_weight flow 0 -. G.in_weight flow 0) v;
+    close "value at sink" (G.in_weight flow 7 -. G.out_weight flow 7) v
+  done
+
+let test_min_broadcast_flow () =
+  let g = diamond () in
+  (* maxflow to 1 = 3 (direct); to 2 = 2 + 1 = 3; to 3 = 5 -> min 3. *)
+  close "broadcast min" (Flowgraph.Maxflow.min_broadcast_flow g ~src:0) 3.
+
+(* -- topo -- *)
+
+let test_topo_sort () =
+  let g = G.create 4 in
+  G.add_edge g ~src:2 ~dst:1 1.;
+  G.add_edge g ~src:0 ~dst:2 1.;
+  G.add_edge g ~src:1 ~dst:3 1.;
+  (match Flowgraph.Topo.sort g with
+  | None -> Alcotest.fail "DAG reported cyclic"
+  | Some order ->
+    let pos = Array.make 4 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    G.iter_edges
+      (fun ~src ~dst _ ->
+        if pos.(src) >= pos.(dst) then Alcotest.fail "edge goes backwards")
+      g);
+  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic g);
+  G.add_edge g ~src:3 ~dst:0 1.;
+  Alcotest.(check bool) "cycle detected" false (Flowgraph.Topo.is_acyclic g)
+
+let test_find_cycle () =
+  let g = G.create 4 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  G.add_edge g ~src:1 ~dst:2 1.;
+  G.add_edge g ~src:2 ~dst:0 1.;
+  (match Flowgraph.Topo.find_cycle g with
+  | None -> Alcotest.fail "cycle missed"
+  | Some cycle ->
+    let k = List.length cycle in
+    Alcotest.(check bool) "length >= 2" true (k >= 2);
+    (* Every consecutive pair (and the wrap-around) must be an edge. *)
+    let arr = Array.of_list cycle in
+    for i = 0 to k - 1 do
+      let u = arr.(i) and v = arr.((i + 1) mod k) in
+      if G.edge_weight g ~src:u ~dst:v <= 0. then
+        Alcotest.failf "cycle uses absent edge %d->%d" u v
+    done);
+  let dag = G.create 2 in
+  G.add_edge dag ~src:0 ~dst:1 1.;
+  Alcotest.(check bool) "no cycle on DAG" true (Flowgraph.Topo.find_cycle dag = None)
+
+let test_depth () =
+  let g = G.create 5 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  G.add_edge g ~src:1 ~dst:2 1.;
+  G.add_edge g ~src:0 ~dst:3 1.;
+  let d = Flowgraph.Topo.depth_from g 0 in
+  Alcotest.(check (array int)) "depths" [| 0; 1; 2; 1; -1 |] d
+
+(* -- arborescence decomposition -- *)
+
+let test_decompose_algorithm1 () =
+  (* Decompose the Algorithm 1 scheme on a real instance. *)
+  let inst =
+    Platform.Instance.create ~bandwidth:[| 6.; 5.; 4.; 3.; 0. |] ~n:4 ~m:0 ()
+  in
+  let t = Broadcast.Bounds.acyclic_open_optimal inst in
+  let scheme = Broadcast.Acyclic_open.build inst in
+  let trees = Flowgraph.Arborescence.decompose scheme ~root:0 in
+  let total = List.fold_left (fun acc tr -> acc +. tr.Flowgraph.Arborescence.weight) 0. trees in
+  close ~tol:1e-6 "weights sum to T" total t;
+  let rebuilt =
+    Flowgraph.Arborescence.recompose trees ~node_count:(G.node_count scheme)
+  in
+  Alcotest.(check bool) "recompose = original" true (G.equal ~eps:1e-6 rebuilt scheme);
+  (* Each tree must reach every receiver through valid parents. *)
+  List.iter
+    (fun tr ->
+      let parent = tr.Flowgraph.Arborescence.parent in
+      for v = 1 to Array.length parent - 1 do
+        if parent.(v) < 0 then Alcotest.failf "node %d outside tree" v
+      done;
+      Alcotest.(check bool) "depth positive" true
+        (Flowgraph.Arborescence.tree_depth tr >= 1))
+    trees
+
+let test_decompose_rejects () =
+  let g = G.create 3 in
+  G.add_edge g ~src:0 ~dst:1 2.;
+  G.add_edge g ~src:0 ~dst:2 1.;
+  (* In-weights 2 and 1 differ: not a constant-rate scheme. *)
+  (try
+     ignore (Flowgraph.Arborescence.decompose g ~root:0);
+     Alcotest.fail "non-uniform accepted"
+   with Invalid_argument _ -> ());
+  let cyc = G.create 2 in
+  G.add_edge cyc ~src:0 ~dst:1 1.;
+  G.add_edge cyc ~src:1 ~dst:0 1.;
+  try
+    ignore (Flowgraph.Arborescence.decompose cyc ~root:0);
+    Alcotest.fail "cyclic accepted"
+  with Invalid_argument _ -> ()
+
+let test_decompose_empty () =
+  let g = G.create 3 in
+  Alcotest.(check int) "no flow, no trees" 0
+    (List.length (Flowgraph.Arborescence.decompose g ~root:0))
+
+let suites =
+  [
+    ( "graph",
+      [
+        Alcotest.test_case "edge bookkeeping" `Quick test_edges_basic;
+        Alcotest.test_case "validation" `Quick test_edges_validation;
+        Alcotest.test_case "in/out consistency" `Quick test_in_out_consistency;
+        Alcotest.test_case "matrix roundtrip" `Quick test_matrix_roundtrip;
+        Alcotest.test_case "copy and scale" `Quick test_copy_scale;
+      ] );
+    ( "maxflow",
+      [
+        Alcotest.test_case "known values" `Quick test_maxflow_known;
+        Alcotest.test_case "residual arcs used" `Quick test_maxflow_needs_back_edges;
+        Alcotest.test_case "cyclic graphs" `Quick test_maxflow_cycle;
+        Alcotest.test_case "invalid arguments" `Quick test_maxflow_invalid;
+        Alcotest.test_case "cut bounds (random)" `Quick test_maxflow_bounds_random;
+        Alcotest.test_case "flow conservation (random)" `Quick test_flow_assignment_conservation;
+        Alcotest.test_case "broadcast minimum" `Quick test_min_broadcast_flow;
+      ] );
+    ( "topo",
+      [
+        Alcotest.test_case "topological sort" `Quick test_topo_sort;
+        Alcotest.test_case "find_cycle" `Quick test_find_cycle;
+        Alcotest.test_case "depth_from" `Quick test_depth;
+      ] );
+    ( "arborescence",
+      [
+        Alcotest.test_case "decompose Algorithm 1 scheme" `Quick test_decompose_algorithm1;
+        Alcotest.test_case "rejects invalid schemes" `Quick test_decompose_rejects;
+        Alcotest.test_case "empty scheme" `Quick test_decompose_empty;
+      ] );
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the NP-completeness reduction (Theorem 3.1) and the
+   unbounded-degree family (Figure 6). *)
+
+open Platform
+
+let solvable = [| 26; 33; 41; 27; 35; 38; 30; 31; 39 |]
+(* No triple sums to 100: {41,41,40,26,26,26} -> 108/107/93/92. *)
+let unsolvable = [| 41; 41; 40; 26; 26; 26 |]
+
+let test_three_partition_solvable () =
+  match Broadcast.Hardness.three_partition solvable with
+  | None -> Alcotest.fail "solvable instance declared unsolvable"
+  | Some triples ->
+    Alcotest.(check int) "p triples" 3 (List.length triples);
+    let target = Array.fold_left ( + ) 0 solvable / 3 in
+    let used = Array.make (Array.length solvable) false in
+    List.iter
+      (fun (x, y, z) ->
+        List.iter
+          (fun i ->
+            if used.(i) then Alcotest.failf "index %d reused" i;
+            used.(i) <- true)
+          [ x; y; z ];
+        Alcotest.(check int) "triple sum" target
+          (solvable.(x) + solvable.(y) + solvable.(z)))
+      triples;
+    Alcotest.(check bool) "all used" true (Array.for_all Fun.id used)
+
+let test_three_partition_unsolvable () =
+  Alcotest.(check bool) "unsolvable detected" true
+    (Broadcast.Hardness.three_partition unsolvable = None)
+
+let test_three_partition_shape_errors () =
+  (try
+     ignore (Broadcast.Hardness.three_partition [| 1; 2 |]);
+     Alcotest.fail "non-multiple of 3 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Broadcast.Hardness.three_partition [| 1; 1; 1; 1; 1; 2 |]);
+    Alcotest.fail "indivisible sum accepted"
+  with Invalid_argument _ -> ()
+
+let test_reduction_structure () =
+  let sorted = Array.copy solvable in
+  Array.sort (fun a b -> compare b a) sorted;
+  let inst, t = Broadcast.Hardness.reduction sorted in
+  Helpers.close "target T" t 100.;
+  Alcotest.(check int) "all open" 0 inst.Instance.m;
+  Alcotest.(check int) "1 + 3p + p nodes" 13 (Instance.size inst);
+  Helpers.close "source = 3pT" inst.Instance.bandwidth.(0) 900.;
+  Helpers.close "final nodes empty" inst.Instance.bandwidth.(12) 0.;
+  Alcotest.(check bool) "sorted" true (Instance.sorted inst);
+  (* The gadget is bandwidth-tight: total = (1 + 3p + p - 1) T. *)
+  Helpers.close "tight" (Instance.total_sum inst) 1200.
+
+let test_reduction_side_conditions () =
+  try
+    (* 10 <= T/4: violates T/4 < a_i. *)
+    ignore (Broadcast.Hardness.reduction [| 10; 45; 45; 30; 35; 35 |]);
+    Alcotest.fail "side conditions not enforced"
+  with Invalid_argument _ -> ()
+
+let test_witness_scheme () =
+  let sorted = Array.copy solvable in
+  Array.sort (fun a b -> compare b a) sorted;
+  let inst, t = Broadcast.Hardness.reduction sorted in
+  match Broadcast.Hardness.three_partition sorted with
+  | None -> Alcotest.fail "gadget unsolvable"
+  | Some triples ->
+    let scheme = Broadcast.Hardness.scheme_of_partition sorted triples in
+    ignore (Helpers.check_scheme inst scheme ~rate:t);
+    let d = Broadcast.Metrics.degree_report inst ~t scheme in
+    (* The whole point: zero degree excess anywhere. *)
+    Alcotest.(check int) "tight degrees" 0 (max 0 d.Broadcast.Metrics.max_excess);
+    Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic scheme)
+
+let test_fig6_instance () =
+  let inst = Broadcast.Hardness.unbounded_degree_instance ~m:5 in
+  Helpers.close "T* = 1" (Broadcast.Bounds.cyclic_upper inst) 1.;
+  Alcotest.(check int) "one open node" 1 inst.Instance.n;
+  Alcotest.(check int) "m guarded" 5 inst.Instance.m
+
+let test_fig6_scheme () =
+  List.iter
+    (fun m ->
+      let inst = Broadcast.Hardness.unbounded_degree_instance ~m in
+      let scheme = Broadcast.Hardness.unbounded_degree_scheme ~m in
+      ignore (Helpers.check_scheme inst scheme ~rate:1.);
+      Alcotest.(check int) "source degree = m" m (Flowgraph.Graph.out_degree scheme 0);
+      Alcotest.(check int) "degree lower bound = 1" 1
+        (Broadcast.Bounds.degree_lower_bound inst ~t:1. 0);
+      Alcotest.(check bool) "scheme is cyclic" false (Flowgraph.Topo.is_acyclic scheme))
+    [ 2; 3; 8; 16 ]
+
+let test_fig6_acyclic_gap () =
+  (* The acyclic alternative cannot reach throughput 1 on this family. *)
+  let inst = Broadcast.Hardness.unbounded_degree_instance ~m:8 in
+  let t_ac, _ = Broadcast.Greedy.optimal_acyclic inst in
+  Alcotest.(check bool) "acyclic strictly below 1" true (t_ac < 1. -. 1e-6);
+  Alcotest.(check bool) "still above 5/7" true (t_ac >= (5. /. 7.) -. 1e-9)
+
+(* Random YES instances: solver finds a partition, the witness scheme is
+   degree-tight (the Figure 8 experiment as a property). *)
+let prop_yes_instances =
+  QCheck.Test.make ~name:"random YES gadgets verify" ~count:15
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let a = Experiments.Fig8_hardness.yes_instance ~p:3 ~seed:(Int64.of_int seed) in
+      let r = Experiments.Fig8_hardness.compute a in
+      r.Experiments.Fig8_hardness.solvable && r.Experiments.Fig8_hardness.scheme_ok)
+
+let suites =
+  [
+    ( "hardness",
+      [
+        Alcotest.test_case "3-partition solvable" `Quick test_three_partition_solvable;
+        Alcotest.test_case "3-partition unsolvable" `Quick test_three_partition_unsolvable;
+        Alcotest.test_case "shape validation" `Quick test_three_partition_shape_errors;
+        Alcotest.test_case "reduction structure" `Quick test_reduction_structure;
+        Alcotest.test_case "side conditions" `Quick test_reduction_side_conditions;
+        Alcotest.test_case "degree-tight witness" `Quick test_witness_scheme;
+        Alcotest.test_case "Figure 6 instance" `Quick test_fig6_instance;
+        Alcotest.test_case "Figure 6 optimal scheme" `Quick test_fig6_scheme;
+        Alcotest.test_case "Figure 6 acyclic gap" `Quick test_fig6_acyclic_gap;
+        QCheck_alcotest.to_alcotest prop_yes_instances;
+      ] );
+  ]

@@ -1,0 +1,190 @@
+(* Tests for the platform model: instances, normalization, serialization,
+   the synthetic PlanetLab pool and the random-instance generator. *)
+
+open Platform
+
+let close ?(tol = 1e-9) what a b =
+  if Float.abs (a -. b) > tol *. Float.max 1. (Float.abs b) then
+    Alcotest.failf "%s: %g vs %g" what a b
+
+let test_create_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Instance.create: bandwidth length must be 1 + n + m")
+    (fun () -> ignore (Instance.create ~bandwidth:[| 1.; 2. |] ~n:2 ~m:0 ()));
+  Alcotest.check_raises "negative bandwidth"
+    (Invalid_argument "Instance.create: bandwidths must be non-negative")
+    (fun () -> ignore (Instance.create ~bandwidth:[| 1.; -2. |] ~n:1 ~m:0 ()));
+  Alcotest.check_raises "bin length"
+    (Invalid_argument "Instance.create: bin length must be 1 + n + m")
+    (fun () ->
+      ignore (Instance.create ~bin:[| 1. |] ~bandwidth:[| 1.; 2. |] ~n:1 ~m:0 ()))
+
+let test_classes () =
+  let t = Instance.fig1 in
+  Alcotest.(check bool) "source open" true (Instance.is_open t 0);
+  Alcotest.(check bool) "C2 open" true (Instance.is_open t 2);
+  Alcotest.(check bool) "C3 guarded" true (Instance.is_guarded t 3);
+  Alcotest.(check bool) "C5 guarded" true (Instance.is_guarded t 5);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Instance.node_class: out of range") (fun () ->
+      ignore (Instance.node_class t 6))
+
+let test_sums () =
+  let t = Instance.fig1 in
+  close "O" (Instance.open_sum t) 10.;
+  close "G" (Instance.guarded_sum t) 6.;
+  close "total" (Instance.total_sum t) 22.;
+  Alcotest.(check int) "size" 6 (Instance.size t)
+
+let test_sorted () =
+  Alcotest.(check bool) "fig1 sorted" true (Instance.sorted Instance.fig1);
+  let t = Instance.create ~bandwidth:[| 1.; 2.; 5.; 1. |] ~n:2 ~m:1 () in
+  Alcotest.(check bool) "unsorted opens" false (Instance.sorted t)
+
+let test_normalize () =
+  let t =
+    Instance.create
+      ~bin:[| 10.; 1.; 2.; 3.; 4.; 5. |]
+      ~bandwidth:[| 6.; 1.; 5.; 1.; 4.; 1. |]
+      ~n:2 ~m:3 ()
+  in
+  let t', perm = Instance.normalize t in
+  Alcotest.(check bool) "sorted after" true (Instance.sorted t');
+  (* Open nodes (1, 5) -> (5, 1); guarded (1, 4, 1) -> (4, 1, 1). *)
+  Alcotest.(check (array (float 0.)))
+    "bandwidths"
+    [| 6.; 5.; 1.; 4.; 1.; 1. |]
+    t'.Instance.bandwidth;
+  (* perm maps new -> old; check bandwidths and caps follow it. *)
+  Array.iteri
+    (fun new_i old_i ->
+      close "perm bandwidth" t'.Instance.bandwidth.(new_i) t.Instance.bandwidth.(old_i);
+      match (t'.Instance.bin, t.Instance.bin) with
+      | Some b', Some b -> close "perm bin" b'.(new_i) b.(old_i)
+      | _ -> Alcotest.fail "bin lost by normalize")
+    perm;
+  (* Stability: the two equal-bandwidth guarded nodes keep their order. *)
+  Alcotest.(check (array int)) "perm" [| 0; 2; 1; 4; 3; 5 |] perm
+
+let test_serialization_roundtrip () =
+  let t = Instance.fig1 in
+  match Instance.of_string (Instance.to_string t) with
+  | Ok t' -> Alcotest.(check bool) "roundtrip" true (Instance.equal t t')
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_parse_flexible () =
+  let text = "# a comment\nopen 5\nsource 6 # trailing\n\nguarded 1.5\nopen 5\n" in
+  match Instance.of_string text with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok t ->
+    Alcotest.(check int) "n" 2 t.Instance.n;
+    Alcotest.(check int) "m" 1 t.Instance.m;
+    close "b0" t.Instance.bandwidth.(0) 6.;
+    close "guarded" t.Instance.bandwidth.(3) 1.5
+
+let test_parse_errors () =
+  (match Instance.of_string "open 5\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing source accepted");
+  (match Instance.of_string "source 1\nsource 2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate source accepted");
+  (match Instance.of_string "source abc\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad number accepted");
+  match Instance.of_string "source 1\nweird 2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown kind accepted"
+
+let test_tight_homogeneous () =
+  List.iter
+    (fun (n, m, delta) ->
+      let t = Instance.tight_homogeneous ~n ~m ~delta in
+      (* Tightness: b0 = (b0 + O + G) / (n + m). *)
+      close "tight" (Instance.total_sum t) (float_of_int (n + m));
+      close "b0" t.Instance.bandwidth.(0) 1.;
+      (* Feasibility of guarded demand: b0 + O >= m * T = m. *)
+      Alcotest.(check bool) "guarded demand" true
+        (1. +. Instance.open_sum t >= float_of_int m -. 1e-9))
+    [ (1, 1, 0.); (5, 3, 2.); (10, 10, 10.); (100, 42, 0.) ]
+
+let test_homogeneous () =
+  let t = Instance.homogeneous ~n:3 ~m:2 ~b0:1. ~bopen:2. ~bguarded:0.5 in
+  close "O" (Instance.open_sum t) 6.;
+  close "G" (Instance.guarded_sum t) 1.
+
+let test_plab_pool () =
+  Alcotest.(check int) "pool size" 500 (Array.length Plab.pool);
+  let sorted = ref true in
+  for i = 0 to Array.length Plab.pool - 2 do
+    if Plab.pool.(i) > Plab.pool.(i + 1) then sorted := false
+  done;
+  Alcotest.(check bool) "sorted" true !sorted;
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "plausible range" true (v >= 0.256 && v <= 1000.))
+    Plab.pool;
+  (* Heterogeneity: at least two orders of magnitude. *)
+  Alcotest.(check bool) "heterogeneous" true
+    (Plab.pool.(499) /. Plab.pool.(0) > 100.)
+
+let test_generator_fixed_point () =
+  (* The defining property of the average-case protocol: the source rate
+     equals the optimal cyclic throughput. *)
+  let rng = Prng.Splitmix.create 33L in
+  for _ = 1 to 50 do
+    let spec =
+      { Generator.total = 12; p_open = 0.6; dist = Prng.Dist.unif100 }
+    in
+    let t = Generator.generate spec rng in
+    Alcotest.(check bool) "sorted" true (Instance.sorted t);
+    close ~tol:1e-9 "source = T*" t.Instance.bandwidth.(0)
+      (Broadcast.Bounds.cyclic_upper t)
+  done
+
+let test_generator_classes () =
+  let rng = Prng.Splitmix.create 34L in
+  let all_open =
+    Generator.generate { Generator.total = 10; p_open = 1.; dist = Prng.Dist.unif100 } rng
+  in
+  Alcotest.(check int) "p=1 -> all open" 0 all_open.Instance.m;
+  let all_guarded =
+    Generator.generate { Generator.total = 10; p_open = 0.; dist = Prng.Dist.unif100 } rng
+  in
+  Alcotest.(check int) "p=0 -> all guarded" 0 all_guarded.Instance.n
+
+let test_generator_determinism () =
+  let spec = { Generator.total = 15; p_open = 0.5; dist = Prng.Dist.ln1 } in
+  let a = Generator.generate spec (Prng.Splitmix.create 77L) in
+  let b = Generator.generate spec (Prng.Splitmix.create 77L) in
+  Alcotest.(check bool) "same seed same instance" true (Instance.equal a b)
+
+let test_generate_many () =
+  let spec = { Generator.total = 5; p_open = 0.5; dist = Prng.Dist.unif100 } in
+  let l = Generator.generate_many spec (Prng.Splitmix.create 1L) 7 in
+  Alcotest.(check int) "count" 7 (List.length l)
+
+let suites =
+  [
+    ( "instance",
+      [
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "node classes" `Quick test_classes;
+        Alcotest.test_case "bandwidth sums" `Quick test_sums;
+        Alcotest.test_case "sortedness" `Quick test_sorted;
+        Alcotest.test_case "normalize" `Quick test_normalize;
+        Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
+        Alcotest.test_case "flexible parsing" `Quick test_parse_flexible;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "tight homogeneous invariants" `Quick test_tight_homogeneous;
+        Alcotest.test_case "homogeneous" `Quick test_homogeneous;
+      ] );
+    ( "plab+generator",
+      [
+        Alcotest.test_case "plab pool shape" `Quick test_plab_pool;
+        Alcotest.test_case "source fixed point" `Quick test_generator_fixed_point;
+        Alcotest.test_case "class probabilities" `Quick test_generator_classes;
+        Alcotest.test_case "determinism" `Quick test_generator_determinism;
+        Alcotest.test_case "generate_many" `Quick test_generate_many;
+      ] );
+  ]

@@ -1,0 +1,132 @@
+(* Tests for the last-mile model estimation (the Bedibe substitute). *)
+
+module M = Lastmile.Model
+
+let truth_small () =
+  { M.bout = [| 10.; 4.; 50.; 2. |]; M.bin = [| 100.; 100.; 100.; 100. |] }
+
+let test_predict () =
+  let m = truth_small () in
+  Helpers.close "min(bout, bin)" (M.predict m 0 1) 10.;
+  Helpers.close "capped by bin"
+    (M.predict { m with bin = [| 100.; 3.; 100.; 100. |] } 0 1)
+    3.;
+  Alcotest.check_raises "diagonal" (Invalid_argument "Model.predict: i = j")
+    (fun () -> ignore (M.predict m 2 2))
+
+let test_synthetic_matrix () =
+  let m = truth_small () in
+  let rng = Prng.Splitmix.create 1L in
+  let mat = M.synthetic_matrix m rng in
+  Alcotest.(check bool) "diagonal nan" true (Float.is_nan mat.(0).(0));
+  Helpers.close "entry" mat.(2).(3) 50.;
+  let noisy = M.synthetic_matrix ~noise:0.3 m rng in
+  Alcotest.(check bool) "noise moves values" true
+    (Float.abs (noisy.(2).(3) -. 50.) > 1e-6)
+
+let test_exact_recovery () =
+  (* With unbounded downlinks and no noise, the uplinks are identifiable
+     and must be recovered exactly. *)
+  let m = truth_small () in
+  let rng = Prng.Splitmix.create 2L in
+  let mat = M.synthetic_matrix m rng in
+  let fitted = M.fit mat in
+  Array.iteri
+    (fun i b -> Helpers.close ~tol:1e-9 "bout recovered" fitted.M.bout.(i) b)
+    m.M.bout;
+  Helpers.close ~tol:1e-9 "zero rmse" (M.rmse fitted mat) 0.
+
+let test_recovery_with_binding_bins () =
+  (* Downlinks below some uplinks: predictions must still be exact even
+     though some capacities are only identifiable up to the min. *)
+  let m = { M.bout = [| 10.; 4.; 50. |]; M.bin = [| 5.; 60.; 8. |] } in
+  let rng = Prng.Splitmix.create 3L in
+  let mat = M.synthetic_matrix m rng in
+  let fitted = M.fit mat in
+  Alcotest.(check bool) "rmse tiny" true (M.rmse fitted mat < 1e-6)
+
+let test_noise_degrades_gracefully () =
+  let rng = Prng.Splitmix.create 4L in
+  let bout = Array.init 20 (fun _ -> Prng.Dist.sample Platform.Plab.dist rng) in
+  let bin = Array.map (fun b -> 2. *. b) bout in
+  let m = { M.bout; bin } in
+  let mat = M.synthetic_matrix ~noise:0.1 m rng in
+  let fitted = M.fit mat in
+  let r = M.rmse fitted mat in
+  Alcotest.(check bool) "rmse positive" true (r > 0.);
+  (* The fit must beat the trivial zero model by a wide margin. *)
+  let zero = { M.bout = Array.make 20 0.; bin = Array.make 20 0. } in
+  Alcotest.(check bool) "fit beats zero model" true (r < M.rmse zero mat /. 4.)
+
+let test_missing_entries () =
+  let m = truth_small () in
+  let rng = Prng.Splitmix.create 5L in
+  let mat = M.synthetic_matrix m rng in
+  (* Knock out a third of the measurements. *)
+  for i = 0 to 3 do
+    mat.(i).((i + 1) mod 4) <- nan
+  done;
+  let fitted = M.fit mat in
+  Alcotest.(check bool) "still fits" true (M.rmse fitted mat < 1e-6)
+
+let test_to_instance () =
+  let m = { M.bout = [| 10.; 4.; 50.; 2. |]; M.bin = [| 11.; 5.; 51.; 3. |] } in
+  let guarded = [| false; true; false; true |] in
+  let inst, perm = M.to_instance m ~source:2 ~guarded in
+  Alcotest.(check int) "source first" 2 perm.(0);
+  Helpers.close "source bandwidth" inst.Platform.Instance.bandwidth.(0) 50.;
+  Alcotest.(check int) "one open" 1 inst.Platform.Instance.n;
+  Alcotest.(check int) "two guarded" 2 inst.Platform.Instance.m;
+  Alcotest.(check bool) "sorted" true (Platform.Instance.sorted inst);
+  (* Classes follow the flags through the permutation. *)
+  Array.iteri
+    (fun new_i old_i ->
+      if new_i > 0 then
+        Alcotest.(check bool) "class preserved" guarded.(old_i)
+          (Platform.Instance.is_guarded inst new_i);
+      Helpers.close "bandwidth follows perm"
+        inst.Platform.Instance.bandwidth.(new_i) m.M.bout.(old_i);
+      match inst.Platform.Instance.bin with
+      | Some caps -> Helpers.close "bin follows perm" caps.(new_i) m.M.bin.(old_i)
+      | None -> Alcotest.fail "bin caps lost")
+    perm
+
+let test_to_instance_validation () =
+  let m = truth_small () in
+  (try
+     ignore (M.to_instance m ~source:0 ~guarded:[| true; false; false; false |]);
+     Alcotest.fail "guarded source accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (M.to_instance m ~source:9 ~guarded:(Array.make 4 false));
+    Alcotest.fail "bad source accepted"
+  with Invalid_argument _ -> ()
+
+(* Fitting is idempotent on its own predictions. *)
+let prop_fit_fixed_point =
+  QCheck.Test.make ~name:"fit is a fixed point on noise-free data" ~count:20
+    QCheck.(int_range 3 15)
+    (fun k ->
+      let rng = Prng.Splitmix.create (Int64.of_int (k * 31)) in
+      let bout = Array.init k (fun _ -> 1. +. (99. *. Prng.Splitmix.next_float rng)) in
+      let bin = Array.init k (fun _ -> 1. +. (199. *. Prng.Splitmix.next_float rng)) in
+      let m = { M.bout; bin } in
+      let mat = M.synthetic_matrix m rng in
+      let fitted = M.fit mat in
+      M.rmse fitted mat < 1e-6)
+
+let suites =
+  [
+    ( "lastmile",
+      [
+        Alcotest.test_case "predict" `Quick test_predict;
+        Alcotest.test_case "synthetic matrix" `Quick test_synthetic_matrix;
+        Alcotest.test_case "exact recovery" `Quick test_exact_recovery;
+        Alcotest.test_case "binding downlinks" `Quick test_recovery_with_binding_bins;
+        Alcotest.test_case "noise degrades gracefully" `Quick test_noise_degrades_gracefully;
+        Alcotest.test_case "missing measurements" `Quick test_missing_entries;
+        Alcotest.test_case "to_instance mapping" `Quick test_to_instance;
+        Alcotest.test_case "to_instance validation" `Quick test_to_instance_validation;
+        QCheck_alcotest.to_alcotest prop_fit_fixed_point;
+      ] );
+  ]

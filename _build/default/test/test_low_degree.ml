@@ -1,0 +1,128 @@
+(* Tests for the low-degree scheme construction (Lemma 4.6 / Theorem 4.1). *)
+
+open Platform
+
+let check_lemma_46_degrees inst ~t scheme =
+  let d = Broadcast.Metrics.degree_report inst ~t scheme in
+  if d.Broadcast.Metrics.max_excess_guarded > 1 then
+    Alcotest.failf "guarded excess %d > 1" d.Broadcast.Metrics.max_excess_guarded;
+  if d.Broadcast.Metrics.max_excess_open > 3 then
+    Alcotest.failf "open excess %d > 3" d.Broadcast.Metrics.max_excess_open;
+  if d.Broadcast.Metrics.opens_above 2 > 1 then
+    Alcotest.failf "%d open nodes above +2 (at most one allowed)"
+      (d.Broadcast.Metrics.opens_above 2)
+
+let test_fig1 () =
+  let inst = Instance.fig1 in
+  let rate = 4.0 in
+  let w = Broadcast.Word.of_string "gogog" in
+  let g = Broadcast.Low_degree.build inst ~rate w in
+  ignore (Helpers.check_scheme inst g ~rate);
+  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic g);
+  check_lemma_46_degrees inst ~t:rate g;
+  (* Every non-source node receives exactly the rate. *)
+  for v = 1 to 5 do
+    Helpers.close ~tol:1e-6 "in-weight" (Flowgraph.Graph.in_weight g v) rate
+  done
+
+let test_acyclicity_respects_word_order () =
+  let inst = Instance.fig1 in
+  let w = Broadcast.Word.of_string "gogog" in
+  let g = Broadcast.Low_degree.build inst ~rate:4. w in
+  let order = Broadcast.Word.to_order w inst in
+  let pos = Array.make 6 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  Flowgraph.Graph.iter_edges
+    (fun ~src ~dst _ ->
+      if pos.(src) >= pos.(dst) then
+        Alcotest.failf "edge %d->%d violates word order" src dst)
+    g
+
+let test_rejects_infeasible () =
+  let inst = Instance.fig1 in
+  let w = Broadcast.Word.of_string "ggoog" in
+  (* ggoog needs 8 units of source bandwidth at rate 4: must fail. *)
+  try
+    ignore (Broadcast.Low_degree.build inst ~rate:4. w);
+    Alcotest.fail "infeasible word accepted"
+  with Invalid_argument _ -> ()
+
+let test_build_optimal_fig1 () =
+  let rate, g = Broadcast.Low_degree.build_optimal Instance.fig1 in
+  Helpers.close ~tol:1e-6 "rate ~ 4" rate 4.;
+  ignore (Helpers.check_scheme Instance.fig1 g ~rate)
+
+(* The full Theorem 4.1 statement, property-tested: optimal throughput,
+   acyclic, firewall-safe, with the Lemma 4.6 degree bounds. *)
+let prop_theorem41 =
+  QCheck.Test.make ~name:"Theorem 4.1 pipeline" ~count:60
+    (Helpers.instance_arb ~max_open:12 ~max_guarded:12) (fun inst ->
+      let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+      QCheck.assume (rate > 1e-6);
+      let report = Helpers.check_scheme inst scheme ~rate in
+      if not report.Broadcast.Verify.acyclic then Alcotest.fail "cyclic scheme";
+      check_lemma_46_degrees inst ~t:rate scheme;
+      true)
+
+(* Firewall constraint holds even on guarded-heavy instances. *)
+let prop_firewall =
+  QCheck.Test.make ~name:"no guarded-guarded edges" ~count:40
+    (Helpers.instance_arb ~max_open:3 ~max_guarded:15) (fun inst ->
+      let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+      QCheck.assume (rate > 1e-6);
+      let ok = ref true in
+      Flowgraph.Graph.iter_edges
+        (fun ~src ~dst _ ->
+          if Instance.is_guarded inst src && Instance.is_guarded inst dst then
+            ok := false)
+        scheme;
+      !ok)
+
+(* Guarded senders always serve consecutive intervals of open nodes (the
+   key structural step in the proof of Lemma 4.6). *)
+let prop_guarded_interval =
+  QCheck.Test.make ~name:"guarded nodes feed open intervals" ~count:40
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:10) (fun inst ->
+      let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+      let rate = t *. 0.99 in
+      QCheck.assume (rate > 1e-6);
+      let word =
+        match Broadcast.Greedy.test inst ~rate with
+        | Some w -> w
+        | None -> QCheck.assume_fail ()
+      in
+      let scheme = Broadcast.Low_degree.build inst ~rate word in
+      (* Lemma 4.6's proof: every guarded node uploads to a consecutive
+         interval of OPEN nodes. Open nodes are fed in index order, so the
+         receivers' node indices must be consecutive. *)
+      let ok = ref true in
+      for g = inst.Instance.n + 1 to inst.Instance.n + inst.Instance.m do
+        let receivers =
+          Flowgraph.Graph.out_edges scheme g
+          |> List.map (fun (v, _) ->
+                 if Instance.is_guarded inst v then
+                   Alcotest.failf "guarded node %d feeds guarded node %d" g v;
+                 v)
+          |> List.sort compare
+        in
+        let rec consecutive = function
+          | a :: b :: rest -> b = a + 1 && consecutive (b :: rest)
+          | _ -> true
+        in
+        if not (consecutive receivers) then ok := false
+      done;
+      !ok)
+
+let suites =
+  [
+    ( "low_degree",
+      [
+        Alcotest.test_case "fig1 construction" `Quick test_fig1;
+        Alcotest.test_case "edges follow word order" `Quick test_acyclicity_respects_word_order;
+        Alcotest.test_case "rejects infeasible word" `Quick test_rejects_infeasible;
+        Alcotest.test_case "build_optimal on fig1" `Quick test_build_optimal_fig1;
+        QCheck_alcotest.to_alcotest prop_theorem41;
+        QCheck_alcotest.to_alcotest prop_firewall;
+        QCheck_alcotest.to_alcotest prop_guarded_interval;
+      ] );
+  ]

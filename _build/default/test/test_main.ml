@@ -1,0 +1,13 @@
+(* Entry point aggregating every suite; run with `dune runtest`. *)
+
+let () =
+  Alcotest.run "bounded_multiport"
+    (Test_prng.suites @ Test_rational.suites @ Test_instance.suites
+   @ Test_flowgraph.suites @ Test_bounds.suites @ Test_acyclic_open.suites
+   @ Test_word.suites @ Test_greedy.suites @ Test_low_degree.suites
+   @ Test_cyclic_open.suites @ Test_exact.suites @ Test_ratio.suites
+   @ Test_hardness.suites @ Test_verify_metrics.suites @ Test_massoulie.suites
+   @ Test_lastmile.suites @ Test_repair.suites @ Test_depth.suites
+   @ Test_export.suites @ Test_exact_q.suites @ Test_one_port.suites
+   @ Test_edge_cases.suites @ Test_integration.suites
+   @ Test_experiments.suites)

@@ -1,0 +1,175 @@
+(* Tests for the PRNG substrate: splitmix64 determinism and the bandwidth
+   distributions' moment parameterizations. *)
+
+let close ?(tol = 1e-9) a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%g ~ %g" a b)
+    true
+    (Float.abs (a -. b) <= tol *. Float.max 1. (Float.abs b))
+
+let test_determinism () =
+  let a = Prng.Splitmix.create 12345L and b = Prng.Splitmix.create 12345L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Splitmix.next a) (Prng.Splitmix.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.Splitmix.create 1L and b = Prng.Splitmix.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Splitmix.next a = Prng.Splitmix.next b then incr same
+  done;
+  Alcotest.(check int) "different seeds diverge" 0 !same
+
+let test_copy () =
+  let a = Prng.Splitmix.create 7L in
+  ignore (Prng.Splitmix.next a);
+  let b = Prng.Splitmix.copy a in
+  let xs = List.init 10 (fun _ -> Prng.Splitmix.next a) in
+  let ys = List.init 10 (fun _ -> Prng.Splitmix.next b) in
+  Alcotest.(check (list int64)) "copy replays" xs ys
+
+let test_split () =
+  let a = Prng.Splitmix.create 7L in
+  let b = Prng.Splitmix.split a in
+  let xs = List.init 20 (fun _ -> Prng.Splitmix.next a) in
+  let ys = List.init 20 (fun _ -> Prng.Splitmix.next b) in
+  Alcotest.(check bool) "split independent" false (xs = ys)
+
+let test_float_range () =
+  let rng = Prng.Splitmix.create 3L in
+  for _ = 1 to 10_000 do
+    let x = Prng.Splitmix.next_float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "next_float out of range: %g" x
+  done
+
+let test_float_mean () =
+  let rng = Prng.Splitmix.create 4L in
+  let k = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to k do
+    acc := !acc +. Prng.Splitmix.next_float rng
+  done;
+  close ~tol:5e-3 (!acc /. float_of_int k) 0.5
+
+let test_below_range () =
+  let rng = Prng.Splitmix.create 5L in
+  for _ = 1 to 10_000 do
+    let x = Prng.Splitmix.next_below rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "next_below out of range: %d" x
+  done
+
+let test_below_uniform () =
+  let rng = Prng.Splitmix.create 6L in
+  let counts = Array.make 10 0 in
+  let k = 100_000 in
+  for _ = 1 to k do
+    let x = Prng.Splitmix.next_below rng 10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int k in
+      if Float.abs (freq -. 0.1) > 0.01 then
+        Alcotest.failf "next_below far from uniform: %g" freq)
+    counts
+
+let test_below_invalid () =
+  let rng = Prng.Splitmix.create 1L in
+  Alcotest.check_raises "zero" (Invalid_argument "Splitmix.next_below: n must be positive")
+    (fun () -> ignore (Prng.Splitmix.next_below rng 0))
+
+let test_pareto_params () =
+  List.iter
+    (fun (mean, std) ->
+      let alpha, x_m = Prng.Dist.pareto_params ~mean ~std in
+      Alcotest.(check bool) "alpha > 2 (finite variance)" true (alpha > 2.);
+      (* First two moments of Pareto(alpha, x_m). *)
+      let mu = alpha *. x_m /. (alpha -. 1.) in
+      let var = x_m *. x_m *. alpha /. (((alpha -. 1.) ** 2.) *. (alpha -. 2.)) in
+      close mu mean;
+      close ~tol:1e-6 (sqrt var) std)
+    [ (100., 100.); (100., 1000.); (50., 10.) ]
+
+let test_lognormal_params () =
+  List.iter
+    (fun (mean, std) ->
+      let mu, sigma = Prng.Dist.lognormal_params ~mean ~std in
+      close (exp (mu +. (sigma *. sigma /. 2.))) mean;
+      let var = (exp (sigma *. sigma) -. 1.) *. exp ((2. *. mu) +. (sigma *. sigma)) in
+      close ~tol:1e-6 (sqrt var) std)
+    [ (100., 100.); (100., 1000.) ]
+
+let test_sample_positive () =
+  let rng = Prng.Splitmix.create 8L in
+  List.iter
+    (fun d ->
+      for _ = 1 to 2_000 do
+        let x = Prng.Dist.sample d rng in
+        if x <= 0. then
+          Alcotest.failf "%s produced non-positive %g" (Prng.Dist.name d) x
+      done)
+    [ Prng.Dist.unif100; Prng.Dist.power1; Prng.Dist.power2; Prng.Dist.ln1; Prng.Dist.ln2 ]
+
+let test_sample_means () =
+  let rng = Prng.Splitmix.create 9L in
+  (* Loose sample-mean checks; Power2/LN2 have enormous variance, so only
+     the well-behaved laws are asserted. *)
+  List.iter
+    (fun d ->
+      let k = 40_000 in
+      let xs = Prng.Dist.sample_many d rng k in
+      let mu = Array.fold_left ( +. ) 0. xs /. float_of_int k in
+      let expected = Prng.Dist.mean d in
+      if Float.abs (mu -. expected) > 0.05 *. expected then
+        Alcotest.failf "%s sample mean %g far from %g" (Prng.Dist.name d) mu expected)
+    [ Prng.Dist.unif100; Prng.Dist.power1; Prng.Dist.ln1 ]
+
+let test_empirical () =
+  let pool = [| 1.; 5.; 9. |] in
+  let d = Prng.Dist.Empirical pool in
+  let rng = Prng.Splitmix.create 10L in
+  for _ = 1 to 500 do
+    let x = Prng.Dist.sample d rng in
+    Alcotest.(check bool) "sample from pool" true (Array.exists (Float.equal x) pool)
+  done;
+  close (Prng.Dist.mean d) 5.
+
+let test_uniform_bounds () =
+  let rng = Prng.Splitmix.create 11L in
+  for _ = 1 to 5_000 do
+    let x = Prng.Dist.sample Prng.Dist.unif100 rng in
+    Alcotest.(check bool) "within [1, 100]" true (x >= 1. && x <= 100.)
+  done
+
+let test_pareto_floor () =
+  let rng = Prng.Splitmix.create 12L in
+  let alpha, x_m = Prng.Dist.pareto_params ~mean:100. ~std:100. in
+  ignore alpha;
+  for _ = 1 to 5_000 do
+    let x = Prng.Dist.sample Prng.Dist.power1 rng in
+    Alcotest.(check bool) "above scale x_m" true (x >= x_m -. 1e-9)
+  done
+
+let suites =
+  [
+    ( "prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "copy replays the stream" `Quick test_copy;
+        Alcotest.test_case "split diverges" `Quick test_split;
+        Alcotest.test_case "next_float in [0,1)" `Quick test_float_range;
+        Alcotest.test_case "next_float mean 1/2" `Quick test_float_mean;
+        Alcotest.test_case "next_below in range" `Quick test_below_range;
+        Alcotest.test_case "next_below uniform" `Quick test_below_uniform;
+        Alcotest.test_case "next_below rejects n <= 0" `Quick test_below_invalid;
+        Alcotest.test_case "pareto moment equations" `Quick test_pareto_params;
+        Alcotest.test_case "lognormal moment equations" `Quick test_lognormal_params;
+        Alcotest.test_case "samples are positive" `Quick test_sample_positive;
+        Alcotest.test_case "sample means match" `Quick test_sample_means;
+        Alcotest.test_case "empirical sampling" `Quick test_empirical;
+        Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+        Alcotest.test_case "pareto scale floor" `Quick test_pareto_floor;
+      ] );
+  ]

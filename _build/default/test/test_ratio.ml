@@ -1,0 +1,167 @@
+(* Tests for the acyclic/cyclic comparisons of Section VI: the tight 5/7
+   bound, Theorem 6.1's open-only bound, and the Theorem 6.3 family. *)
+
+open Platform
+module Q = Rational.Q
+
+let test_five_sevenths_tight () =
+  (* At epsilon = 1/14 both orderings achieve exactly 5/7. *)
+  let epsilon = 1. /. 14. in
+  let inst = Broadcast.Ratio.five_sevenths_instance ~epsilon in
+  Helpers.close "cyclic = 1" (Broadcast.Bounds.cyclic_upper inst) 1.;
+  Helpers.close "sigma1 = 5/7"
+    (Broadcast.Ratio.sigma1_throughput ~epsilon)
+    (Q.to_float (Q.make 5 7));
+  Helpers.close "sigma2 = 5/7"
+    (Broadcast.Ratio.sigma2_throughput ~epsilon)
+    (Q.to_float (Q.make 5 7));
+  let c = Broadcast.Ratio.compare_instance inst in
+  Helpers.close ~tol:1e-9 "T*ac = 5/7" c.Broadcast.Ratio.acyclic (5. /. 7.);
+  Helpers.close ~tol:1e-9 "ratio = 5/7" (Broadcast.Ratio.ratio c) (5. /. 7.)
+
+let test_sigma_closed_forms_match_measured () =
+  List.iter
+    (fun epsilon ->
+      let inst = Broadcast.Ratio.five_sevenths_instance ~epsilon in
+      Helpers.close ~tol:1e-9 "sigma1 closed vs measured"
+        (Broadcast.Exact.order_throughput inst [| 1; 2; 3 |])
+        (Broadcast.Ratio.sigma1_throughput ~epsilon);
+      Helpers.close ~tol:1e-9 "sigma2 closed vs measured"
+        (Broadcast.Exact.order_throughput inst [| 2; 1; 3 |])
+        (Broadcast.Ratio.sigma2_throughput ~epsilon))
+    [ 0.01; 0.05; 1. /. 14.; 0.1; 0.2 ]
+
+let test_five_sevenths_validation () =
+  Alcotest.check_raises "epsilon too large"
+    (Invalid_argument "Ratio.five_sevenths_instance: need 0 < epsilon < 1/2")
+    (fun () -> ignore (Broadcast.Ratio.five_sevenths_instance ~epsilon:0.6))
+
+let test_sqrt41_family () =
+  let inst, alpha = Broadcast.Ratio.sqrt41_instance ~k:1 () in
+  Helpers.close ~tol:1e-3 "alpha ~ 0.425" alpha Broadcast.Ratio.sqrt41_alpha;
+  Helpers.close "cyclic = 1" (Broadcast.Bounds.cyclic_upper inst) 1.;
+  let t_ac, _ = Broadcast.Greedy.optimal_acyclic inst in
+  let bound = Broadcast.Ratio.sqrt41_acyclic_upper ~alpha in
+  Alcotest.(check bool) "T*ac below paper bound" true (t_ac <= bound +. 1e-6);
+  Alcotest.(check bool) "gap does not close" true (t_ac < 0.93);
+  Alcotest.(check bool) "but acyclic still above 5/7" true
+    (t_ac >= (5. /. 7.) -. 1e-9)
+
+let test_sqrt41_growth () =
+  (* The gap persists as k grows (Theorem 6.3's point). *)
+  let r1 =
+    let inst, _ = Broadcast.Ratio.sqrt41_instance ~k:1 () in
+    fst (Broadcast.Greedy.optimal_acyclic inst)
+  in
+  let r4 =
+    let inst, _ = Broadcast.Ratio.sqrt41_instance ~k:4 () in
+    fst (Broadcast.Greedy.optimal_acyclic inst)
+  in
+  Alcotest.(check bool) "still gapped at k = 4" true (r4 < 0.93);
+  Alcotest.(check bool) "roughly stable" true (Float.abs (r1 -. r4) < 0.02)
+
+let test_compare_instance_ordering () =
+  let c = Broadcast.Ratio.compare_instance Instance.fig1 in
+  Alcotest.(check bool) "proof <= omega <= acyclic <= cyclic" true
+    (c.Broadcast.Ratio.proof_word <= c.Broadcast.Ratio.omega_best +. 1e-9
+    && c.Broadcast.Ratio.omega_best <= c.Broadcast.Ratio.acyclic +. 1e-6
+    && c.Broadcast.Ratio.acyclic <= c.Broadcast.Ratio.cyclic +. 1e-9)
+
+(* Theorem 6.2: the ratio never drops below 5/7, on random mixed
+   instances. *)
+let prop_ratio_above_five_sevenths =
+  QCheck.Test.make ~name:"Theorem 6.2: ratio >= 5/7" ~count:120
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:10) (fun inst ->
+      let c = Broadcast.Ratio.compare_instance inst in
+      QCheck.assume (c.Broadcast.Ratio.cyclic > 1e-6);
+      Broadcast.Ratio.ratio c >= (5. /. 7.) -. 1e-6)
+
+(* Theorem 6.1: without guarded nodes the ratio is at least 1 - 1/n. *)
+let prop_open_only_bound =
+  QCheck.Test.make ~name:"Theorem 6.1: open-only ratio >= 1 - 1/n" ~count:120
+    (Helpers.open_instance_arb ~max_open:15) (fun inst ->
+      let c = Broadcast.Ratio.compare_instance inst in
+      QCheck.assume (c.Broadcast.Ratio.cyclic > 1e-6);
+      Broadcast.Ratio.ratio c
+      >= Broadcast.Ratio.open_only_lower_bound ~n:inst.Instance.n -. 1e-6)
+
+(* omega words are feasible encodings: their throughput is a lower bound
+   on the optimum (sanity of the Appendix XII blue curves). *)
+let prop_omega_below_optimal =
+  QCheck.Test.make ~name:"omega throughput <= T*ac" ~count:100
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:10) (fun inst ->
+      let c = Broadcast.Ratio.compare_instance inst in
+      c.Broadcast.Ratio.omega_best <= c.Broadcast.Ratio.acyclic +. 1e-6)
+
+(* Tight homogeneous worst case over a delta sweep stays above 5/7 too
+   (the Figure 7 surface floor). *)
+let prop_tight_homogeneous_floor =
+  QCheck.Test.make ~name:"Figure 7 surface floor at 5/7" ~count:40
+    QCheck.(pair (int_range 1 25) (int_range 1 25))
+    (fun (n, m) ->
+      let cell = Experiments.Fig7_surface.compute_cell ~n ~m in
+      cell.Experiments.Fig7_surface.ratio >= (5. /. 7.) -. 1e-6
+      && cell.Experiments.Fig7_surface.ratio <= 1. +. 1e-9)
+
+let suites =
+  [
+    ( "ratio",
+      [
+        Alcotest.test_case "5/7 gadget tight" `Quick test_five_sevenths_tight;
+        Alcotest.test_case "sigma closed forms" `Quick test_sigma_closed_forms_match_measured;
+        Alcotest.test_case "gadget validation" `Quick test_five_sevenths_validation;
+        Alcotest.test_case "sqrt41 family" `Quick test_sqrt41_family;
+        Alcotest.test_case "sqrt41 growth" `Quick test_sqrt41_growth;
+        Alcotest.test_case "comparison ordering" `Quick test_compare_instance_ordering;
+        QCheck_alcotest.to_alcotest prop_ratio_above_five_sevenths;
+        QCheck_alcotest.to_alcotest prop_open_only_bound;
+        QCheck_alcotest.to_alcotest prop_omega_below_optimal;
+        QCheck_alcotest.to_alcotest prop_tight_homogeneous_floor;
+      ] );
+  ]
+
+(* Statement (5) in the proof of Theorem 6.2: on every tight homogeneous
+   instance, the best of omega1/omega2 already achieves 5/7 of the cyclic
+   optimum. *)
+let prop_omega_words_57_on_tight =
+  QCheck.Test.make ~name:"omega words reach 5/7 on tight homogeneous" ~count:60
+    QCheck.(triple (int_range 1 30) (int_range 1 30) (float_range 0. 1.))
+    (fun (n, m, frac) ->
+      let delta = frac *. float_of_int n in
+      let inst = Instance.tight_homogeneous ~n ~m ~delta in
+      let w1 = Broadcast.Word.omega1 ~n ~m and w2 = Broadcast.Word.omega2 ~n ~m in
+      let t1 = Broadcast.Word.optimal_throughput_closed_form inst w1 in
+      let t2 = Broadcast.Word.optimal_throughput_closed_form inst w2 in
+      (* T* = 1 by tightness. *)
+      Float.max t1 t2 >= (5. /. 7.) -. 1e-9)
+
+(* Lemma 11.3 (convexity): if a word is valid at throughput T on two
+   homogeneous instances, it is valid on any convex combination of them.
+   Exercised through the tight family's delta parameter. *)
+let prop_delta_convexity =
+  QCheck.Test.make ~name:"word validity is convex in delta (Lemma 11.3)" ~count:60
+    QCheck.(
+      tup5 (int_range 1 12) (int_range 1 12) (float_range 0. 1.)
+        (float_range 0. 1.) (float_range 0. 1.))
+    (fun (n, m, f1, f2, lambda) ->
+      let nf = float_of_int n in
+      let d1 = f1 *. nf and d2 = f2 *. nf in
+      let dm = (lambda *. d1) +. ((1. -. lambda) *. d2) in
+      let inst d = Instance.tight_homogeneous ~n ~m ~delta:d in
+      let w = Broadcast.Word.omega2 ~n ~m in
+      let rate = 5. /. 7. in
+      let valid d = Broadcast.Word.feasible (inst d) ~rate w in
+      (* valid at both endpoints -> valid at the midpoint *)
+      QCheck.assume (valid d1 && valid d2);
+      valid dm)
+
+let convexity_suite =
+  [
+    QCheck_alcotest.to_alcotest prop_omega_words_57_on_tight;
+    QCheck_alcotest.to_alcotest prop_delta_convexity;
+  ]
+
+let suites =
+  match suites with
+  | [ (name, cases) ] -> [ (name, cases @ convexity_suite) ]
+  | other -> other

@@ -1,0 +1,118 @@
+(* Tests for exact rational arithmetic. *)
+
+module Q = Rational.Q
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let test_normalization () =
+  Alcotest.check q "2/4 = 1/2" (Q.make 1 2) (Q.make 2 4);
+  Alcotest.check q "-2/-4 = 1/2" (Q.make 1 2) (Q.make (-2) (-4));
+  Alcotest.check q "2/-4 = -1/2" (Q.make (-1) 2) (Q.make 2 (-4));
+  Alcotest.check q "0/7 = 0" Q.zero (Q.make 0 7);
+  Alcotest.(check int) "den positive" 2 (Q.make 2 (-4)).Q.den
+
+let test_zero_den () =
+  Alcotest.check_raises "zero denominator" (Invalid_argument "Q.make: zero denominator")
+    (fun () -> ignore (Q.make 1 0))
+
+let test_arithmetic () =
+  let a = Q.make 1 3 and b = Q.make 1 6 in
+  Alcotest.check q "1/3 + 1/6 = 1/2" (Q.make 1 2) (Q.add a b);
+  Alcotest.check q "1/3 - 1/6 = 1/6" (Q.make 1 6) (Q.sub a b);
+  Alcotest.check q "1/3 * 1/6 = 1/18" (Q.make 1 18) (Q.mul a b);
+  Alcotest.check q "1/3 / 1/6 = 2" (Q.of_int 2) (Q.div a b);
+  Alcotest.check q "neg" (Q.make (-1) 3) (Q.neg a);
+  Alcotest.check q "abs" a (Q.abs (Q.neg a));
+  Alcotest.check q "div by negative" (Q.make (-2) 1) (Q.div a (Q.make (-1) 6))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(make 1 3 < make 1 2);
+  Alcotest.(check bool) "5/7 > 0.714/1000 style" true Q.(make 5 7 > make 714 1000);
+  Alcotest.(check bool) "equal" true Q.(make 10 14 = make 5 7);
+  Alcotest.(check int) "compare sign" (-1) (Q.compare (Q.make (-1) 2) Q.zero);
+  Alcotest.check q "min" (Q.make 1 3) (Q.min (Q.make 1 3) (Q.make 1 2));
+  Alcotest.check q "max" (Q.make 1 2) (Q.max (Q.make 1 3) (Q.make 1 2))
+
+let test_ceil_div () =
+  (* The paper's degree lower bound ceil(b / T). *)
+  Alcotest.(check int) "ceil(5/7)" 1 (Q.ceil_div (Q.of_int 5) (Q.of_int 7));
+  Alcotest.(check int) "ceil(14/7)" 2 (Q.ceil_div (Q.of_int 14) (Q.of_int 7));
+  Alcotest.(check int) "ceil(15/7)" 3 (Q.ceil_div (Q.of_int 15) (Q.of_int 7));
+  Alcotest.(check int) "ceil(0/7)" 0 (Q.ceil_div Q.zero (Q.of_int 7));
+  Alcotest.(check int) "ceil((3/2)/(1/2))" 3
+    (Q.ceil_div (Q.make 3 2) (Q.make 1 2));
+  Alcotest.check_raises "negative dividend"
+    (Invalid_argument "Q.ceil_div: dividend must be non-negative") (fun () ->
+      ignore (Q.ceil_div (Q.of_int (-1)) Q.one));
+  Alcotest.check_raises "non-positive divisor"
+    (Invalid_argument "Q.ceil_div: divisor must be positive") (fun () ->
+      ignore (Q.ceil_div Q.one Q.zero))
+
+let test_of_float_approx () =
+  Alcotest.check q "5/7" (Q.make 5 7) (Q.of_float_approx (5. /. 7.));
+  Alcotest.check q "integer" (Q.of_int 3) (Q.of_float_approx 3.0);
+  Alcotest.check q "negative" (Q.make (-5) 7) (Q.of_float_approx (-5. /. 7.));
+  (* (sqrt 41 - 3) / 8 with small denominators: 17/40 (Theorem 6.3). *)
+  let alpha = Q.of_float_approx ~max_den:40 ((sqrt 41. -. 3.) /. 8.) in
+  Alcotest.check q "sqrt41 alpha ~ 17/40" (Q.make 17 40) alpha
+
+let test_overflow () =
+  let big = Q.of_int max_int in
+  Alcotest.check_raises "multiplication overflows" Q.Overflow (fun () ->
+      ignore (Q.mul big (Q.of_int 2)))
+
+let test_sum_and_string () =
+  Alcotest.check q "sum" (Q.of_int 1)
+    (Q.sum [ Q.make 1 2; Q.make 1 3; Q.make 1 6 ]);
+  Alcotest.(check string) "to_string fraction" "5/7" (Q.to_string (Q.make 5 7));
+  Alcotest.(check string) "to_string integer" "3" (Q.to_string (Q.of_int 3))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-12)) "to_float" (5. /. 7.) (Q.to_float (Q.make 5 7))
+
+(* QCheck properties on small rationals (no overflow in range). *)
+let small_q =
+  QCheck.map
+    (fun (n, d) -> Q.make n (1 + abs d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range 0 1000))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:500 (QCheck.pair small_q small_q)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:500
+    (QCheck.triple small_q small_q small_q) (fun (a, b, c) ->
+      Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_compare_matches_float =
+  QCheck.Test.make ~name:"compare consistent with floats" ~count:500
+    (QCheck.pair small_q small_q) (fun (a, b) ->
+      let fc = Float.compare (Q.to_float a) (Q.to_float b) in
+      let qc = Q.compare a b in
+      (* Distinct small rationals are far apart in float terms. *)
+      (fc = 0 && qc = 0) || fc * qc > 0 || Float.abs (Q.to_float a -. Q.to_float b) < 1e-9)
+
+let prop_add_sub_roundtrip =
+  QCheck.Test.make ~name:"(a + b) - b = a" ~count:500 (QCheck.pair small_q small_q)
+    (fun (a, b) -> Q.equal a (Q.sub (Q.add a b) b))
+
+let suites =
+  [
+    ( "rational",
+      [
+        Alcotest.test_case "normalization" `Quick test_normalization;
+        Alcotest.test_case "zero denominator rejected" `Quick test_zero_den;
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "comparisons" `Quick test_compare;
+        Alcotest.test_case "ceil_div (degree bound)" `Quick test_ceil_div;
+        Alcotest.test_case "of_float_approx" `Quick test_of_float_approx;
+        Alcotest.test_case "overflow detection" `Quick test_overflow;
+        Alcotest.test_case "sum / to_string" `Quick test_sum_and_string;
+        Alcotest.test_case "to_float" `Quick test_to_float;
+        QCheck_alcotest.to_alcotest prop_add_commutative;
+        QCheck_alcotest.to_alcotest prop_mul_distributes;
+        QCheck_alcotest.to_alcotest prop_compare_matches_float;
+        QCheck_alcotest.to_alcotest prop_add_sub_roundtrip;
+      ] );
+  ]

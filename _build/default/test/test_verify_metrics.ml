@@ -1,0 +1,105 @@
+(* Tests for the verification oracle and the degree/depth metrics. *)
+
+open Platform
+module G = Flowgraph.Graph
+
+let fig1_valid_scheme () =
+  Broadcast.Low_degree.build Instance.fig1 ~rate:4. (Broadcast.Word.of_string "gogog")
+
+let test_valid_scheme_report () =
+  let r = Broadcast.Verify.check Instance.fig1 (fig1_valid_scheme ()) in
+  Alcotest.(check bool) "bandwidth" true r.Broadcast.Verify.bandwidth_ok;
+  Alcotest.(check bool) "firewall" true r.Broadcast.Verify.firewall_ok;
+  Alcotest.(check bool) "bin" true r.Broadcast.Verify.bin_ok;
+  Alcotest.(check bool) "acyclic" true r.Broadcast.Verify.acyclic;
+  Alcotest.(check bool) "no inflow at source" false r.Broadcast.Verify.source_receives;
+  Helpers.close ~tol:1e-6 "throughput" r.Broadcast.Verify.throughput 4.
+
+let test_detects_bandwidth_violation () =
+  let g = fig1_valid_scheme () in
+  G.add_edge g ~src:4 ~dst:1 5. (* C4 has b = 1 *);
+  let r = Broadcast.Verify.check Instance.fig1 g in
+  Alcotest.(check bool) "violation detected" false r.Broadcast.Verify.bandwidth_ok
+
+let test_detects_firewall_violation () =
+  let g = fig1_valid_scheme () in
+  G.add_edge g ~src:3 ~dst:4 0.1 (* guarded -> guarded *);
+  let r = Broadcast.Verify.check Instance.fig1 g in
+  Alcotest.(check bool) "firewall breach detected" false r.Broadcast.Verify.firewall_ok
+
+let test_detects_bin_violation () =
+  let inst =
+    Instance.create ~bin:[| 10.; 0.5 |] ~bandwidth:[| 2.; 1. |] ~n:1 ~m:0 ()
+  in
+  let g = G.create 2 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  let r = Broadcast.Verify.check inst g in
+  Alcotest.(check bool) "bin cap violated" false r.Broadcast.Verify.bin_ok;
+  Alcotest.(check bool) "achieves refuses" false
+    (Broadcast.Verify.achieves inst g ~rate:0.9)
+
+let test_detects_cycle () =
+  let g = fig1_valid_scheme () in
+  G.add_edge g ~src:5 ~dst:0 0.1;
+  let r = Broadcast.Verify.check Instance.fig1 g in
+  Alcotest.(check bool) "cycle flagged" false r.Broadcast.Verify.acyclic;
+  Alcotest.(check bool) "source inflow flagged" true r.Broadcast.Verify.source_receives
+
+let test_throughput_is_min_flow () =
+  (* Remove a sliver from one receiver: throughput becomes that node's
+     in-flow. *)
+  let g = fig1_valid_scheme () in
+  let w = G.edge_weight g ~src:0 ~dst:3 in
+  G.set_edge g ~src:0 ~dst:3 (w -. 1.);
+  let r = Broadcast.Verify.check Instance.fig1 g in
+  Helpers.close ~tol:1e-6 "degraded throughput" r.Broadcast.Verify.throughput 3.
+
+let test_node_count_mismatch () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Verify.check: node count mismatch") (fun () ->
+      ignore (Broadcast.Verify.check Instance.fig1 (G.create 3)))
+
+let test_degree_report () =
+  let g = fig1_valid_scheme () in
+  let d = Broadcast.Metrics.degree_report Instance.fig1 ~t:4. g in
+  Alcotest.(check int) "degrees length" 6 (Array.length d.Broadcast.Metrics.degrees);
+  Array.iteri
+    (fun i o -> Alcotest.(check int) "degree matches graph" (G.out_degree g i) o)
+    d.Broadcast.Metrics.degrees;
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check int) "excess consistent"
+        (d.Broadcast.Metrics.degrees.(i)
+        - Broadcast.Bounds.degree_lower_bound Instance.fig1 ~t:4. i)
+        e)
+    d.Broadcast.Metrics.excess;
+  Alcotest.(check bool) "guarded max present" true
+    (d.Broadcast.Metrics.max_excess_guarded > min_int);
+  Alcotest.(check int) "opens_above large k" 0 (d.Broadcast.Metrics.opens_above 100)
+
+let test_depth_and_max_outdegree () =
+  let g = G.create 4 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  G.add_edge g ~src:1 ~dst:2 1.;
+  G.add_edge g ~src:1 ~dst:3 1.;
+  Alcotest.(check int) "depth" 2 (Broadcast.Metrics.depth g);
+  Alcotest.(check int) "max outdegree" 2 (Broadcast.Metrics.max_outdegree g)
+
+let suites =
+  [
+    ( "verify",
+      [
+        Alcotest.test_case "valid scheme report" `Quick test_valid_scheme_report;
+        Alcotest.test_case "bandwidth violation" `Quick test_detects_bandwidth_violation;
+        Alcotest.test_case "firewall violation" `Quick test_detects_firewall_violation;
+        Alcotest.test_case "incoming cap violation" `Quick test_detects_bin_violation;
+        Alcotest.test_case "cycle detection" `Quick test_detects_cycle;
+        Alcotest.test_case "throughput = min max-flow" `Quick test_throughput_is_min_flow;
+        Alcotest.test_case "node count mismatch" `Quick test_node_count_mismatch;
+      ] );
+    ( "metrics",
+      [
+        Alcotest.test_case "degree report" `Quick test_degree_report;
+        Alcotest.test_case "depth and max outdegree" `Quick test_depth_and_max_outdegree;
+      ] );
+  ]

@@ -1,0 +1,185 @@
+(* Tests for encoding words: O/G/W accounting, feasibility, closed-form
+   throughput, and the canonical omega words. *)
+
+open Platform
+module W = Broadcast.Word
+
+let test_string_roundtrip () =
+  let w = W.of_string "gogog" in
+  Alcotest.(check string) "roundtrip" "gogog" (W.to_string w);
+  Alcotest.(check int) "opens" 2 (W.count_open w);
+  Alcotest.(check int) "guardeds" 3 (W.count_guarded w);
+  Alcotest.check_raises "bad letter" (Invalid_argument "Word.of_string: bad letter 'x'")
+    (fun () -> ignore (W.of_string "ox"))
+
+let test_to_order () =
+  let w = W.of_string "gogog" in
+  Alcotest.(check (array int)) "sigma = 031425" [| 0; 3; 1; 4; 2; 5 |]
+    (W.to_order w Instance.fig1);
+  let w2 = W.of_string "oggog" in
+  Alcotest.(check (array int)) "sigma = 013452... mixed" [| 0; 1; 3; 4; 2; 5 |]
+    (W.to_order w2 Instance.fig1)
+
+let table1_expected =
+  (* Table I of the paper: (O, G, W) after each letter of gogog at T=4. *)
+  [ (2., 4., 0.); (7., 0., 0.); (3., 1., 0.); (5., 0., 3.); (1., 1., 3.) ]
+
+let test_table1_states () =
+  let w = W.of_string "gogog" in
+  match W.run Instance.fig1 ~rate:4. w with
+  | None -> Alcotest.fail "gogog infeasible at 4"
+  | Some states ->
+    let steps = List.tl states in
+    Alcotest.(check int) "five steps" 5 (List.length steps);
+    List.iter2
+      (fun st (o, g, waste) ->
+        Helpers.close "O(pi)" st.W.avail_open o;
+        Helpers.close "G(pi)" st.W.avail_guarded g;
+        Helpers.close "W(pi)" st.W.waste waste)
+      steps table1_expected
+
+let test_initial_state () =
+  let st = W.initial_state Instance.fig1 in
+  Helpers.close "O(eps) = b0" st.W.avail_open 6.;
+  Helpers.close "G(eps) = 0" st.W.avail_guarded 0.;
+  Helpers.close "W(eps) = 0" st.W.waste 0.
+
+let test_sum_invariant () =
+  (* Lemma 4.4: O(pi) + G(pi) = sum of seen bandwidths - |pi| T. *)
+  let inst = Instance.fig1 in
+  let w = W.of_string "gogog" in
+  match W.run inst ~rate:4. w with
+  | None -> Alcotest.fail "infeasible"
+  | Some states ->
+    List.iteri
+      (fun k st ->
+        let seen = ref inst.Instance.bandwidth.(0) in
+        for i = 1 to st.W.fed_open do
+          seen := !seen +. inst.Instance.bandwidth.(i)
+        done;
+        for j = 1 to st.W.fed_guarded do
+          seen := !seen +. inst.Instance.bandwidth.(inst.Instance.n + j)
+        done;
+        Helpers.close
+          (Printf.sprintf "O+G at step %d" k)
+          (st.W.avail_open +. st.W.avail_guarded)
+          (!seen -. (float_of_int (st.W.fed_open + st.W.fed_guarded) *. 4.)))
+      states
+
+let test_infeasible_word () =
+  (* ggogo on fig1 requires feeding two guarded nodes from b0 = 6 < 8. *)
+  let w = W.of_string "ggoog" in
+  Alcotest.(check bool) "ggoog infeasible at 4" false
+    (W.feasible Instance.fig1 ~rate:4. w);
+  Alcotest.(check bool) "ggoog feasible at 3" true
+    (W.feasible Instance.fig1 ~rate:3. w)
+
+let test_omega_structure () =
+  Alcotest.(check string) "omega1(2,3)" "ogogg" (W.to_string (W.omega1 ~n:2 ~m:3));
+  Alcotest.(check string) "omega2(2,3)" "gogog" (W.to_string (W.omega2 ~n:2 ~m:3));
+  Alcotest.(check string) "omega1(3,1)" "ooog"
+    (W.to_string (W.omega1 ~n:3 ~m:1));
+  Alcotest.(check string) "omega1(0,2)" "gg" (W.to_string (W.omega1 ~n:0 ~m:2));
+  Alcotest.(check string) "omega2(2,0)" "oo" (W.to_string (W.omega2 ~n:2 ~m:0));
+  (* Counts always match. *)
+  for n = 0 to 6 do
+    for m = 0 to 6 do
+      if n + m > 0 then begin
+        let w1 = W.omega1 ~n ~m and w2 = W.omega2 ~n ~m in
+        Alcotest.(check int) "w1 opens" n (W.count_open w1);
+        Alcotest.(check int) "w1 guardeds" m (W.count_guarded w1);
+        Alcotest.(check int) "w2 opens" n (W.count_open w2);
+        Alcotest.(check int) "w2 guardeds" m (W.count_guarded w2)
+      end
+    done
+  done
+
+let test_enumerate () =
+  let words = W.enumerate ~n:3 ~m:2 in
+  Alcotest.(check int) "C(5,2) = 10" 10 (List.length words);
+  let strings = List.map W.to_string words in
+  Alcotest.(check int) "all distinct" 10
+    (List.length (List.sort_uniq compare strings));
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "opens" 3 (W.count_open w);
+      Alcotest.(check int) "guardeds" 2 (W.count_guarded w))
+    words;
+  Alcotest.check_raises "size limit" (Invalid_argument "Word.enumerate: too many words")
+    (fun () -> ignore (W.enumerate ~n:30 ~m:30))
+
+let test_optimal_throughput_fig1 () =
+  let inst = Instance.fig1 in
+  Helpers.close ~tol:1e-9 "gogog -> 4"
+    (W.optimal_throughput_closed_form inst (W.of_string "gogog")) 4.;
+  Helpers.close ~tol:1e-9 "ogogg -> 4"
+    (W.optimal_throughput_closed_form inst (W.of_string "ogogg")) 4.;
+  (* The all-opens-first word wastes open bandwidth: strictly worse. *)
+  let t = W.optimal_throughput_closed_form inst (W.of_string "ooggg") in
+  Alcotest.(check bool) "ooggg worse" true (t < 4.)
+
+(* Property: closed form = dichotomic search on the simulation, for random
+   instances and random complete words. *)
+let word_and_instance_gen =
+  QCheck.Gen.(
+    Helpers.instance_gen ~max_open:6 ~max_guarded:6 >>= fun inst ->
+    let n = inst.Instance.n and m = inst.Instance.m in
+    (* A random shuffle of the letter multiset. *)
+    let letters =
+      Array.append (Array.make n Instance.Open) (Array.make m Instance.Guarded)
+    in
+    let shuffle a st =
+      let a = Array.copy a in
+      for i = Array.length a - 1 downto 1 do
+        let j = int_bound i st in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      a
+    in
+    (fun st -> (inst, shuffle letters st)))
+
+let prop_closed_form_vs_search =
+  QCheck.Test.make ~name:"word closed form = dichotomic search" ~count:150
+    (QCheck.make
+       ~print:(fun (inst, w) ->
+         Format.asprintf "%a %s" Instance.pp inst (W.to_string w))
+       word_and_instance_gen)
+    (fun (inst, w) ->
+      let closed = W.optimal_throughput_closed_form inst w in
+      let search = W.optimal_throughput inst w in
+      Helpers.close ~tol:1e-6 "closed vs search" search closed;
+      true)
+
+(* Property: feasibility is monotone in the rate. *)
+let prop_feasible_monotone =
+  QCheck.Test.make ~name:"feasibility monotone in rate" ~count:100
+    (QCheck.make
+       ~print:(fun (inst, w) ->
+         Format.asprintf "%a %s" Instance.pp inst (W.to_string w))
+       word_and_instance_gen)
+    (fun (inst, w) ->
+      let t = W.optimal_throughput_closed_form inst w in
+      QCheck.assume (t > 1e-6);
+      W.feasible inst ~rate:(0.9 *. t) w
+      && W.feasible inst ~rate:(0.5 *. t) w
+      && not (W.feasible inst ~rate:(1.01 *. t +. 1e-6) w))
+
+let suites =
+  [
+    ( "word",
+      [
+        Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+        Alcotest.test_case "to_order" `Quick test_to_order;
+        Alcotest.test_case "Table I states" `Quick test_table1_states;
+        Alcotest.test_case "initial state" `Quick test_initial_state;
+        Alcotest.test_case "Lemma 4.4 sum invariant" `Quick test_sum_invariant;
+        Alcotest.test_case "infeasible words" `Quick test_infeasible_word;
+        Alcotest.test_case "omega word structure" `Quick test_omega_structure;
+        Alcotest.test_case "enumeration" `Quick test_enumerate;
+        Alcotest.test_case "fig1 word throughputs" `Quick test_optimal_throughput_fig1;
+        QCheck_alcotest.to_alcotest prop_closed_form_vs_search;
+        QCheck_alcotest.to_alcotest prop_feasible_monotone;
+      ] );
+  ]
