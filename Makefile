@@ -1,0 +1,25 @@
+.PHONY: all build test bench bench-verify bench-full clean
+
+all:
+	dune build @runtest @all
+
+build:
+	dune build
+
+test:
+	dune build @runtest
+
+# Perf snapshot of the batch verification engine (writes BENCH_verify.json
+# in the repository root) followed by the trimmed paper-reproduction run.
+bench: bench-verify
+	dune exec -- bench/main.exe --fast
+
+bench-verify:
+	dune exec -- bench/verify_bench.exe
+
+# Full sweeps (Figure 7 grid, Figure 19 replication) — a few minutes.
+bench-full: bench-verify
+	dune exec -- bench/main.exe
+
+clean:
+	dune clean

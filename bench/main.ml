@@ -123,6 +123,19 @@ let tests =
     Test.make ~name:"verify/maxflow-100"
       (Staged.stage (fun () ->
            Flowgraph.Maxflow.min_broadcast_flow scheme100 ~src:0));
+    (* Structure-aware fast path (acyclic incoming-cut) on the same scheme. *)
+    Test.make ~name:"verify/fast-path-100"
+      (Staged.stage (fun () ->
+           Flowgraph.Maxflow.broadcast_throughput scheme100 ~src:0));
+    (* Batch API over a small fleet: full reports for five schemes. *)
+    Test.make ~name:"verify/check-batch-5x100"
+      (Staged.stage
+         (let batch = List.init 5 (fun _ -> (inst100, scheme100)) in
+          fun () -> Broadcast.Verify.check_batch batch));
+    (* Early-exit rate certification at the achieved rate. *)
+    Test.make ~name:"verify/achieves-100"
+      (Staged.stage (fun () ->
+           Broadcast.Verify.achieves inst100 scheme100 ~rate:rate100));
     (* Figure 7: one surface cell. *)
     Test.make ~name:"fig7/cell-50x21"
       (Staged.stage (fun () -> Experiments.Fig7_surface.compute_cell ~n:50 ~m:21));

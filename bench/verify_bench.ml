@@ -1,0 +1,179 @@
+(* Micro-benchmark for the batch verification engine.
+
+   Compares, on the same schemes, three ways of computing the broadcast
+   throughput [min over v of maxflow (C0 -> v)]:
+
+   - plain      : one Dinic run per destination, residual network rebuilt
+                  every time (the pre-engine oracle);
+   - batch      : Maxflow.min_broadcast_flow — one shared residual arena,
+                  sinks in increasing incoming-capacity order, early exit
+                  at the running minimum;
+   - structured : Maxflow.broadcast_throughput — the O(V + E) incoming-cut
+                  fast path on acyclic schemes, batch Dinic otherwise.
+
+   Each case asserts that all three values agree within 1e-6 relative
+   error, prints a table, and appends its row to BENCH_verify.json (written
+   in the current directory) so the performance trajectory is tracked
+   across PRs. Run with `make bench` or `dune exec -- bench/verify_bench.exe`. *)
+
+let time f =
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let first = once () in
+  if first > 0.5 then first
+  else begin
+    let reps = max 3 (int_of_float (0.3 /. Float.max 1e-7 first)) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  end
+
+let mixed_instance ?(p_open = 0.7) ~seed n =
+  let rng = Prng.Splitmix.create seed in
+  Platform.Generator.generate
+    { Platform.Generator.total = n; p_open; dist = Prng.Dist.unif100 }
+    rng
+
+let acyclic_scheme n =
+  let inst = mixed_instance ~seed:(Int64.of_int (41 + n)) n in
+  let t, word = Broadcast.Greedy.optimal_acyclic inst in
+  let rate = t *. (1. -. 4e-9) in
+  (inst, Broadcast.Low_degree.build inst ~rate word)
+
+let cyclic_scheme n =
+  let inst = mixed_instance ~p_open:1. ~seed:(Int64.of_int (97 + n)) n in
+  (inst, Broadcast.Cyclic_open.build inst)
+
+let plain_min_dinic g =
+  let k = Flowgraph.Graph.node_count g in
+  let best = ref infinity in
+  for v = 1 to k - 1 do
+    best := Float.min !best (Flowgraph.Maxflow.max_flow g ~src:0 ~dst:v)
+  done;
+  !best
+
+type row = {
+  name : string;
+  nodes : int;
+  edges : int;
+  acyclic : bool;
+  plain_s : float;
+  batch_s : float;
+  structured_s : float;
+  agree : bool;
+}
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.max a b)
+
+let case name (_, g) =
+  let plain = plain_min_dinic g in
+  let batch = Flowgraph.Maxflow.min_broadcast_flow g ~src:0 in
+  let structured = Flowgraph.Maxflow.broadcast_throughput g ~src:0 in
+  {
+    name;
+    nodes = Flowgraph.Graph.node_count g;
+    edges = Flowgraph.Graph.edge_count g;
+    acyclic = Flowgraph.Topo.is_acyclic g;
+    plain_s = time (fun () -> plain_min_dinic g);
+    batch_s = time (fun () -> Flowgraph.Maxflow.min_broadcast_flow g ~src:0);
+    structured_s = time (fun () -> Flowgraph.Maxflow.broadcast_throughput g ~src:0);
+    agree = close plain batch && close plain structured;
+  }
+
+(* Verify.check_batch over a fleet of schemes — the driver-facing entry
+   point (one structural pass + one throughput per scheme). *)
+let batch_fleet_case schemes =
+  let pairs = List.map (fun (inst, g) -> (inst, g)) schemes in
+  let t = time (fun () -> Broadcast.Verify.check_batch pairs) in
+  let reports = Broadcast.Verify.check_batch pairs in
+  let ok =
+    List.for_all
+      (fun r ->
+        r.Broadcast.Verify.bandwidth_ok && r.Broadcast.Verify.firewall_ok)
+      reports
+  in
+  (t, List.length pairs, ok)
+
+let json_escape s = s (* names are plain ASCII identifiers *)
+
+let emit_json rows (fleet_s, fleet_n, fleet_ok) path =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"benchmark\": \"verify\",\n  \"unit\": \"seconds_per_call\",\n";
+  p "  \"cases\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"name\": \"%s\", \"nodes\": %d, \"edges\": %d, \"acyclic\": \
+         %b,\n\
+        \     \"plain_dinic_s\": %.6e, \"batch_dinic_s\": %.6e, \
+         \"structured_s\": %.6e,\n\
+        \     \"speedup_batch\": %.2f, \"speedup_structured\": %.2f, \
+         \"agree\": %b}%s\n"
+        (json_escape r.name) r.nodes r.edges r.acyclic r.plain_s r.batch_s
+        r.structured_s (r.plain_s /. r.batch_s)
+        (r.plain_s /. r.structured_s)
+        r.agree
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n";
+  p
+    "  \"check_batch\": {\"schemes\": %d, \"total_s\": %.6e, \"all_valid\": \
+     %b}\n"
+    fleet_n fleet_s fleet_ok;
+  p "}\n";
+  close_out oc
+
+let () =
+  let cases =
+    [
+      ("acyclic-n200", acyclic_scheme 200);
+      ("acyclic-n500", acyclic_scheme 500);
+      ("acyclic-n1000", acyclic_scheme 1000);
+      ("cyclic-n200", cyclic_scheme 200);
+      ("cyclic-n400", cyclic_scheme 400);
+    ]
+  in
+  let rows = List.map (fun (name, s) -> case name s) cases in
+  let fleet =
+    batch_fleet_case (List.init 20 (fun i -> acyclic_scheme (150 + (5 * i))))
+  in
+  Printf.printf "%-14s %6s %6s %8s %12s %12s %12s %8s %8s %6s\n" "case" "nodes"
+    "edges" "acyclic" "plain/s" "batch/s" "struct/s" "x-batch" "x-struct"
+    "agree";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %6d %6d %8b %12.3e %12.3e %12.3e %8.1f %8.1f %6b\n"
+        r.name r.nodes r.edges r.acyclic r.plain_s r.batch_s r.structured_s
+        (r.plain_s /. r.batch_s)
+        (r.plain_s /. r.structured_s)
+        r.agree)
+    rows;
+  let fleet_s, fleet_n, fleet_ok = fleet in
+  Printf.printf "check_batch: %d schemes in %.3e s (%.3e s/scheme), valid=%b\n"
+    fleet_n fleet_s
+    (fleet_s /. float_of_int fleet_n)
+    fleet_ok;
+  emit_json rows fleet "BENCH_verify.json";
+  let bad = List.filter (fun r -> not r.agree) rows in
+  if bad <> [] then begin
+    List.iter (fun r -> Printf.eprintf "DISAGREEMENT in %s\n" r.name) bad;
+    exit 1
+  end;
+  (* Acceptance tripwire for the engine: the structure-aware verifier must
+     beat per-destination Dinic by at least 3x on acyclic schemes with
+     n >= 200. *)
+  let gate =
+    List.filter (fun r -> r.acyclic && r.nodes >= 200) rows
+    |> List.for_all (fun r -> r.plain_s /. r.structured_s >= 3.)
+  in
+  if not gate then begin
+    Printf.eprintf "speedup gate (>= 3x on acyclic n >= 200) FAILED\n";
+    exit 1
+  end;
+  print_endline "verify_bench: ok (BENCH_verify.json written)"

@@ -42,6 +42,10 @@ let depth g =
   let d = Flowgraph.Topo.depth_from g 0 in
   Array.fold_left max 0 d
 
+let bottleneck g =
+  let w, v = Flowgraph.Topo.min_incoming_cut g ~src:0 in
+  (v, w)
+
 let max_outdegree g =
   let best = ref 0 in
   for i = 0 to Flowgraph.Graph.node_count g - 1 do

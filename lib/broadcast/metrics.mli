@@ -23,4 +23,10 @@ val degree_report : Platform.Instance.t -> t:float -> Flowgraph.Graph.t -> degre
 val depth : Flowgraph.Graph.t -> int
 (** Longest hop-path from node [0]; requires an acyclic graph. *)
 
+val bottleneck : Flowgraph.Graph.t -> int * float
+(** [(node, rate)] — the non-source node with the least incoming rate and
+    that rate. On an acyclic scheme this node certifies the throughput
+    (it is the binding cut of {!Flowgraph.Topo.min_incoming_cut});
+    [(0, infinity)] on a single-node graph. *)
+
 val max_outdegree : Flowgraph.Graph.t -> int

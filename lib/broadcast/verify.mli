@@ -6,7 +6,23 @@
     [c i j = 0 for i, j guarded], optional incoming caps, and throughput
     [T = min_i maxflow (C0 -> Ci)] computed with the {!Flowgraph.Maxflow}
     substrate. Every algorithm in this library is tested against this
-    oracle. *)
+    oracle.
+
+    {2 Oracle vs fast path}
+
+    Two interchangeable throughput engines back the oracle:
+
+    - {e fast path} (acyclic schemes): the broadcast throughput of an
+      acyclic graph equals the minimal incoming rate over non-source nodes
+      ({!Flowgraph.Topo.min_incoming_cut}) — one O(V + E) pass, exact;
+    - {e generic} (cyclic schemes): batch Dinic
+      ({!Flowgraph.Maxflow.min_broadcast_flow}) sharing one residual
+      network across destinations, with early exit at the running minimum.
+
+    Both agree with one plain Dinic run per destination up to the float
+    tolerance of iterative augmentation; the differential suite
+    [test/test_verify_fast.ml] enforces agreement within [1e-6] relative
+    error on random acyclic and cyclic schemes. *)
 
 type report = {
   bandwidth_ok : bool;  (** no node exceeds its outgoing bandwidth *)
@@ -17,6 +33,9 @@ type report = {
   throughput : float;
       (** [min over i >= 1 of maxflow (C0 -> Ci)]; [infinity] when the
           instance has no receiver *)
+  fast_path : bool;
+      (** [true] when the throughput came from the O(V + E) acyclic cut
+          computation rather than max-flow *)
 }
 
 val check : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> report
@@ -24,11 +43,26 @@ val check : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> report
     tolerance (default {!Util.eps}), applied relatively. The graph must
     have exactly [Instance.size inst] nodes. *)
 
+val check_batch :
+  ?eps:float ->
+  (Platform.Instance.t * Flowgraph.Graph.t) list ->
+  report list
+(** [check_batch pairs] verifies many schemes in one call, in order —
+    the entry point used by the experiment drivers and the benchmark
+    harness. Each scheme gets the structure-aware engine of {!check}. *)
+
+val throughput : Flowgraph.Graph.t -> float
+(** Throughput of a scheme rooted at node [0], structure-aware
+    ({!Flowgraph.Maxflow.broadcast_throughput}); [infinity] on a
+    single-node graph. *)
+
 val valid : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> bool
-(** Structural validity only: bandwidth, firewall and incoming caps. *)
+(** Structural validity only: bandwidth, firewall and incoming caps. Does
+    not compute any flow. *)
 
 val achieves :
   ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> rate:float -> bool
 (** [achieves inst g ~rate] — structurally valid and throughput at least
-    [rate] (within a relative [1e-6] slack on the max-flow values, which
-    are themselves iterative float computations). *)
+    [rate] within a relative [1e-6] slack on [rate] (max-flow values are
+    iterative float computations). The flow computation stops as soon as
+    the relaxed target is certified for every destination. *)

@@ -22,6 +22,11 @@ type cell = {
   acyclic_mean : float;
   omega_mean : float;
   proof_mean : float;
+  verified : bool option;
+      (** verdict of {!Broadcast.Verify.check_batch} on the witness scheme
+          of the cell's first replicate; [None] when no witness was built
+          (zero acyclic throughput) or when the cell was computed outside
+          {!compute} *)
 }
 
 type config = {
@@ -46,5 +51,8 @@ val compute_cell :
   seed:int64 -> cell
 
 val compute : config -> cell list
+(** Computes every cell, then cross-checks one witness scheme per cell
+    (built by Lemma 4.6 from the first replicate's optimal word) against
+    the verification oracle in a single batch, filling [verified]. *)
 
 val print : ?config:config -> Format.formatter -> unit

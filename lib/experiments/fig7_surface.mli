@@ -21,6 +21,11 @@ type cell = {
 type surface = {
   cells : cell list;
   global_min : cell;
+  witnesses : int;
+      (** number of worst-delta witness schemes built by Lemma 4.6 *)
+  verified : int;
+      (** witnesses confirmed valid and at-rate by
+          {!Broadcast.Verify.check_batch} — should equal [witnesses] *)
 }
 
 val delta_samples : n:int -> m:int -> float list
@@ -28,7 +33,9 @@ val delta_samples : n:int -> m:int -> float list
 val compute_cell : n:int -> m:int -> cell
 
 val compute : ?ns:int list -> ?ms:int list -> unit -> surface
-(** Default grids: [5, 10, ..., 100] on both axes. *)
+(** Default grids: [5, 10, ..., 100] on both axes. Every cell's worst-delta
+    witness scheme is rebuilt and cross-checked against the verification
+    oracle in a single {!Broadcast.Verify.check_batch} call. *)
 
 val print : ?ns:int list -> ?ms:int list -> Format.formatter -> unit
 (** Renders the surface as a coarse character map plus summary rows. *)

@@ -1,6 +1,10 @@
-(* Dinic's algorithm on an arena of forward/backward arc pairs. The arena
-   is rebuilt per call from the input graph; verification workloads call
-   max_flow O(size) times on O(size)-edge graphs, which stays cheap. *)
+(* Dinic's algorithm on an arena of forward/backward arc pairs.
+
+   The arena is built once per graph; verification workloads solve one
+   max-flow per destination on the same scheme, so the [solver] type keeps
+   the arena (and a pristine copy of the capacities) alive across sinks:
+   switching sink is an [Array.blit] instead of a rebuild, and augmentation
+   can stop early as soon as a caller-supplied flow target is certified. *)
 
 type arena = {
   (* arc i: head.(i) = destination, cap.(i) = residual capacity;
@@ -79,6 +83,47 @@ let rec dfs eps a cursors ~dst u pushed =
         dfs eps a cursors ~dst u pushed
       end
 
+type solver = {
+  arena : arena;
+  pristine : float array;  (* capacities before any augmentation *)
+  src : int;
+  eps : float;
+  in_cap : float array;  (* per-node incoming capacity, an upper bound on
+                            the max-flow into that node (cut isolating it) *)
+}
+
+let solver ?(eps = 1e-12) g ~src =
+  let k = Graph.node_count g in
+  if src < 0 || src >= k then invalid_arg "Maxflow: node out of range";
+  let arena = build g in
+  {
+    arena;
+    pristine = Array.copy arena.cap;
+    src;
+    eps;
+    in_cap = Array.init k (Graph.in_weight g);
+  }
+
+let reset s =
+  Array.blit s.pristine 0 s.arena.cap 0 (Array.length s.pristine)
+
+let solve ?(limit = infinity) s ~dst =
+  if dst = s.src then invalid_arg "Maxflow: src = dst";
+  if dst < 0 || dst >= Array.length s.arena.level then
+    invalid_arg "Maxflow: node out of range";
+  reset s;
+  let a = s.arena and eps = s.eps in
+  let total = ref 0. in
+  while !total < limit && bfs eps a ~src:s.src ~dst do
+    let cursors = Array.copy a.adj in
+    let continue = ref true in
+    while !continue && !total < limit do
+      let sent = dfs eps a cursors ~dst s.src infinity in
+      if sent > eps then total := !total +. sent else continue := false
+    done
+  done;
+  !total
+
 let run ?(eps = 1e-12) g ~src ~dst =
   if src = dst then invalid_arg "Maxflow: src = dst";
   let k = Graph.node_count g in
@@ -98,13 +143,44 @@ let run ?(eps = 1e-12) g ~src ~dst =
 
 let max_flow ?eps g ~src ~dst = fst (run ?eps g ~src ~dst)
 
-let min_broadcast_flow ?eps g ~src =
-  let k = Graph.node_count g in
-  let best = ref infinity in
-  for v = 0 to k - 1 do
-    if v <> src then best := Float.min !best (max_flow ?eps g ~src ~dst:v)
+(* Destinations in increasing incoming-capacity order: [in_cap v] bounds
+   [maxflow src v] (the cut isolating [v]), so cheap sinks are likely to
+   lower the running minimum early and later sinks can stop augmenting as
+   soon as they reach it. *)
+let sinks_by_in_cap s =
+  let k = Array.length s.in_cap in
+  let sinks = ref [] in
+  for v = k - 1 downto 0 do
+    if v <> s.src then sinks := v :: !sinks
   done;
-  !best
+  List.stable_sort
+    (fun u v -> Float.compare s.in_cap.(u) s.in_cap.(v))
+    !sinks
+
+let min_broadcast_flow ?eps g ~src =
+  if Graph.node_count g <= 1 then infinity
+  else begin
+    let s = solver ?eps g ~src in
+    List.fold_left
+      (fun best v ->
+        let f = solve ~limit:best s ~dst:v in
+        if f < best then f else best)
+      infinity (sinks_by_in_cap s)
+  end
+
+let achieves_rate ?eps g ~src ~rate =
+  if Graph.node_count g <= 1 then true
+  else begin
+    let s = solver ?eps g ~src in
+    List.for_all
+      (fun v -> solve ~limit:rate s ~dst:v >= rate)
+      (sinks_by_in_cap s)
+  end
+
+let broadcast_throughput ?eps g ~src =
+  if Graph.node_count g <= 1 then infinity
+  else if Topo.is_acyclic g then fst (Topo.min_incoming_cut g ~src)
+  else min_broadcast_flow ?eps g ~src
 
 let flow_assignment ?(eps = 1e-12) g ~src ~dst =
   let value, a = run ~eps g ~src ~dst in

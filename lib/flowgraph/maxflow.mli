@@ -5,19 +5,63 @@
     (paper, Section II-D); this module is the verification oracle behind
     that definition. Dinic runs in [O(V^2 E)] in general — far below what
     the test instances require — and capacities are floats, so a relative
-    tolerance [eps] bounds the residual-capacity cutoff. *)
+    tolerance [eps] bounds the residual-capacity cutoff.
+
+    Verification workloads solve one flow per destination on the {e same}
+    scheme; the {!solver} type shares one residual arena across all sinks
+    (switching sink restores capacities with a blit instead of rebuilding
+    the arena) and supports early exit once a target value is certified.
+    {!broadcast_throughput} additionally takes the O(V + E)
+    {!Topo.min_incoming_cut} fast path on acyclic schemes. *)
 
 val max_flow : ?eps:float -> Graph.t -> src:int -> dst:int -> float
 (** [max_flow g ~src ~dst] is the value of a maximum [src]-[dst] flow in
     [g], treating edge weights as capacities. [eps] (default [1e-12])
     is the smallest residual capacity considered usable. Requires
-    [src <> dst]. The input graph is not modified. *)
+    [src <> dst]. The input graph is not modified. This is the plain
+    per-call reference: it rebuilds its residual network every time. *)
+
+(** {1 Batch solving (one scheme, many sinks)} *)
+
+type solver
+(** A reusable max-flow context for a fixed graph and source: the residual
+    arena is built once and re-augmented per sink. *)
+
+val solver : ?eps:float -> Graph.t -> src:int -> solver
+(** [solver g ~src] prepares the shared residual network. Later changes to
+    [g] are not reflected. *)
+
+val solve : ?limit:float -> solver -> dst:int -> float
+(** [solve s ~dst] is [max_flow] from the solver's source to [dst],
+    re-using the shared arena. With [limit] (default [infinity])
+    augmentation stops as soon as the accumulated flow reaches [limit]:
+    the result is the exact max-flow value when it is [< limit], and
+    otherwise only certifies that the max flow is [>= limit]. Requires
+    [dst <> src]. *)
+
+(** {1 Broadcast queries} *)
 
 val min_broadcast_flow : ?eps:float -> Graph.t -> src:int -> float
 (** [min_broadcast_flow g ~src] is
     [min over all v <> src of max_flow g ~src ~dst:v] — the broadcast
     throughput of the scheme described by [g]. Returns [infinity] on a
-    single-node graph. *)
+    single-node graph. Sinks share one {!solver} and are visited in
+    increasing incoming-capacity order ([in_weight v] bounds the flow into
+    [v]), so each sink stops augmenting at the running minimum; the value
+    is exact regardless. *)
+
+val broadcast_throughput : ?eps:float -> Graph.t -> src:int -> float
+(** Structure-aware {!min_broadcast_flow}: on acyclic graphs the
+    throughput is [min over v <> src of in_weight v]
+    (see {!Topo.min_incoming_cut}) and costs O(V + E) total; cyclic graphs
+    fall back to {!min_broadcast_flow}. Values agree with the plain
+    per-destination Dinic computation up to its [eps] tolerance. *)
+
+val achieves_rate : ?eps:float -> Graph.t -> src:int -> rate:float -> bool
+(** [achieves_rate g ~src ~rate] is [min_broadcast_flow g ~src >= rate],
+    decided with early exit: each sink stops augmenting at [rate], and the
+    scan aborts at the first sink below it. The comparison is exact; apply
+    any tolerance by adjusting [rate] before the call. *)
 
 val flow_assignment :
   ?eps:float -> Graph.t -> src:int -> dst:int -> float * Graph.t

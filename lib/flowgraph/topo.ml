@@ -67,6 +67,36 @@ let find_cycle g =
   done;
   !result
 
+(* Broadcast cut theorem (the engine behind the fast verification path).
+
+   For any proper subset [S] containing [src], let [w] be the vertex
+   outside [S] that comes first in some fixed topological order. Every
+   in-edge of [w] starts at a topologically earlier vertex, and all of
+   those are in [S] by choice of [w]; hence [cap (S, V \ S) >= in_weight w].
+   Conversely [S = V \ {v}] is a proper subset containing [src] with
+   capacity exactly [in_weight v]. So on an acyclic graph
+
+     min over proper S containing src of cap (S, V \ S)
+       = min over v <> src of in_weight v,
+
+   and the left-hand side is [min over v of maxflow (src -> v)] by
+   max-flow/min-cut — the broadcast throughput. One O(V + E) pass replaces
+   one Dinic run per destination. *)
+let min_incoming_cut g ~src =
+  let k = Graph.node_count g in
+  if src < 0 || src >= k then invalid_arg "Topo.min_incoming_cut: src out of range";
+  let best = ref infinity and arg = ref src in
+  for v = 0 to k - 1 do
+    if v <> src then begin
+      let w = Graph.in_weight g v in
+      if w < !best then begin
+        best := w;
+        arg := v
+      end
+    end
+  done;
+  (!best, !arg)
+
 let depth_from g root =
   match sort g with
   | None -> invalid_arg "Topo.depth_from: graph has a cycle"

@@ -17,6 +17,20 @@ val find_cycle : Graph.t -> int list option
     ([v1; v2; ...; vk] with edges [v1->v2 ... vk->v1]), or [None] if the
     graph is acyclic. *)
 
+val min_incoming_cut : Graph.t -> src:int -> float * int
+(** [min_incoming_cut g ~src] is [(w, v)] where [v] minimizes
+    [Graph.in_weight g v] over all nodes [v <> src] and [w] is that weight
+    ([(infinity, src)] on a single-node graph).
+
+    On an {e acyclic} graph this equals the broadcast throughput
+    [min over v <> src of maxflow (src -> v)]: any cut [(S, V \ S)] with
+    [src] in [S] has capacity at least the incoming weight of the
+    topologically first vertex outside [S] (all its in-neighbours are
+    earlier, hence inside [S]), and the cut isolating [v] costs exactly
+    [in_weight v]. This is the O(V + E) fast path used by the batch
+    verification engine; on cyclic graphs the value is only an upper
+    bound and callers must fall back to {!Maxflow}. *)
+
 val depth_from : Graph.t -> int -> int array
 (** [depth_from g root] is, for each node, the length (in hops) of the
     longest path from [root] following positive-weight edges, or [-1] for

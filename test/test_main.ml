@@ -10,4 +10,5 @@ let () =
    @ Test_lastmile.suites @ Test_repair.suites @ Test_depth.suites
    @ Test_export.suites @ Test_exact_q.suites @ Test_one_port.suites
    @ Test_edge_cases.suites @ Test_integration.suites
-   @ Test_experiments.suites)
+   @ Test_experiments.suites @ Test_verify_fast.suites
+   @ Test_qcheck_properties.suites)

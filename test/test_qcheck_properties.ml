@@ -1,0 +1,125 @@
+(* Property-based tests over random sorted instances (QCheck generators
+   from Helpers): the paper's guarantees that must hold on *every*
+   instance, not just the worked examples — Algorithm 1's degree bound,
+   GreedyTest's characterization of feasible rates, the closed-form
+   cyclic optimum being achieved by the Theorem 5.2 construction, and the
+   batch verifier agreeing with the Dinic oracle on constructed schemes. *)
+
+open Broadcast
+
+let property ?(count = 80) name arb f = QCheck.Test.make ~count ~name arb f
+
+(* Algorithm 1 (R2): degree <= ceil (b i / T) + 1 on open-only instances,
+   at the optimal throughput. *)
+let alg1_degree_bound =
+  property "Algorithm 1 degree bound (+1)"
+    (Helpers.open_instance_arb ~max_open:14)
+    (fun inst ->
+      let t = Bounds.acyclic_open_optimal inst in
+      QCheck.assume (t > 1e-9);
+      let scheme = Acyclic_open.build inst in
+      let d = Metrics.degree_report inst ~t scheme in
+      d.Metrics.max_excess <= 1)
+
+(* Algorithm 1 must also deliver the rate it promises — checked through
+   the verification oracle (acyclic fast path). *)
+let alg1_achieves =
+  property "Algorithm 1 achieves T*ac"
+    (Helpers.open_instance_arb ~max_open:14)
+    (fun inst ->
+      let t = Bounds.acyclic_open_optimal inst in
+      QCheck.assume (t > 1e-9);
+      let scheme = Acyclic_open.build inst in
+      let r = Verify.check inst scheme in
+      r.Verify.bandwidth_ok && r.Verify.acyclic && r.Verify.fast_path
+      && Util.fge ~eps:1e-6 r.Verify.throughput t)
+
+(* GreedyTest (R3): returns a word valid at the tested rate iff
+   rate <= T*ac (Lemma 4.5), probed strictly below and strictly above the
+   optimum found by the dichotomic search. *)
+let greedy_iff =
+  property "GreedyTest word validity iff rate <= T*ac"
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:8)
+    (fun inst ->
+      let t_ac, _ = Greedy.optimal_acyclic inst in
+      QCheck.assume (t_ac > 1e-9);
+      let below = t_ac *. 0.99 in
+      let above = (t_ac *. 1.01) +. 1e-3 in
+      let valid_below =
+        match Greedy.test inst ~rate:below with
+        | Some w -> Word.complete w inst && Word.feasible inst ~rate:below w
+        | None -> false
+      in
+      valid_below && Greedy.test inst ~rate:above = None)
+
+(* The canonical interleavings are acyclic words, so they can never beat
+   the acyclic optimum (Appendix XII sanity). *)
+let omega_below_optimum =
+  property "omega words never exceed T*ac"
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:8)
+    (fun inst ->
+      let t_ac, _ = Greedy.optimal_acyclic inst in
+      let n = inst.Platform.Instance.n and m = inst.Platform.Instance.m in
+      let tol = 1e-6 *. Float.max 1. t_ac in
+      Word.optimal_throughput inst (Word.omega1 ~n ~m) <= t_ac +. tol
+      && Word.optimal_throughput inst (Word.omega2 ~n ~m) <= t_ac +. tol)
+
+(* Lemma 4.6 (R4): the low-degree construction keeps guarded excess <= 1,
+   open excess <= 3, and at most one open node above +2. *)
+let low_degree_bounds =
+  property "low-degree scheme degree bounds"
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:8)
+    (fun inst ->
+      let t_ac, word = Greedy.optimal_acyclic inst in
+      QCheck.assume (t_ac > 1e-9);
+      let rate = t_ac *. (1. -. 4e-9) in
+      let scheme = Low_degree.build inst ~rate word in
+      let d = Metrics.degree_report inst ~t:rate scheme in
+      d.Metrics.max_excess_open <= 3
+      && d.Metrics.max_excess_guarded <= 1
+      && d.Metrics.opens_above 2 <= 1)
+
+(* Bounds (R5/R6): the closed form min (b0, (b0 + O) / n) is exactly the
+   throughput achieved by the Theorem 5.2 cyclic construction. *)
+let cyclic_closed_form_achieved =
+  property "cyclic closed form = achieved rate"
+    (Helpers.open_instance_arb ~max_open:12)
+    (fun inst ->
+      let t_star = Bounds.cyclic_open_optimal inst in
+      QCheck.assume (t_star > 1e-9);
+      let scheme = Cyclic_open.build inst in
+      let r = Verify.check inst scheme in
+      r.Verify.bandwidth_ok && r.Verify.firewall_ok
+      && Util.feq ~eps:1e-6 r.Verify.throughput t_star)
+
+(* The engine itself: structure-aware throughput = plain per-destination
+   Dinic on the schemes this library constructs. *)
+let fast_verifier_differential =
+  property "batch verifier = plain Dinic on constructed schemes"
+    (Helpers.instance_arb ~max_open:10 ~max_guarded:8)
+    (fun inst ->
+      let t_ac, word = Greedy.optimal_acyclic inst in
+      QCheck.assume (t_ac > 1e-9);
+      let scheme = Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word in
+      let plain = ref infinity in
+      for v = 1 to Flowgraph.Graph.node_count scheme - 1 do
+        plain :=
+          Float.min !plain (Flowgraph.Maxflow.max_flow scheme ~src:0 ~dst:v)
+      done;
+      let fast = Flowgraph.Maxflow.broadcast_throughput scheme ~src:0 in
+      Float.abs (fast -. !plain) <= 1e-6 *. Float.max 1. !plain)
+
+let suites =
+  [
+    ( "qcheck-properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          alg1_degree_bound;
+          alg1_achieves;
+          greedy_iff;
+          omega_below_optimum;
+          low_degree_bounds;
+          cyclic_closed_form_achieved;
+          fast_verifier_differential;
+        ] );
+  ]

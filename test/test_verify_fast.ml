@@ -1,0 +1,231 @@
+(* Differential tests for the batch verification engine: on hundreds of
+   random acyclic and cyclic schemes, the structure-aware verifier
+   (incoming-cut fast path + shared-residual batch Dinic) must agree with
+   the plain oracle — one Dinic run per destination on a freshly built
+   residual network — within 1e-6 relative error. *)
+
+module G = Flowgraph.Graph
+module MF = Flowgraph.Maxflow
+
+let close ?(tol = 1e-6) what a b =
+  if Float.abs (a -. b) > tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+  then Alcotest.failf "%s: %g vs %g" what a b
+
+(* The pre-engine oracle: rebuild the residual network for every sink. *)
+let plain_min_dinic g =
+  let k = G.node_count g in
+  let best = ref infinity in
+  for v = 1 to k - 1 do
+    best := Float.min !best (MF.max_flow g ~src:0 ~dst:v)
+  done;
+  !best
+
+let random_dag rng nodes density =
+  let g = G.create nodes in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      if Prng.Splitmix.next_float rng < density then
+        G.add_edge g ~src:i ~dst:j (0.1 +. (9.9 *. Prng.Splitmix.next_float rng))
+    done
+  done;
+  g
+
+let random_digraph rng nodes density =
+  let g = G.create nodes in
+  for i = 0 to nodes - 1 do
+    for j = 0 to nodes - 1 do
+      if i <> j && Prng.Splitmix.next_float rng < density then
+        G.add_edge g ~src:i ~dst:j (0.1 +. (9.9 *. Prng.Splitmix.next_float rng))
+    done
+  done;
+  g
+
+let test_differential_random_dags () =
+  let rng = Prng.Splitmix.create 101L in
+  for i = 1 to 100 do
+    let nodes = 3 + (i mod 20) in
+    let g = random_dag rng nodes 0.4 in
+    let plain = plain_min_dinic g in
+    let fast = MF.broadcast_throughput g ~src:0 in
+    let batch = MF.min_broadcast_flow g ~src:0 in
+    close (Printf.sprintf "dag %d fast" i) fast plain;
+    close (Printf.sprintf "dag %d batch" i) batch plain
+  done
+
+let test_differential_random_digraphs () =
+  let rng = Prng.Splitmix.create 102L in
+  for i = 1 to 100 do
+    let nodes = 3 + (i mod 15) in
+    let g = random_digraph rng nodes 0.3 in
+    let plain = plain_min_dinic g in
+    close (Printf.sprintf "digraph %d fast" i)
+      (MF.broadcast_throughput g ~src:0)
+      plain;
+    close (Printf.sprintf "digraph %d batch" i)
+      (MF.min_broadcast_flow g ~src:0)
+      plain
+  done
+
+(* Real schemes from the paper's constructions: Lemma 4.6 low-degree
+   (acyclic) and Theorem 5.2 cyclic schemes on random instances. *)
+let random_instance rng ~p_open n =
+  Platform.Generator.generate
+    { Platform.Generator.total = n; p_open; dist = Prng.Dist.unif100 }
+    rng
+
+let test_differential_constructed_schemes () =
+  let rng = Prng.Splitmix.create 103L in
+  for i = 1 to 20 do
+    let inst = random_instance rng ~p_open:0.7 (5 + (3 * i)) in
+    let t_ac, word = Broadcast.Greedy.optimal_acyclic inst in
+    if t_ac > 1e-9 then begin
+      let g = Broadcast.Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word in
+      Alcotest.(check bool)
+        "low-degree scheme is acyclic" true
+        (Flowgraph.Topo.is_acyclic g);
+      close (Printf.sprintf "low-degree %d" i)
+        (MF.broadcast_throughput g ~src:0)
+        (plain_min_dinic g)
+    end
+  done;
+  for i = 1 to 20 do
+    let inst = random_instance rng ~p_open:1. (5 + (3 * i)) in
+    let g = Broadcast.Cyclic_open.build inst in
+    close (Printf.sprintf "cyclic-open %d" i)
+      (MF.broadcast_throughput g ~src:0)
+      (plain_min_dinic g)
+  done
+
+let test_solver_reuse_matches_fresh () =
+  let rng = Prng.Splitmix.create 104L in
+  for _ = 1 to 10 do
+    let g = random_digraph rng 10 0.35 in
+    let s = MF.solver g ~src:0 in
+    for v = 1 to 9 do
+      close
+        (Printf.sprintf "solver sink %d" v)
+        (MF.solve s ~dst:v)
+        (MF.max_flow g ~src:0 ~dst:v)
+    done
+  done
+
+let test_solve_limit_semantics () =
+  let rng = Prng.Splitmix.create 105L in
+  for i = 1 to 20 do
+    let g = random_digraph rng 9 0.4 in
+    let f = MF.max_flow g ~src:0 ~dst:8 in
+    let s = MF.solver g ~src:0 in
+    (* Limit above the optimum: exact value. *)
+    close (Printf.sprintf "limit above %d" i)
+      (MF.solve ~limit:((2. *. f) +. 1.) s ~dst:8)
+      f;
+    (* Limit below the optimum: certified, i.e. in [limit, f]. *)
+    if f > 0.1 then begin
+      let limit = f /. 2. in
+      let v = MF.solve ~limit s ~dst:8 in
+      if v < limit || v > f +. 1e-9 then
+        Alcotest.failf "limited solve %d: %g not in [%g, %g]" i v limit f
+    end
+  done
+
+let test_achieves_rate_differential () =
+  let rng = Prng.Splitmix.create 106L in
+  for i = 1 to 30 do
+    let g = random_digraph rng 8 0.4 in
+    let t = plain_min_dinic g in
+    if Float.is_finite t && t > 0.1 then begin
+      Alcotest.(check bool)
+        (Printf.sprintf "achieves below %d" i)
+        true
+        (MF.achieves_rate g ~src:0 ~rate:(0.9 *. t));
+      Alcotest.(check bool)
+        (Printf.sprintf "achieves above %d" i)
+        false
+        (MF.achieves_rate g ~src:0 ~rate:(1.1 *. t))
+    end
+  done
+
+let test_check_batch_matches_check () =
+  let rng = Prng.Splitmix.create 107L in
+  let pairs =
+    List.init 8 (fun i ->
+        let inst = random_instance rng ~p_open:0.8 (4 + i) in
+        let t_ac, word = Broadcast.Greedy.optimal_acyclic inst in
+        let g = Broadcast.Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word in
+        (inst, g))
+  in
+  let batch = Broadcast.Verify.check_batch pairs in
+  List.iter2
+    (fun (inst, g) r ->
+      let r' = Broadcast.Verify.check inst g in
+      Alcotest.(check bool) "same structural verdicts" true
+        (r.Broadcast.Verify.bandwidth_ok = r'.Broadcast.Verify.bandwidth_ok
+        && r.Broadcast.Verify.firewall_ok = r'.Broadcast.Verify.firewall_ok
+        && r.Broadcast.Verify.bin_ok = r'.Broadcast.Verify.bin_ok
+        && r.Broadcast.Verify.acyclic = r'.Broadcast.Verify.acyclic
+        && r.Broadcast.Verify.fast_path = r'.Broadcast.Verify.fast_path);
+      close "same throughput" r.Broadcast.Verify.throughput
+        r'.Broadcast.Verify.throughput)
+    pairs batch
+
+let test_fast_path_flag_and_bottleneck () =
+  let inst = Platform.Instance.fig1 in
+  let g =
+    Broadcast.Low_degree.build inst ~rate:4. (Broadcast.Word.of_string "gogog")
+  in
+  let r = Broadcast.Verify.check inst g in
+  Alcotest.(check bool) "acyclic scheme uses fast path" true
+    r.Broadcast.Verify.fast_path;
+  let node, rate = Broadcast.Metrics.bottleneck g in
+  Alcotest.(check bool) "bottleneck is a receiver" true (node >= 1 && node <= 5);
+  close "bottleneck rate = throughput" rate r.Broadcast.Verify.throughput;
+  (* Force a cycle: the report must fall back to Dinic and agree. *)
+  G.add_edge g ~src:5 ~dst:0 0.1;
+  let r' = Broadcast.Verify.check inst g in
+  Alcotest.(check bool) "cyclic scheme uses Dinic" false
+    r'.Broadcast.Verify.fast_path;
+  close "cyclic throughput still exact" r'.Broadcast.Verify.throughput
+    (plain_min_dinic g)
+
+let test_corner_cases () =
+  (* Single node: no receiver, infinite throughput, trivially achieved. *)
+  let one = Platform.Instance.create ~bandwidth:[| 3. |] ~n:0 ~m:0 () in
+  let g1 = G.create 1 in
+  let r = Broadcast.Verify.check one g1 in
+  Alcotest.(check bool) "single-node throughput infinite" true
+    (r.Broadcast.Verify.throughput = infinity);
+  Alcotest.(check bool) "single-node achieves" true
+    (Broadcast.Verify.achieves one g1 ~rate:1e9);
+  Alcotest.(check bool) "single-node maxflow batch" true
+    (MF.broadcast_throughput g1 ~src:0 = infinity);
+  (* Unreachable receiver: throughput 0 on both paths. *)
+  let g = G.create 3 in
+  G.add_edge g ~src:0 ~dst:1 2.;
+  close "unreachable fast" (MF.broadcast_throughput g ~src:0) 0.;
+  close "unreachable batch" (MF.min_broadcast_flow g ~src:0) 0.;
+  Alcotest.(check bool) "unreachable achieves fails" false
+    (MF.achieves_rate g ~src:0 ~rate:0.5)
+
+let suites =
+  [
+    ( "verify-fast",
+      [
+        Alcotest.test_case "differential: random DAGs" `Quick
+          test_differential_random_dags;
+        Alcotest.test_case "differential: random digraphs" `Quick
+          test_differential_random_digraphs;
+        Alcotest.test_case "differential: constructed schemes" `Quick
+          test_differential_constructed_schemes;
+        Alcotest.test_case "solver reuse = fresh max_flow" `Quick
+          test_solver_reuse_matches_fresh;
+        Alcotest.test_case "solve limit semantics" `Quick
+          test_solve_limit_semantics;
+        Alcotest.test_case "achieves_rate differential" `Quick
+          test_achieves_rate_differential;
+        Alcotest.test_case "check_batch = check" `Quick
+          test_check_batch_matches_check;
+        Alcotest.test_case "fast-path flag and bottleneck" `Quick
+          test_fast_path_flag_and_bottleneck;
+        Alcotest.test_case "corner cases" `Quick test_corner_cases;
+      ] );
+  ]
