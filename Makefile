@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-verify bench-full clean
+.PHONY: all build test bench bench-verify bench-sweep bench-full clean
 
 all:
 	dune build @runtest @all
@@ -17,8 +17,13 @@ bench: bench-verify
 bench-verify:
 	dune exec -- bench/verify_bench.exe
 
+# Wall-clock of the parallel sweep engine at jobs 1 vs 4 (writes
+# BENCH_sweep.json; the >= 2x speedup gate arms only on >= 4 cores).
+bench-sweep:
+	dune exec -- bench/sweep_bench.exe
+
 # Full sweeps (Figure 7 grid, Figure 19 replication) — a few minutes.
-bench-full: bench-verify
+bench-full: bench-verify bench-sweep
 	dune exec -- bench/main.exe
 
 clean:

@@ -130,18 +130,31 @@ let emit_json rows (fleet_s, fleet_n, fleet_ok) path =
   close_out oc
 
 let () =
+  (* Per-n scheme construction is independent (each case seeds its own
+     PRNG stream), so it runs on the domain pool; the timed measurements
+     below stay strictly sequential to keep timings undisturbed. *)
+  let specs =
+    [|
+      ("acyclic-n200", `Acyclic, 200);
+      ("acyclic-n500", `Acyclic, 500);
+      ("acyclic-n1000", `Acyclic, 1000);
+      ("cyclic-n200", `Cyclic, 200);
+      ("cyclic-n400", `Cyclic, 400);
+    |]
+  in
   let cases =
-    [
-      ("acyclic-n200", acyclic_scheme 200);
-      ("acyclic-n500", acyclic_scheme 500);
-      ("acyclic-n1000", acyclic_scheme 1000);
-      ("cyclic-n200", cyclic_scheme 200);
-      ("cyclic-n400", cyclic_scheme 400);
-    ]
+    Parallel.Pool.map_array specs (fun (name, kind, n) ->
+        ( name,
+          match kind with
+          | `Acyclic -> acyclic_scheme n
+          | `Cyclic -> cyclic_scheme n ))
+    |> Array.to_list
   in
   let rows = List.map (fun (name, s) -> case name s) cases in
   let fleet =
-    batch_fleet_case (List.init 20 (fun i -> acyclic_scheme (150 + (5 * i))))
+    batch_fleet_case
+      (Array.to_list
+         (Parallel.Pool.map_range 20 (fun i -> acyclic_scheme (150 + (5 * i)))))
   in
   Printf.printf "%-14s %6s %6s %8s %12s %12s %12s %8s %8s %6s\n" "case" "nodes"
     "edges" "acyclic" "plain/s" "batch/s" "struct/s" "x-batch" "x-struct"

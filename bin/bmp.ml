@@ -9,16 +9,22 @@
 
 open Cmdliner
 
-(* Turn domain and I/O errors into clean CLI failures instead of
-   "internal error" tracebacks. *)
-let or_die f =
-  try f () with
-  | Sys_error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 2
-  | Invalid_argument msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 2
+let die msg =
+  Printf.eprintf "error: %s\n" msg;
+  exit 2
+
+(* Turn I/O errors into clean CLI failures instead of "internal error"
+   tracebacks. Deliberately does NOT catch [Invalid_argument]: that would
+   also swallow genuine programming errors (array bounds, broken library
+   preconditions) as exit-code-2 CLI errors. The few call sites where
+   [Invalid_argument] legitimately reflects bad user input (parsing,
+   infeasible construction parameters) handle it explicitly with
+   [or_invalid]. *)
+let or_die f = try f () with Sys_error msg -> die msg
+
+(* For calls whose [Invalid_argument] is a user-input error (e.g. a
+   construction on a degenerate hand-written instance), not a bug. *)
+let or_invalid f = try f () with Invalid_argument msg -> die msg
 
 let read_instance path =
   let read_all ic =
@@ -39,10 +45,8 @@ let read_instance path =
         end)
   in
   match Platform.Instance.of_string content with
-  | Ok inst -> fst (Platform.Instance.normalize inst)
-  | Error msg ->
-    Printf.eprintf "error: cannot parse %s: %s\n" path msg;
-    exit 2
+  | Ok inst -> or_invalid (fun () -> fst (Platform.Instance.normalize inst))
+  | Error msg -> die (Printf.sprintf "cannot parse %s: %s" path msg)
 
 let instance_arg =
   let doc = "Instance file (lines: 'source B', 'open B', 'guarded B'); '-' for stdin." in
@@ -68,12 +72,24 @@ let json_out =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let write_file path content =
+  or_die @@ fun () ->
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
 
+(* Shared -j/--jobs option: worker-domain count for parallel sweeps. *)
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel work (default: one per core). Results \
+     are identical for every value, including 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let check_jobs = function
+  | Some j when j < 1 -> die "--jobs must be >= 1"
+  | jobs -> jobs
+
 let solve_cmd =
   let run path kind edges dot json =
-   or_die @@ fun () ->
     let inst = read_instance path in
     Printf.printf "instance: n=%d open, m=%d guarded, b0=%g\n"
       inst.Platform.Instance.n inst.Platform.Instance.m
@@ -84,13 +100,15 @@ let solve_cmd =
     Printf.printf "acyclic optimum T*ac (Theorem 4.1) : %.6f (word %s)\n" t_ac
       (Broadcast.Word.to_string word);
     let rate, scheme =
+      (* A degenerate hand-written instance (e.g. zero bandwidth
+         everywhere) can make the construction infeasible — that is a
+         user-input error, not a bug. *)
+      or_invalid @@ fun () ->
       match kind with
       | `Acyclic -> Broadcast.Low_degree.build_optimal inst
       | `Cyclic ->
-        if inst.Platform.Instance.m > 0 then begin
-          Printf.eprintf "error: cyclic construction requires open nodes only\n";
-          exit 2
-        end;
+        if inst.Platform.Instance.m > 0 then
+          die "cyclic construction requires open nodes only";
         let t = Broadcast.Bounds.cyclic_open_optimal inst in
         (t, Broadcast.Cyclic_open.build inst)
     in
@@ -150,19 +168,48 @@ let generate_cmd =
          & info [ "d"; "dist" ] ~doc:"Bandwidth distribution (unif100, power1, power2, ln1, ln2, plab).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run total p dist seed =
-   or_die @@ fun () ->
-    let rng = Prng.Splitmix.create (Int64.of_int seed) in
-    let inst =
-      Platform.Generator.generate { Platform.Generator.total; p_open = p; dist } rng
+  let count =
+    Arg.(value & opt int 1
+         & info [ "count" ] ~docv:"COUNT"
+             ~doc:"Number of instances to draw (in parallel when > 1).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"PREFIX"
+             ~doc:"Write instances to PREFIX-0001.txt, PREFIX-0002.txt, ... \
+                   (required when $(b,--count) > 1).")
+  in
+  let run total p dist seed count out jobs =
+    let jobs = check_jobs jobs in
+    if total < 1 then die "--nodes must be >= 1";
+    if p < 0. || p > 1. then die "--p-open must lie in [0, 1]";
+    if count < 1 then die "--count must be >= 1";
+    if count > 1 && out = None then die "--count > 1 requires --out PREFIX";
+    (* Seeding discipline: instance k always consumes split k of the root
+       stream, so a batch is reproducible instance-by-instance and
+       identical for every --jobs value. *)
+    let root = Prng.Splitmix.create (Int64.of_int seed) in
+    let streams = Prng.Splitmix.split_n root count in
+    let spec = { Platform.Generator.total; p_open = p; dist } in
+    let instances =
+      Parallel.Pool.map_range ?jobs count (fun k ->
+          or_invalid (fun () -> Platform.Generator.generate spec streams.(k)))
     in
-    print_string (Platform.Instance.to_string inst)
+    match out with
+    | None -> print_string (Platform.Instance.to_string instances.(0))
+    | Some prefix ->
+      Array.iteri
+        (fun k inst ->
+          let path = Printf.sprintf "%s-%04d.txt" prefix (k + 1) in
+          write_file path (Platform.Instance.to_string inst);
+          Printf.printf "wrote %s\n" path)
+        instances
   in
   let info =
     Cmd.info "generate"
-      ~doc:"Draw a random instance (source pinned to the cyclic optimum)."
+      ~doc:"Draw random instances (source pinned to the cyclic optimum)."
   in
-  Cmd.v info Term.(const run $ total $ p_open $ dist $ seed)
+  Cmd.v info Term.(const run $ total $ p_open $ dist $ seed $ count $ out $ jobs_arg)
 
 (* exp *)
 
@@ -172,25 +219,25 @@ let exp_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"NAME" ~doc:("Experiment name: " ^ names ^ "."))
   in
-  let run name =
+  let run name jobs =
+    let jobs = check_jobs jobs in
     match Experiments.Registry.find name with
     | Some e ->
-      e.Experiments.Registry.run Format.std_formatter;
+      e.Experiments.Registry.run ?jobs Format.std_formatter;
       Format.pp_print_flush Format.std_formatter ()
-    | None ->
-      Printf.eprintf "error: unknown experiment %S (try 'bmp exp-all')\n" name;
-      exit 2
+    | None -> die (Printf.sprintf "unknown experiment %S (try 'bmp exp-all')" name)
   in
   let info = Cmd.info "exp" ~doc:"Run one paper experiment." in
-  Cmd.v info Term.(const run $ name_arg)
+  Cmd.v info Term.(const run $ name_arg $ jobs_arg)
 
 let exp_all_cmd =
-  let run () =
-    Experiments.Registry.run_all Format.std_formatter;
+  let run jobs =
+    let jobs = check_jobs jobs in
+    Experiments.Registry.run_all ?jobs Format.std_formatter;
     Format.pp_print_flush Format.std_formatter ()
   in
   let info = Cmd.info "exp-all" ~doc:"Run every paper experiment (tables and figures)." in
-  Cmd.v info Term.(const run $ const ())
+  Cmd.v info Term.(const run $ jobs_arg)
 
 (* trees *)
 
@@ -200,10 +247,13 @@ let trees_cmd =
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the tree schedule as JSON.")
   in
   let run path json =
-   or_die @@ fun () ->
     let inst = read_instance path in
-    let rate, scheme = Broadcast.Low_degree.build_optimal inst in
-    let trees = Flowgraph.Arborescence.decompose scheme ~root:0 in
+    let rate, scheme =
+      or_invalid (fun () -> Broadcast.Low_degree.build_optimal inst)
+    in
+    let trees =
+      or_invalid (fun () -> Flowgraph.Arborescence.decompose scheme ~root:0)
+    in
     Printf.printf "overlay rate %.6f decomposed into %d broadcast trees:\n" rate
       (List.length trees);
     List.iteri
@@ -246,9 +296,11 @@ let simulate_cmd =
   in
   let streaming = Arg.(value & flag & info [ "streaming" ] ~doc:"Live-stream release schedule.") in
   let run path chunks streaming =
-   or_die @@ fun () ->
+    if chunks < 1 then die "--chunks must be >= 1";
     let inst = read_instance path in
-    let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+    let rate, scheme =
+      or_invalid (fun () -> Broadcast.Low_degree.build_optimal inst)
+    in
     let config = { Massoulie.Sim.default_config with chunks; streaming } in
     let r = Massoulie.Sim.simulate ~config scheme ~rate in
     Printf.printf "overlay rate           : %.6f\n" rate;

@@ -70,7 +70,14 @@ let build inst ~rate w =
         { node = v; depth = max used_g used_o + 1; remaining = b.(v) } :: !open_pool
   in
   Array.iter feed w;
-  graph
+  (* Portfolio guarantee: the shallowest-sender greedy is locally optimal
+     per receiver but can lose globally — draining shallow capacity early
+     occasionally forces later receivers onto deep senders, ending up
+     deeper than the FIFO (Lemma 4.6) scheme built from the same word.
+     Returning the shallower of the two candidates makes "never deeper
+     than FIFO" unconditional. *)
+  let fifo = Low_degree.build inst ~rate w in
+  if Metrics.depth fifo < Metrics.depth graph then fifo else graph
 
 let build_optimal ?(fraction = 1.0) inst =
   if fraction <= 0. || fraction > 1. then

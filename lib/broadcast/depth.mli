@@ -23,7 +23,10 @@ val build : Platform.Instance.t -> rate:float -> Word.t -> Flowgraph.Graph.t
 (** [build inst ~rate w] — same contract as {!Low_degree.build} (sorted
     instance, complete word, feasible rate) with min-depth sender
     selection. Every non-source node receives exactly [rate]; the scheme
-    is acyclic and firewall-safe. *)
+    is acyclic and firewall-safe, and never deeper than the
+    {!Low_degree.build} scheme from the same word and rate (the greedy
+    candidate is compared against the FIFO one and the shallower wins —
+    the pure greedy can lose globally on rare sender-pool shapes). *)
 
 val build_optimal : ?fraction:float -> Platform.Instance.t -> float * Flowgraph.Graph.t
 (** [build_optimal inst] is the min-depth counterpart of

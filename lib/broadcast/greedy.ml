@@ -69,7 +69,12 @@ let optimal_acyclic ?iterations inst =
   if hi <= 0. then (0., Array.make (inst.Instance.n + inst.Instance.m) Instance.Open)
   else begin
     let feasible rate = rate <= 0. || test inst ~rate <> None in
-    let t = Util.dichotomic_max ?iterations ~lo:0. ~hi feasible in
+    let search = Util.dichotomic_search ?iterations ~lo:0. ~hi feasible in
+    (* lo = 0 is always feasible (the degenerate rate), so the search
+       cannot report infeasibility here; the witness lookup below handles
+       the t = 0 fringe. *)
+    assert search.Util.feasible;
+    let t = search.Util.value in
     match test inst ~rate:t with
     | Some w -> (t, w)
     | None ->

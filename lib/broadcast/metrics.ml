@@ -4,8 +4,8 @@ type degree_report = {
   degrees : int array;
   excess : int array;
   max_excess : int;
-  max_excess_open : int;
-  max_excess_guarded : int;
+  max_excess_open : int option;
+  max_excess_guarded : int option;
   opens_above : int -> int;
 }
 
@@ -19,16 +19,20 @@ let degree_report inst ~t g =
     Array.init size (fun i ->
         degrees.(i) - Util.ceil_ratio inst.Instance.bandwidth.(i) t)
   in
-  let fold_class p init =
-    let acc = ref init in
+  (* [None] for an empty node class — a [min_int] sentinel would leak
+     into experiment tables as a genuine-looking excess. *)
+  let fold_class p =
+    let acc = ref None in
     for i = 0 to size - 1 do
-      if p i then acc := max !acc excess.(i)
+      if p i then
+        acc := Some (match !acc with None -> excess.(i) | Some e -> max e excess.(i))
     done;
     !acc
   in
-  let max_excess = fold_class (fun _ -> true) min_int in
-  let max_excess_open = fold_class (Instance.is_open inst) min_int in
-  let max_excess_guarded = fold_class (Instance.is_guarded inst) min_int in
+  (* The source always exists, so the overall maximum is total. *)
+  let max_excess = Option.get (fold_class (fun _ -> true)) in
+  let max_excess_open = fold_class (Instance.is_open inst) in
+  let max_excess_guarded = fold_class (Instance.is_guarded inst) in
   let opens_above k =
     let count = ref 0 in
     for i = 0 to size - 1 do

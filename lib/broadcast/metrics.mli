@@ -10,8 +10,11 @@ type degree_report = {
   degrees : int array;  (** [o i] — positive-weight outdegree per node *)
   excess : int array;  (** [o i - ceil (b i / t)], possibly negative *)
   max_excess : int;
-  max_excess_open : int;  (** maximum excess over the source and open nodes *)
-  max_excess_guarded : int;  (** maximum excess over guarded nodes; [min_int] if [m = 0] *)
+  max_excess_open : int option;
+      (** maximum excess over the source and open nodes ([Some] whenever
+          the class is non-empty — the source always belongs to it) *)
+  max_excess_guarded : int option;
+      (** maximum excess over guarded nodes; [None] if [m = 0] *)
   opens_above : int -> int;
       (** [opens_above k] — number of source/open nodes with excess [> k] *)
 }

@@ -23,16 +23,34 @@ let prefix_sums b =
   done;
   ps
 
-let dichotomic_max ?(iterations = 100) ~lo ~hi feasible =
+type dichotomy = {
+  value : float;
+  feasible : bool;
+  probes : int;
+  converged : bool;
+}
+
+let dichotomic_search ?(iterations = 100) ?(epsilon = 1e-12) ~lo ~hi feasible =
   if hi < lo then invalid_arg "Util.dichotomic_max: empty interval";
-  if feasible hi then hi
-  else if not (feasible lo) then lo
+  let width_done lo hi = hi -. lo <= epsilon *. scale lo hi in
+  if feasible hi then { value = hi; feasible = true; probes = 1; converged = true }
+  else if not (feasible lo) then
+    { value = lo; feasible = false; probes = 2; converged = true }
   else begin
-    (* Invariant: feasible lo, not (feasible hi). *)
-    let lo = ref lo and hi = ref hi in
-    for _ = 1 to iterations do
+    (* Invariant: feasible lo, not (feasible hi). Each probe is typically
+       an O(n + m) GreedyTest pass, so stop as soon as the bracket is
+       below relative [epsilon] instead of always burning the full
+       [iterations] budget. *)
+    let lo = ref lo and hi = ref hi and probes = ref 2 and left = ref iterations in
+    while !left > 0 && not (width_done !lo !hi) do
       let mid = 0.5 *. (!lo +. !hi) in
+      incr probes;
+      decr left;
       if feasible mid then lo := mid else hi := mid
     done;
-    !lo
+    { value = !lo; feasible = true; probes = !probes;
+      converged = width_done !lo !hi }
   end
+
+let dichotomic_max ?iterations ?epsilon ~lo ~hi feasible =
+  (dichotomic_search ?iterations ?epsilon ~lo ~hi feasible).value

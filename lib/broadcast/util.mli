@@ -35,10 +35,35 @@ val prefix_sums : float array -> float array
     [ps.(k) = b.(0) + ... + b.(k - 1)], so the paper's
     [S_k = b_0 + ... + b_k] is [ps.(k + 1)]. *)
 
+type dichotomy = {
+  value : float;
+      (** best confirmed-feasible point — [lo] verbatim when even [lo] is
+          infeasible (check {!field-feasible}) *)
+  feasible : bool;  (** [value] passed the feasibility probe *)
+  probes : int;  (** feasibility evaluations actually performed *)
+  converged : bool;
+      (** the bracket closed below [epsilon] (or an endpoint decided the
+          search) rather than the iteration budget running out *)
+}
+
+val dichotomic_search :
+  ?iterations:int ->
+  ?epsilon:float ->
+  lo:float ->
+  hi:float ->
+  (float -> bool) ->
+  dichotomy
+(** [dichotomic_search ~lo ~hi feasible] bisects for the supremum of
+    feasible values in [\[lo, hi\]], assuming [feasible] is
+    downward-closed (monotone). Stops early once the bracket width drops
+    below [epsilon * max (1, |lo|, |hi|)] (default [epsilon = 1e-12],
+    ~40 probes from a unit-scale interval) or after [iterations]
+    bisections (default 100), whichever comes first. If [feasible hi]
+    holds the answer is [hi]; if [feasible lo] fails the result carries
+    [feasible = false] so callers can tell an infeasible interval from a
+    converged answer. *)
+
 val dichotomic_max :
-  ?iterations:int -> lo:float -> hi:float -> (float -> bool) -> float
-(** [dichotomic_max ~lo ~hi feasible] is the supremum of feasible values in
-    [\[lo, hi\]], assuming [feasible] is downward-closed (monotone). The
-    interval is bisected [iterations] times (default 100, enough to exhaust
-    double precision); if [feasible hi] holds, [hi] is returned, and if
-    [feasible lo] fails, [lo] is returned. *)
+  ?iterations:int -> ?epsilon:float -> lo:float -> hi:float -> (float -> bool) -> float
+(** [(dichotomic_search ... feasible).value] — the historical interface.
+    Prefer {!dichotomic_search} where infeasibility must be detected. *)

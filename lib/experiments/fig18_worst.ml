@@ -27,11 +27,12 @@ let compute ~epsilon =
 let default_epsilons =
   [ 0.01; 0.03; 0.05; 1. /. 14.; 0.09; 0.12; 0.2; 0.3 ]
 
-let print ?(epsilons = default_epsilons) fmt =
+let print ?jobs ?(epsilons = default_epsilons) fmt =
   Format.pp_print_string fmt
     (Tab.section "E8 - Figure 18 / Theorem 6.2: the 5/7 gadget");
+  (* Each epsilon's row is an independent, PRNG-free computation. *)
   let rows =
-    List.map
+    Parallel.Pool.map_list ?jobs epsilons
       (fun epsilon ->
         let r = compute ~epsilon in
         [
@@ -45,7 +46,6 @@ let print ?(epsilons = default_epsilons) fmt =
           (if Float.abs (epsilon -. (1. /. 14.)) < 1e-12 then "<- tight (5/7)"
            else "");
         ])
-      epsilons
   in
   Format.pp_print_string fmt
     (Tab.render

@@ -19,5 +19,7 @@ type row = {
 
 val compute : epsilon:float -> row
 
-val print : ?epsilons:float list -> Format.formatter -> unit
-(** Default sweep includes the tight point [1/14]. *)
+val print : ?jobs:int -> ?epsilons:float list -> Format.formatter -> unit
+(** Default sweep includes the tight point [1/14]. Rows are computed on
+    [jobs] domains (default = core count); each is PRNG-free, so the
+    table is identical for every [jobs] value. *)

@@ -90,23 +90,33 @@ let compute_cell_witness ~dist ~name ~n ~p ~replicates ~seed =
 let compute_cell ~dist ~name ~n ~p ~replicates ~seed =
   fst (compute_cell_witness ~dist ~name ~n ~p ~replicates ~seed)
 
-let compute config =
-  (* Derive one independent seed per cell so cells are reproducible in
-     isolation and insensitive to grid composition. *)
+let compute ?jobs config =
+  (* Deterministic seeding discipline: derive one independent seed per
+     cell by walking the master stream in grid order *before* any work is
+     scheduled. Each cell then owns a private generator, so results are
+     reproducible in isolation, insensitive to grid composition, and
+     bit-identical for every [jobs] value (the seed a cell receives never
+     depends on execution order). *)
   let master = Prng.Splitmix.create config.seed in
+  let specs =
+    Array.of_list
+      (List.concat_map
+         (fun (name, dist) ->
+           List.concat_map
+             (fun n -> List.map (fun p -> (name, dist, n, p)) config.ps)
+             config.ns)
+         config.dists)
+  in
+  let seeds = Array.make (Array.length specs) 0L in
+  for i = 0 to Array.length specs - 1 do
+    seeds.(i) <- Prng.Splitmix.next master
+  done;
   let cells_w =
-    List.concat_map
-      (fun (name, dist) ->
-        List.concat_map
-          (fun n ->
-            List.map
-              (fun p ->
-                let seed = Prng.Splitmix.next master in
-                compute_cell_witness ~dist ~name ~n ~p
-                  ~replicates:config.replicates ~seed)
-              config.ps)
-          config.ns)
-      config.dists
+    Parallel.Pool.map_range ?jobs (Array.length specs) (fun i ->
+        let name, dist, n, p = specs.(i) in
+        compute_cell_witness ~dist ~name ~n ~p ~replicates:config.replicates
+          ~seed:seeds.(i))
+    |> Array.to_list
   in
   (* One verification batch covering the witness scheme of every cell. *)
   let reports =
@@ -130,14 +140,14 @@ let compute config =
   in
   fill cells_w reports
 
-let print ?(config = default_config) fmt =
+let print ?jobs ?(config = default_config) fmt =
   Format.pp_print_string fmt
     (Tab.section "E10 - Figure 19: average acyclic/cyclic ratio");
   Format.fprintf fmt
     "replicates per cell: %d (paper: 1000); ratios are normalized by the \
      optimal cyclic throughput@.@."
     config.replicates;
-  let cells = compute config in
+  let cells = compute ?jobs config in
   let rows =
     List.map
       (fun c ->

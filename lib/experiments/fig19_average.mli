@@ -50,9 +50,12 @@ val compute_cell :
   dist:Prng.Dist.t -> name:string -> n:int -> p:float -> replicates:int ->
   seed:int64 -> cell
 
-val compute : config -> cell list
-(** Computes every cell, then cross-checks one witness scheme per cell
-    (built by Lemma 4.6 from the first replicate's optimal word) against
-    the verification oracle in a single batch, filling [verified]. *)
+val compute : ?jobs:int -> config -> cell list
+(** Computes every cell on [jobs] domains ({!Parallel.Pool}; default =
+    core count), then cross-checks one witness scheme per cell (built by
+    Lemma 4.6 from the first replicate's optimal word) against the
+    verification oracle in a single batch, filling [verified]. Every
+    cell's seed is split from the master stream in grid order before any
+    work runs, so the output is bit-identical for every [jobs] value. *)
 
-val print : ?config:config -> Format.formatter -> unit
+val print : ?jobs:int -> ?config:config -> Format.formatter -> unit

@@ -31,8 +31,10 @@ let compute () =
     order = Broadcast.Word.to_order word inst;
     trace;
     scheme_throughput = report.Broadcast.Verify.throughput;
-    max_excess_open = degrees.Broadcast.Metrics.max_excess_open;
-    max_excess_guarded = degrees.Broadcast.Metrics.max_excess_guarded;
+    (* fig1 has both classes populated, so the per-class maxima exist. *)
+    max_excess_open = Option.value ~default:0 degrees.Broadcast.Metrics.max_excess_open;
+    max_excess_guarded =
+      Option.value ~default:0 degrees.Broadcast.Metrics.max_excess_guarded;
   }
 
 let print fmt =

@@ -32,10 +32,13 @@ val delta_samples : n:int -> m:int -> float list
 
 val compute_cell : n:int -> m:int -> cell
 
-val compute : ?ns:int list -> ?ms:int list -> unit -> surface
-(** Default grids: [5, 10, ..., 100] on both axes. Every cell's worst-delta
-    witness scheme is rebuilt and cross-checked against the verification
-    oracle in a single {!Broadcast.Verify.check_batch} call. *)
+val compute : ?jobs:int -> ?ns:int list -> ?ms:int list -> unit -> surface
+(** Default grids: [5, 10, ..., 100] on both axes. Cells are computed on
+    [jobs] domains ({!Parallel.Pool}; default = core count) — each cell
+    is a pure function of [(n, m)], so the surface is identical for every
+    [jobs] value. Every cell's worst-delta witness scheme is rebuilt and
+    cross-checked against the verification oracle in a single
+    {!Broadcast.Verify.check_batch} call. *)
 
-val print : ?ns:int list -> ?ms:int list -> Format.formatter -> unit
+val print : ?jobs:int -> ?ns:int list -> ?ms:int list -> Format.formatter -> unit
 (** Renders the surface as a coarse character map plus summary rows. *)

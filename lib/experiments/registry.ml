@@ -2,8 +2,12 @@ type entry = {
   name : string;
   paper_artifact : string;
   description : string;
-  run : Format.formatter -> unit;
+  run : ?jobs:int -> Format.formatter -> unit;
 }
+
+(* Lift a driver that has no parallel sweep (cheap, or inherently
+   sequential) into the jobs-aware signature. *)
+let seq print ?jobs:_ fmt = print fmt
 
 let all =
   [
@@ -11,88 +15,88 @@ let all =
       name = "fig1";
       paper_artifact = "Figures 1-5, Table I";
       description = "running example: bounds, greedy trace, low-degree scheme";
-      run = Fig1_example.print;
+      run = seq Fig1_example.print;
     };
     {
       name = "fig6";
       paper_artifact = "Figure 6";
       description = "unbounded degree in the cyclic guarded case";
-      run = (fun fmt -> Fig6_unbounded.print fmt);
+      run = seq (fun fmt -> Fig6_unbounded.print fmt);
     };
     {
       name = "fig7";
       paper_artifact = "Figure 7";
       description = "worst-case ratio surface on tight homogeneous instances";
-      run = (fun fmt -> Fig7_surface.print fmt);
+      run = (fun ?jobs fmt -> Fig7_surface.print ?jobs fmt);
     };
     {
       name = "fig8";
       paper_artifact = "Figure 8 / Theorem 3.1";
       description = "3-PARTITION reduction and tight-degree witness schemes";
-      run = (fun fmt -> Fig8_hardness.print fmt);
+      run = seq (fun fmt -> Fig8_hardness.print fmt);
     };
     {
       name = "cyclic";
       paper_artifact = "Figures 11-17 / Theorem 5.2";
       description = "cyclic construction walk-through";
-      run = Cyclic_walkthrough.print;
+      run = seq Cyclic_walkthrough.print;
     };
     {
       name = "fig18";
       paper_artifact = "Figure 18 / Theorem 6.2";
       description = "tight 5/7 worst-case gadget";
-      run = (fun fmt -> Fig18_worst.print fmt);
+      run = (fun ?jobs fmt -> Fig18_worst.print ?jobs fmt);
     };
     {
       name = "thm63";
       paper_artifact = "Theorem 6.3";
       description = "asymptotic (1+sqrt 41)/8 family";
-      run = (fun fmt -> Thm63_family.print fmt);
+      run = seq (fun fmt -> Thm63_family.print fmt);
     };
     {
       name = "fig19";
       paper_artifact = "Figure 19 / Appendix XII";
       description = "average-case acyclic/cyclic ratios on random platforms";
-      run = (fun fmt -> Fig19_average.print fmt);
+      run = (fun ?jobs fmt -> Fig19_average.print ?jobs fmt);
     };
     {
       name = "massoulie";
       paper_artifact = "Section II-C (reference [4])";
       description = "randomized transport achieves the computed rate";
-      run = (fun fmt -> Massoulie_validation.print fmt);
+      run = seq (fun fmt -> Massoulie_validation.print fmt);
     };
     {
       name = "lastmile";
       paper_artifact = "Section II-C (reference [14], Bedibe)";
       description = "last-mile model estimation from measurement matrices";
-      run = (fun fmt -> Lastmile_validation.print fmt);
+      run = seq (fun fmt -> Lastmile_validation.print fmt);
     };
     {
       name = "churn";
       paper_artifact = "Conclusion (future work: churn)";
       description = "local overlay repair vs full rebuild under churn";
-      run = Churn_repair.print;
+      run = seq Churn_repair.print;
     };
     {
       name = "depth";
       paper_artifact = "Conclusion (future work: depth/delay)";
       description = "depth vs throughput vs degree ablation";
-      run = Depth_ablation.print;
+      run = seq Depth_ablation.print;
     };
     {
       name = "jitter";
       paper_artifact = "Conclusion (resilience claim)";
       description = "transport efficiency under bandwidth fluctuations";
-      run = (fun fmt -> Jitter_resilience.print fmt);
+      run = seq (fun fmt -> Jitter_resilience.print fmt);
     };
     {
       name = "oneport";
       paper_artifact = "Section II-A (model motivation)";
       description = "bounded multi-port vs one-port baseline";
-      run = One_port_comparison.print;
+      run = seq One_port_comparison.print;
     };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 
-let run_all fmt = List.iter (fun e -> e.run fmt) all
+let run_all ?jobs fmt = List.iter (fun e -> e.run ?jobs fmt) all

@@ -5,7 +5,10 @@ type entry = {
   name : string;  (** CLI identifier, e.g. ["fig7"] *)
   paper_artifact : string;  (** e.g. ["Figure 7"] *)
   description : string;
-  run : Format.formatter -> unit;  (** default-parameter run *)
+  run : ?jobs:int -> Format.formatter -> unit;
+      (** default-parameter run; [jobs] bounds the worker-domain count of
+          the driver's parallel sweeps (ignored by drivers that have
+          none). Output is identical for every [jobs] value. *)
 }
 
 val all : entry list
@@ -13,6 +16,6 @@ val all : entry list
 
 val find : string -> entry option
 
-val run_all : Format.formatter -> unit
+val run_all : ?jobs:int -> Format.formatter -> unit
 (** Runs every experiment with default parameters — the content of
     EXPERIMENTS.md. *)

@@ -1,0 +1,82 @@
+(* Domain-based work pool with deterministic output.
+
+   Work is an index range [0, n); workers claim fixed-size chunks from a
+   shared atomic cursor and write each result into its own slot of a
+   preallocated array, so the output is a pure function of the work items
+   — identical for any worker count, including 1 (which runs inline in
+   the calling domain, spawning nothing).
+
+   Determinism contract for callers: the function passed to [map_range]
+   must depend only on its index (derive per-item PRNGs by splitting a
+   root stream *before* submitting, never share a mutable generator
+   between items). Under that discipline results are bit-identical for
+   any [jobs] value. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j ->
+    if j < 1 then invalid_arg "Pool.map_range: jobs must be >= 1";
+    j
+
+(* Sequential fallback, evaluating items in index order. *)
+let map_seq n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+let map_range ?jobs ?chunk n f =
+  if n < 0 then invalid_arg "Pool.map_range: negative item count";
+  let jobs = min (resolve_jobs jobs) n in
+  let chunk =
+    match chunk with
+    | None -> max 1 (n / (max 1 jobs * 8))
+    | Some c ->
+      if c < 1 then invalid_arg "Pool.map_range: chunk must be >= 1";
+      c
+  in
+  if jobs <= 1 then map_seq n f
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= n || Atomic.get failure <> None then continue := false
+        else
+          try
+            for i = lo to min n (lo + chunk) - 1 do
+              results.(i) <- Some (f i)
+            done
+          with e ->
+            (* Keep the first failure (with its backtrace); losers of the
+               race just stop claiming chunks. *)
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            continue := false
+      done
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map
+        (function Some v -> v | None -> assert false (* every slot filled *))
+        results
+  end
+
+let map_array ?jobs ?chunk a f =
+  map_range ?jobs ?chunk (Array.length a) (fun i -> f a.(i))
+
+let map_list ?jobs ?chunk l f =
+  Array.to_list (map_array ?jobs ?chunk (Array.of_list l) f)

@@ -1,0 +1,40 @@
+(** Deterministic multicore work pool (OCaml 5 Domains).
+
+    All experiment sweeps in this repository are embarrassingly parallel:
+    hundreds of independent (cell, replicate) work items, each a pure
+    function of its index once its PRNG stream has been derived. This
+    pool runs such workloads across a fixed number of domains while
+    keeping the output {e bit-identical for every worker count}:
+
+    - results land in a preallocated slot per index, so assembly order
+      never depends on scheduling;
+    - work items must not share mutable state — derive per-item PRNGs by
+      {!Prng.Splitmix.split} (or {!Prng.Splitmix.split_n}) from a root
+      stream before submitting;
+    - [jobs = 1] (and every workload of fewer than 2 items) runs inline
+      in the calling domain, in index order, spawning nothing.
+
+    Scheduling is chunked index-range work stealing from a shared atomic
+    cursor: cheap enough for sub-millisecond items, adaptive enough for
+    the heavily skewed cells of the Figure 7 grid (cost grows with [n]).
+
+    An exception raised by a work item cancels the remaining chunks and
+    is re-raised (with its backtrace) in the calling domain once every
+    worker has stopped. *)
+
+val default_jobs : unit -> int
+(** Number of workers used when [?jobs] is omitted:
+    [Domain.recommended_domain_count ()], at least 1. *)
+
+val map_range : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [map_range n f] is [[| f 0; ...; f (n - 1) |]], computed on
+    [min jobs n] domains. [chunk] is the number of consecutive indices a
+    worker claims at a time (default [n / (8 * jobs)], at least 1).
+    Raises [Invalid_argument] if [n < 0], [jobs < 1] or [chunk < 1];
+    re-raises the first exception raised by [f]. *)
+
+val map_array : ?jobs:int -> ?chunk:int -> 'a array -> ('a -> 'b) -> 'b array
+(** [map_array a f] is [map_range (Array.length a) (fun i -> f a.(i))]. *)
+
+val map_list : ?jobs:int -> ?chunk:int -> 'a list -> ('a -> 'b) -> 'b list
+(** List counterpart of {!map_array}, preserving order. *)

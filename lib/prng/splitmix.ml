@@ -39,3 +39,11 @@ let next_below t n =
   loop ()
 
 let split t = create (next t)
+
+let split_n t k =
+  if k < 0 then invalid_arg "Splitmix.split_n: negative count";
+  let out = Array.make k t in
+  for i = 0 to k - 1 do
+    out.(i) <- split t
+  done;
+  out

@@ -29,3 +29,11 @@ val next_below : t -> int -> int
 val split : t -> t
 (** [split t] derives a new independent generator from [t], advancing [t].
     Useful to hand child streams to parallel experiment arms. *)
+
+val split_n : t -> int -> t array
+(** [split_n t k] is [k] successive {!split}s of [t] — one independent
+    stream per parallel work item. Deriving all streams {e before}
+    submitting work is the seeding discipline that makes sweeps
+    bit-identical for any worker count ({!Parallel.Pool}): stream [i]
+    depends only on [t]'s state and [i], never on execution order.
+    Requires [k >= 0]. *)

@@ -82,7 +82,13 @@ let ceil_div a b =
 let to_float a = float_of_int a.num /. float_of_int a.den
 
 let of_float_approx ?(max_den = 10_000) x =
-  if Float.is_nan x || Float.is_integer x then of_int (int_of_float x)
+  if Float.is_nan x || (Stdlib.( = ) (Float.abs x) Float.infinity) then
+    invalid_arg "Q.of_float_approx: not a finite float";
+  (* int_of_float is unspecified outside [min_int, max_int]; every float
+     of magnitude >= 2^62 is out of native-int range (and, being >= 2^53,
+     would take the is_integer branch below). *)
+  if Stdlib.( >= ) (Float.abs x) 0x1p62 then raise Overflow;
+  if Float.is_integer x then of_int (int_of_float x)
   else begin
     let negative = Stdlib.( < ) x 0. in
     let x = Float.abs x in

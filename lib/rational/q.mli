@@ -55,7 +55,9 @@ val to_float : t -> float
 val of_float_approx : ?max_den:int -> float -> t
 (** Best rational approximation with denominator at most [max_den]
     (default [10_000]), by continued fractions. Used to embed measured
-    bandwidths into exact gadgets. *)
+    bandwidths into exact gadgets. Raises [Invalid_argument] on NaN or
+    infinite input and {!Overflow} when the magnitude exceeds native-int
+    range (>= [2^62]). *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -75,6 +75,41 @@ let test_dichotomic_max () =
   close "hi feasible" (Broadcast.Util.dichotomic_max ~lo:0. ~hi:1. (fun _ -> true)) 1.;
   close "lo infeasible" (Broadcast.Util.dichotomic_max ~lo:0.5 ~hi:1. (fun _ -> false)) 0.5
 
+let test_dichotomic_search () =
+  let open Broadcast.Util in
+  (* Feasible at hi: no bisection needed. *)
+  let s = dichotomic_search ~lo:0. ~hi:1. (fun _ -> true) in
+  Alcotest.(check bool) "hi feasible" true s.feasible;
+  Alcotest.(check bool) "hi converged" true s.converged;
+  Alcotest.(check int) "hi probes = 1" 1 s.probes;
+  close "hi value" s.value 1.;
+  (* Infeasible everywhere: reports lo with feasible = false instead of
+     silently returning it as if it were a supremum. *)
+  let s = dichotomic_search ~lo:0.5 ~hi:1. (fun _ -> false) in
+  Alcotest.(check bool) "lo infeasible" false s.feasible;
+  Alcotest.(check int) "lo probes = 2" 2 s.probes;
+  close "lo value" s.value 0.5;
+  (* Threshold search terminates early on interval width, well under the
+     100-probe budget, and still nails the supremum. *)
+  let s = dichotomic_search ~lo:0. ~hi:10. (fun x -> x <= Float.pi) in
+  Alcotest.(check bool) "pi feasible" true s.feasible;
+  Alcotest.(check bool) "pi converged" true s.converged;
+  Alcotest.(check bool) "early termination" true (s.probes < 70);
+  close "pi value" s.value Float.pi;
+  (* An exhausted iteration budget reports converged = false. *)
+  let s =
+    dichotomic_search ~iterations:5 ~epsilon:0. ~lo:0. ~hi:10.
+      (fun x -> x <= Float.pi)
+  in
+  Alcotest.(check bool) "budget exhausted" false s.converged;
+  (* Degenerate and invalid intervals. *)
+  let s = dichotomic_search ~lo:2. ~hi:2. (fun x -> x <= 2.) in
+  close "point interval" s.value 2.;
+  try
+    ignore (dichotomic_search ~lo:1. ~hi:0. (fun _ -> true));
+    Alcotest.fail "hi < lo accepted"
+  with Invalid_argument _ -> ()
+
 let test_float_comparisons () =
   let open Broadcast.Util in
   Alcotest.(check bool) "feq tolerant" true (feq 1. (1. +. 1e-12));
@@ -99,6 +134,8 @@ let suites =
       [
         Alcotest.test_case "ceil_ratio tolerance" `Quick test_ceil_ratio_tolerance;
         Alcotest.test_case "dichotomic search" `Quick test_dichotomic_max;
+        Alcotest.test_case "dichotomic search diagnostics" `Quick
+          test_dichotomic_search;
         Alcotest.test_case "tolerant comparisons" `Quick test_float_comparisons;
       ] );
   ]

@@ -4,10 +4,13 @@ open Platform
 
 let check_lemma_46_degrees inst ~t scheme =
   let d = Broadcast.Metrics.degree_report inst ~t scheme in
-  if d.Broadcast.Metrics.max_excess_guarded > 1 then
-    Alcotest.failf "guarded excess %d > 1" d.Broadcast.Metrics.max_excess_guarded;
-  if d.Broadcast.Metrics.max_excess_open > 3 then
-    Alcotest.failf "open excess %d > 3" d.Broadcast.Metrics.max_excess_open;
+  (match d.Broadcast.Metrics.max_excess_guarded with
+  | Some e when e > 1 -> Alcotest.failf "guarded excess %d > 1" e
+  | _ -> ());
+  (match d.Broadcast.Metrics.max_excess_open with
+  | Some e when e > 3 -> Alcotest.failf "open excess %d > 3" e
+  | None -> Alcotest.fail "open class (source included) cannot be empty"
+  | _ -> ());
   if d.Broadcast.Metrics.opens_above 2 > 1 then
     Alcotest.failf "%d open nodes above +2 (at most one allowed)"
       (d.Broadcast.Metrics.opens_above 2)

@@ -1,0 +1,131 @@
+(* Tests for Parallel.Pool: the work-sharing engine behind the experiment
+   sweeps, and its determinism contract (bit-identical output for every
+   worker count). *)
+
+let int_array = Alcotest.(array int)
+
+(* A work item heavy enough that chunks genuinely interleave across
+   domains, and whose value depends on the index in a non-trivial way. *)
+let work i =
+  let rng = Prng.Splitmix.create (Int64.of_int (i + 1)) in
+  let acc = ref 0L in
+  for _ = 1 to 100 do
+    acc := Int64.add !acc (Prng.Splitmix.next rng)
+  done;
+  Int64.to_int !acc
+
+let test_map_range_basic () =
+  Alcotest.check int_array "squares" [| 0; 1; 4; 9; 16 |]
+    (Parallel.Pool.map_range ~jobs:2 5 (fun i -> i * i));
+  Alcotest.check int_array "empty" [||] (Parallel.Pool.map_range ~jobs:4 0 work);
+  Alcotest.check int_array "single" [| work 0 |]
+    (Parallel.Pool.map_range ~jobs:4 1 work)
+
+let test_determinism () =
+  (* The tentpole contract: jobs in {1, 2, 7} produce identical arrays,
+     including a chunk size that does not divide the workload. *)
+  let reference = Parallel.Pool.map_range ~jobs:1 101 work in
+  List.iter
+    (fun jobs ->
+      Alcotest.check int_array
+        (Printf.sprintf "jobs=%d" jobs)
+        reference
+        (Parallel.Pool.map_range ~jobs 101 work))
+    [ 1; 2; 7 ];
+  Alcotest.check int_array "chunk=3" reference
+    (Parallel.Pool.map_range ~jobs:2 ~chunk:3 101 work)
+
+let test_invalid_arguments () =
+  let rejects what f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s accepted" what
+    with Invalid_argument _ -> ()
+  in
+  rejects "jobs = 0" (fun () -> Parallel.Pool.map_range ~jobs:0 4 work);
+  rejects "negative jobs" (fun () -> Parallel.Pool.map_range ~jobs:(-2) 4 work);
+  rejects "negative n" (fun () -> Parallel.Pool.map_range ~jobs:2 (-1) work);
+  rejects "chunk = 0" (fun () -> Parallel.Pool.map_range ~jobs:2 ~chunk:0 4 work)
+
+let test_exception_propagation () =
+  Alcotest.check_raises "worker failure reaches caller" (Failure "boom")
+    (fun () ->
+      ignore
+        (Parallel.Pool.map_range ~jobs:3 50 (fun i ->
+             if i = 17 then failwith "boom" else work i)));
+  (* Inline (jobs = 1) path propagates too. *)
+  Alcotest.check_raises "inline failure" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.Pool.map_range ~jobs:1 5 (fun i ->
+             if i = 3 then failwith "boom" else i)))
+
+let test_map_array_list () =
+  Alcotest.check int_array "map_array" [| 2; 4; 6 |]
+    (Parallel.Pool.map_array ~jobs:2 [| 1; 2; 3 |] (fun x -> 2 * x));
+  Alcotest.(check (list int))
+    "map_list order" [ 10; 20; 30; 40 ]
+    (Parallel.Pool.map_list ~jobs:3 [ 1; 2; 3; 4 ] (fun x -> 10 * x))
+
+let test_split_n () =
+  let streams () = Prng.Splitmix.split_n (Prng.Splitmix.create 42L) 5 in
+  let firsts t = Array.map Prng.Splitmix.next t in
+  let a = firsts (streams ()) and b = firsts (streams ()) in
+  Alcotest.(check int) "count" 5 (Array.length a);
+  Alcotest.(check bool) "deterministic" true (a = b);
+  (* Streams must be pairwise distinct — the whole point of splitting. *)
+  let distinct = Array.to_list a |> List.sort_uniq Int64.compare in
+  Alcotest.(check int) "distinct streams" 5 (List.length distinct);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Splitmix.split_n: negative count") (fun () ->
+      ignore (Prng.Splitmix.split_n (Prng.Splitmix.create 1L) (-1)))
+
+let render print =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  print fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_sweep_output_identical () =
+  (* End-to-end determinism of a full driver: rendered tables must be
+     byte-identical across worker counts. *)
+  let j1 = render (Experiments.Fig18_worst.print ~jobs:1) in
+  let j5 = render (Experiments.Fig18_worst.print ~jobs:5) in
+  Alcotest.(check string) "fig18 jobs 1 vs 5" j1 j5
+
+let tiny_config seed =
+  {
+    Experiments.Fig19_average.dists = [ ("unif", Prng.Dist.unif100) ];
+    ns = [ 8; 12 ];
+    ps = [ 0.4; 0.8 ];
+    replicates = 4;
+    seed;
+  }
+
+let prop_fig19_parallel_matches_sequential =
+  QCheck.Test.make ~name:"fig19: parallel cells = sequential recomputation"
+    ~count:8
+    QCheck.(pair (int_range 2 7) (map Int64.of_int (int_range 1 10000)))
+    (fun (jobs, seed) ->
+      let cfg = tiny_config seed in
+      let seq = Experiments.Fig19_average.compute ~jobs:1 cfg in
+      let par = Experiments.Fig19_average.compute ~jobs cfg in
+      seq = par)
+
+let suites =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "map_range basics" `Quick test_map_range_basic;
+        Alcotest.test_case "determinism across jobs {1,2,7}" `Quick
+          test_determinism;
+        Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+        Alcotest.test_case "exception propagation" `Quick
+          test_exception_propagation;
+        Alcotest.test_case "map_array / map_list" `Quick test_map_array_list;
+        Alcotest.test_case "split_n seeding" `Quick test_split_n;
+        Alcotest.test_case "fig18 output identical across jobs" `Quick
+          test_sweep_output_identical;
+        QCheck_alcotest.to_alcotest prop_fig19_parallel_matches_sequential;
+      ] );
+  ]

@@ -75,8 +75,8 @@ let low_degree_bounds =
       let rate = t_ac *. (1. -. 4e-9) in
       let scheme = Low_degree.build inst ~rate word in
       let d = Metrics.degree_report inst ~t:rate scheme in
-      d.Metrics.max_excess_open <= 3
-      && d.Metrics.max_excess_guarded <= 1
+      (match d.Metrics.max_excess_open with Some e -> e <= 3 | None -> false)
+      && (match d.Metrics.max_excess_guarded with Some e -> e <= 1 | None -> true)
       && d.Metrics.opens_above 2 <= 1)
 
 (* Bounds (R5/R6): the closed form min (b0, (b0 + O) / n) is exactly the

@@ -56,6 +56,26 @@ let test_of_float_approx () =
   let alpha = Q.of_float_approx ~max_den:40 ((sqrt 41. -. 3.) /. 8.) in
   Alcotest.check q "sqrt41 alpha ~ 17/40" (Q.make 17 40) alpha
 
+let test_of_float_approx_non_finite () =
+  let rejects what x =
+    try
+      ignore (Q.of_float_approx x);
+      Alcotest.failf "%s accepted" what
+    with Invalid_argument _ -> ()
+  in
+  rejects "nan" Float.nan;
+  rejects "+inf" Float.infinity;
+  rejects "-inf" Float.neg_infinity;
+  (* Magnitudes past the int63 range must overflow, not wrap silently. *)
+  Alcotest.check_raises "huge magnitude" Q.Overflow (fun () ->
+      ignore (Q.of_float_approx 1e300));
+  Alcotest.check_raises "negative huge magnitude" Q.Overflow (fun () ->
+      ignore (Q.of_float_approx (-1e300)));
+  Alcotest.check_raises "just past int63" Q.Overflow (fun () ->
+      ignore (Q.of_float_approx 0x1p62));
+  (* Large but representable stays exact. *)
+  Alcotest.check q "2^40" (Q.of_int (1 lsl 40)) (Q.of_float_approx 0x1p40)
+
 let test_overflow () =
   let big = Q.of_int max_int in
   Alcotest.check_raises "multiplication overflows" Q.Overflow (fun () ->
@@ -107,6 +127,8 @@ let suites =
         Alcotest.test_case "comparisons" `Quick test_compare;
         Alcotest.test_case "ceil_div (degree bound)" `Quick test_ceil_div;
         Alcotest.test_case "of_float_approx" `Quick test_of_float_approx;
+        Alcotest.test_case "of_float_approx rejects non-finite" `Quick
+          test_of_float_approx_non_finite;
         Alcotest.test_case "overflow detection" `Quick test_overflow;
         Alcotest.test_case "sum / to_string" `Quick test_sum_and_string;
         Alcotest.test_case "to_float" `Quick test_to_float;

@@ -74,8 +74,43 @@ let test_degree_report () =
         e)
     d.Broadcast.Metrics.excess;
   Alcotest.(check bool) "guarded max present" true
-    (d.Broadcast.Metrics.max_excess_guarded > min_int);
+    (d.Broadcast.Metrics.max_excess_guarded <> None);
   Alcotest.(check int) "opens_above large k" 0 (d.Broadcast.Metrics.opens_above 100)
+
+let test_degree_report_open_only () =
+  (* m = 0: the guarded class is empty, so its maximum must be [None]
+     rather than a min_int sentinel. *)
+  let inst =
+    Instance.create ~bandwidth:[| 4.; 2.; 2. |] ~n:2 ~m:0 ()
+  in
+  let g = G.create 3 in
+  G.add_edge g ~src:0 ~dst:1 2.;
+  G.add_edge g ~src:1 ~dst:2 2.;
+  let d = Broadcast.Metrics.degree_report inst ~t:2. g in
+  Alcotest.(check (option int)) "guarded empty" None
+    d.Broadcast.Metrics.max_excess_guarded;
+  (match d.Broadcast.Metrics.max_excess_open with
+  | Some e -> Alcotest.(check bool) "open max sane" true (e > min_int)
+  | None -> Alcotest.fail "open class includes the source");
+  Alcotest.(check int) "overall max unchanged" d.Broadcast.Metrics.max_excess
+    (Array.fold_left max min_int d.Broadcast.Metrics.excess)
+
+let test_degree_report_guarded_only () =
+  (* n = 0: every receiver is guarded; the open class still contains the
+     source, so its maximum is the source's excess. *)
+  let inst =
+    Instance.create ~bandwidth:[| 4.; 2.; 2. |] ~n:0 ~m:2 ()
+  in
+  let g = G.create 3 in
+  G.add_edge g ~src:0 ~dst:1 2.;
+  G.add_edge g ~src:0 ~dst:2 2.;
+  let d = Broadcast.Metrics.degree_report inst ~t:2. g in
+  Alcotest.(check (option int)) "open = source excess"
+    (Some d.Broadcast.Metrics.excess.(0))
+    d.Broadcast.Metrics.max_excess_open;
+  Alcotest.(check (option int)) "guarded max present"
+    (Some (max d.Broadcast.Metrics.excess.(1) d.Broadcast.Metrics.excess.(2)))
+    d.Broadcast.Metrics.max_excess_guarded
 
 let test_depth_and_max_outdegree () =
   let g = G.create 4 in
@@ -100,6 +135,9 @@ let suites =
     ( "metrics",
       [
         Alcotest.test_case "degree report" `Quick test_degree_report;
+        Alcotest.test_case "degree report, open-only" `Quick test_degree_report_open_only;
+        Alcotest.test_case "degree report, guarded-only" `Quick
+          test_degree_report_guarded_only;
         Alcotest.test_case "depth and max outdegree" `Quick test_depth_and_max_outdegree;
       ] );
   ]
