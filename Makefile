@@ -14,8 +14,11 @@ test:
 bench: bench-verify
 	dune exec -- bench/main.exe --fast
 
+# Old-vs-new flowgraph columns (legacy_s vs csr_s) plus the deep-graph
+# stack-safety smoke run under a pinned 8 MiB stack.
 bench-verify:
 	dune exec -- bench/verify_bench.exe
+	bash -c 'ulimit -s 8192; exec dune exec -- bench/stack_smoke.exe 50000'
 
 # Wall-clock of the parallel sweep engine at jobs 1 vs 4 (writes
 # BENCH_sweep.json; the >= 2x speedup gate arms only on >= 4 cores).

@@ -1,36 +1,38 @@
-(* Micro-benchmark for the batch verification engine.
+(* Micro-benchmark for the verification engine's flowgraph core.
 
    Compares, on the same schemes, three ways of computing the broadcast
    throughput [min over v of maxflow (C0 -> v)]:
 
-   - plain      : one Dinic run per destination, residual network rebuilt
-                  every time (the pre-engine oracle);
-   - batch      : Maxflow.min_broadcast_flow — one shared residual arena,
-                  sinks in increasing incoming-capacity order, early exit
-                  at the running minimum;
+   - legacy     : Maxflow_legacy.min_broadcast_flow — the pre-CSR batch
+                  Dinic (int list adjacency, adjacency copied per phase,
+                  recursive blocking-flow DFS), kept as the frozen oracle;
+   - csr        : Maxflow.min_broadcast_flow — the CSR arena (flat arc
+                  arrays, blit-reset cursors, ring-buffer BFS, iterative
+                  blocking flow);
    - structured : Maxflow.broadcast_throughput — the O(V + E) incoming-cut
-                  fast path on acyclic schemes, batch Dinic otherwise.
+                  fast path on acyclic schemes, batch CSR Dinic otherwise.
 
    Each case asserts that all three values agree within 1e-6 relative
    error, prints a table, and appends its row to BENCH_verify.json (written
    in the current directory) so the performance trajectory is tracked
-   across PRs. Run with `make bench` or `dune exec -- bench/verify_bench.exe`. *)
+   across PRs: legacy_s vs csr_s is this PR's old-vs-new column pair.
+   Run with `make bench-verify` or `dune exec -- bench/verify_bench.exe`. *)
 
+(* Times [f], returning its value and the per-call seconds. Slow calls
+   (> 0.5 s — the n = 5000 / 10000 legacy runs) are measured exactly once
+   so the large cases stay affordable; fast calls are averaged. *)
 let time f =
-  let once () =
-    let t0 = Unix.gettimeofday () in
-    ignore (Sys.opaque_identity (f ()));
-    Unix.gettimeofday () -. t0
-  in
-  let first = once () in
-  if first > 0.5 then first
+  let t0 = Unix.gettimeofday () in
+  let value = f () in
+  let first = Unix.gettimeofday () -. t0 in
+  if first > 0.5 then (value, first)
   else begin
     let reps = max 3 (int_of_float (0.3 /. Float.max 1e-7 first)) in
     let t0 = Unix.gettimeofday () in
     for _ = 1 to reps do
       ignore (Sys.opaque_identity (f ()))
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int reps
+    (value, (Unix.gettimeofday () -. t0) /. float_of_int reps)
   end
 
 let mixed_instance ?(p_open = 0.7) ~seed n =
@@ -49,21 +51,13 @@ let cyclic_scheme n =
   let inst = mixed_instance ~p_open:1. ~seed:(Int64.of_int (97 + n)) n in
   (inst, Broadcast.Cyclic_open.build inst)
 
-let plain_min_dinic g =
-  let k = Flowgraph.Graph.node_count g in
-  let best = ref infinity in
-  for v = 1 to k - 1 do
-    best := Float.min !best (Flowgraph.Maxflow.max_flow g ~src:0 ~dst:v)
-  done;
-  !best
-
 type row = {
   name : string;
   nodes : int;
   edges : int;
   acyclic : bool;
-  plain_s : float;
-  batch_s : float;
+  legacy_s : float;
+  csr_s : float;
   structured_s : float;
   agree : bool;
 }
@@ -71,25 +65,31 @@ type row = {
 let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.max a b)
 
 let case name (_, g) =
-  let plain = plain_min_dinic g in
-  let batch = Flowgraph.Maxflow.min_broadcast_flow g ~src:0 in
-  let structured = Flowgraph.Maxflow.broadcast_throughput g ~src:0 in
+  let legacy_v, legacy_s =
+    time (fun () -> Flowgraph.Maxflow_legacy.min_broadcast_flow g ~src:0)
+  in
+  let csr_v, csr_s =
+    time (fun () -> Flowgraph.Maxflow.min_broadcast_flow g ~src:0)
+  in
+  let structured_v, structured_s =
+    time (fun () -> Flowgraph.Maxflow.broadcast_throughput g ~src:0)
+  in
   {
     name;
     nodes = Flowgraph.Graph.node_count g;
     edges = Flowgraph.Graph.edge_count g;
     acyclic = Flowgraph.Topo.is_acyclic g;
-    plain_s = time (fun () -> plain_min_dinic g);
-    batch_s = time (fun () -> Flowgraph.Maxflow.min_broadcast_flow g ~src:0);
-    structured_s = time (fun () -> Flowgraph.Maxflow.broadcast_throughput g ~src:0);
-    agree = close plain batch && close plain structured;
+    legacy_s;
+    csr_s;
+    structured_s;
+    agree = close legacy_v csr_v && close legacy_v structured_v;
   }
 
 (* Verify.check_batch over a fleet of schemes — the driver-facing entry
    point (one structural pass + one throughput per scheme). *)
 let batch_fleet_case schemes =
   let pairs = List.map (fun (inst, g) -> (inst, g)) schemes in
-  let t = time (fun () -> Broadcast.Verify.check_batch pairs) in
+  let _, t = time (fun () -> Broadcast.Verify.check_batch pairs) in
   let reports = Broadcast.Verify.check_batch pairs in
   let ok =
     List.for_all
@@ -111,13 +111,12 @@ let emit_json rows (fleet_s, fleet_n, fleet_ok) path =
       p
         "    {\"name\": \"%s\", \"nodes\": %d, \"edges\": %d, \"acyclic\": \
          %b,\n\
-        \     \"plain_dinic_s\": %.6e, \"batch_dinic_s\": %.6e, \
-         \"structured_s\": %.6e,\n\
-        \     \"speedup_batch\": %.2f, \"speedup_structured\": %.2f, \
+        \     \"legacy_s\": %.6e, \"csr_s\": %.6e, \"structured_s\": %.6e,\n\
+        \     \"speedup_csr\": %.2f, \"speedup_structured\": %.2f, \
          \"agree\": %b}%s\n"
-        (json_escape r.name) r.nodes r.edges r.acyclic r.plain_s r.batch_s
-        r.structured_s (r.plain_s /. r.batch_s)
-        (r.plain_s /. r.structured_s)
+        (json_escape r.name) r.nodes r.edges r.acyclic r.legacy_s r.csr_s
+        r.structured_s (r.legacy_s /. r.csr_s)
+        (r.legacy_s /. r.structured_s)
         r.agree
         (if i = List.length rows - 1 then "" else ","))
     rows;
@@ -138,8 +137,13 @@ let () =
       ("acyclic-n200", `Acyclic, 200);
       ("acyclic-n500", `Acyclic, 500);
       ("acyclic-n1000", `Acyclic, 1000);
+      ("acyclic-n5000", `Acyclic, 5000);
+      ("acyclic-n10000", `Acyclic, 10000);
       ("cyclic-n200", `Cyclic, 200);
       ("cyclic-n400", `Cyclic, 400);
+      ("cyclic-n1000", `Cyclic, 1000);
+      ("cyclic-n5000", `Cyclic, 5000);
+      ("cyclic-n10000", `Cyclic, 10000);
     |]
   in
   let cases =
@@ -156,15 +160,14 @@ let () =
       (Array.to_list
          (Parallel.Pool.map_range 20 (fun i -> acyclic_scheme (150 + (5 * i)))))
   in
-  Printf.printf "%-14s %6s %6s %8s %12s %12s %12s %8s %8s %6s\n" "case" "nodes"
-    "edges" "acyclic" "plain/s" "batch/s" "struct/s" "x-batch" "x-struct"
-    "agree";
+  Printf.printf "%-15s %6s %6s %8s %12s %12s %12s %8s %8s %6s\n" "case" "nodes"
+    "edges" "acyclic" "legacy/s" "csr/s" "struct/s" "x-csr" "x-struct" "agree";
   List.iter
     (fun r ->
-      Printf.printf "%-14s %6d %6d %8b %12.3e %12.3e %12.3e %8.1f %8.1f %6b\n"
-        r.name r.nodes r.edges r.acyclic r.plain_s r.batch_s r.structured_s
-        (r.plain_s /. r.batch_s)
-        (r.plain_s /. r.structured_s)
+      Printf.printf "%-15s %6d %6d %8b %12.3e %12.3e %12.3e %8.1f %8.1f %6b\n"
+        r.name r.nodes r.edges r.acyclic r.legacy_s r.csr_s r.structured_s
+        (r.legacy_s /. r.csr_s)
+        (r.legacy_s /. r.structured_s)
         r.agree)
     rows;
   let fleet_s, fleet_n, fleet_ok = fleet in
@@ -178,15 +181,25 @@ let () =
     List.iter (fun r -> Printf.eprintf "DISAGREEMENT in %s\n" r.name) bad;
     exit 1
   end;
-  (* Acceptance tripwire for the engine: the structure-aware verifier must
-     beat per-destination Dinic by at least 3x on acyclic schemes with
-     n >= 200. *)
-  let gate =
-    List.filter (fun r -> r.acyclic && r.nodes >= 200) rows
-    |> List.for_all (fun r -> r.plain_s /. r.structured_s >= 3.)
+  (* Acceptance tripwires for the CSR core: the flat-array engine must
+     beat the legacy list engine by at least 2x on cyclic schemes with
+     n >= 400, and the structure-aware verifier must beat it by at least
+     3x on acyclic schemes with n >= 200. *)
+  let gate_csr =
+    List.filter (fun r -> (not r.acyclic) && r.nodes >= 400) rows
+    |> List.for_all (fun r -> r.legacy_s /. r.csr_s >= 2.)
   in
-  if not gate then begin
-    Printf.eprintf "speedup gate (>= 3x on acyclic n >= 200) FAILED\n";
+  if not gate_csr then begin
+    Printf.eprintf "speedup gate (csr >= 2x legacy on cyclic n >= 400) FAILED\n";
+    exit 1
+  end;
+  let gate_structured =
+    List.filter (fun r -> r.acyclic && r.nodes >= 200) rows
+    |> List.for_all (fun r -> r.legacy_s /. r.structured_s >= 3.)
+  in
+  if not gate_structured then begin
+    Printf.eprintf
+      "speedup gate (structured >= 3x legacy on acyclic n >= 200) FAILED\n";
     exit 1
   end;
   print_endline "verify_bench: ok (BENCH_verify.json written)"

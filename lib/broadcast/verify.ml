@@ -1,4 +1,5 @@
 open Platform
+module Csr = Flowgraph.Csr
 
 type report = {
   bandwidth_ok : bool;
@@ -10,30 +11,31 @@ type report = {
   fast_path : bool;
 }
 
-(* Structural constraints only — no flow computation. *)
-let structural ?(eps = Util.eps) inst g =
+(* Structural constraints only — no flow computation. All reads run on
+   the frozen CSR snapshot: out/in weights are array lookups instead of
+   hashtable folds. *)
+let structural ?(eps = Util.eps) inst c =
   let size = Instance.size inst in
-  if Flowgraph.Graph.node_count g <> size then
+  if Csr.node_count c <> size then
     invalid_arg "Verify.check: node count mismatch";
   let b = inst.Instance.bandwidth in
   let bandwidth_ok = ref true and firewall_ok = ref true in
   for i = 0 to size - 1 do
-    if not (Util.fle ~eps (Flowgraph.Graph.out_weight g i) b.(i)) then
+    if not (Util.fle ~eps (Csr.out_weight c i) b.(i)) then
       bandwidth_ok := false
   done;
-  Flowgraph.Graph.iter_edges
+  Csr.iter_edges
     (fun ~src ~dst _w ->
       if Instance.is_guarded inst src && Instance.is_guarded inst dst then
         firewall_ok := false)
-    g;
+    c;
   let bin_ok =
     match inst.Instance.bin with
     | None -> true
     | Some caps ->
       let ok = ref true in
       for i = 0 to size - 1 do
-        if not (Util.fle ~eps (Flowgraph.Graph.in_weight g i) caps.(i)) then
-          ok := false
+        if not (Util.fle ~eps (Csr.in_weight c i) caps.(i)) then ok := false
       done;
       !ok
   in
@@ -44,18 +46,20 @@ let throughput g =
   else Flowgraph.Maxflow.broadcast_throughput g ~src:0
 
 let check ?eps inst g =
-  let bandwidth_ok, firewall_ok, bin_ok = structural ?eps inst g in
+  (* One snapshot serves the structural pass, the acyclicity test and the
+     throughput engine — the graph is frozen exactly once per scheme. *)
+  let c = Csr.of_graph g in
+  let bandwidth_ok, firewall_ok, bin_ok = structural ?eps inst c in
   let size = Instance.size inst in
-  let source_receives = Flowgraph.Graph.in_edges g 0 <> [] in
-  let acyclic = Flowgraph.Topo.is_acyclic g in
+  let source_receives = Csr.in_degree c 0 > 0 in
+  let acyclic = Csr.is_acyclic c in
   (* Structure-aware oracle: on acyclic schemes the throughput is the
-     minimal incoming rate (Topo.min_incoming_cut), one O(V + E) pass;
-     cyclic schemes fall back to the batch Dinic solver. *)
+     minimal incoming rate (Csr.min_incoming_cut), one array scan;
+     cyclic schemes fall back to the batch CSR Dinic solver. *)
   let throughput, fast_path =
     if size = 1 then (infinity, true)
-    else if acyclic then
-      (fst (Flowgraph.Topo.min_incoming_cut g ~src:0), true)
-    else (Flowgraph.Maxflow.min_broadcast_flow g ~src:0, false)
+    else if acyclic then (fst (Csr.min_incoming_cut c ~src:0), true)
+    else (Flowgraph.Maxflow.min_broadcast_flow_csr c ~src:0, false)
   in
   {
     bandwidth_ok;
@@ -70,11 +74,15 @@ let check ?eps inst g =
 let check_batch ?eps batch = List.map (fun (inst, g) -> check ?eps inst g) batch
 
 let valid ?eps inst g =
-  let bandwidth_ok, firewall_ok, bin_ok = structural ?eps inst g in
+  let bandwidth_ok, firewall_ok, bin_ok =
+    structural ?eps inst (Csr.of_graph g)
+  in
   bandwidth_ok && firewall_ok && bin_ok
 
 let achieves ?eps inst g ~rate =
-  valid ?eps inst g
+  let c = Csr.of_graph g in
+  let bandwidth_ok, firewall_ok, bin_ok = structural ?eps inst c in
+  bandwidth_ok && firewall_ok && bin_ok
   && (Instance.size inst = 1
      ||
      (* Same slack as the historical [fge ~eps:1e-6 throughput rate]
@@ -82,6 +90,6 @@ let achieves ?eps inst g ~rate =
         soon as the relaxed rate is certified. *)
      let slack = 1e-6 *. Float.max 1. (Float.abs rate) in
      let target = rate -. slack in
-     if Flowgraph.Topo.is_acyclic g then
-       fst (Flowgraph.Topo.min_incoming_cut g ~src:0) >= target
-     else Flowgraph.Maxflow.achieves_rate g ~src:0 ~rate:target)
+     if Csr.is_acyclic c then
+       fst (Csr.min_incoming_cut c ~src:0) >= target
+     else Flowgraph.Maxflow.achieves_rate_csr c ~src:0 ~rate:target)

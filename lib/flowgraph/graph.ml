@@ -29,7 +29,10 @@ let check_pair g ~src ~dst =
 
 let set_edge g ~src ~dst w =
   check_pair g ~src ~dst;
-  if Float.is_nan w then invalid_arg "Graph: NaN weight";
+  (* Rejecting all non-finite weights (not just NaN) keeps infinite
+     capacities out of the Dinic arena, where they would poison residual
+     arithmetic silently. *)
+  if not (Float.is_finite w) then invalid_arg "Graph: non-finite weight";
   let existed = Hashtbl.mem g.succ.(src) dst in
   if w > 0. then begin
     Hashtbl.replace g.succ.(src) dst w;
@@ -93,6 +96,10 @@ let of_matrix c =
   for i = 0 to k - 1 do
     if c.(i).(i) > 0. then invalid_arg "Graph.of_matrix: positive diagonal";
     for j = 0 to k - 1 do
+      (* NaN compares false against everything, so it must be rejected
+         explicitly — it would otherwise pass as an absent edge. *)
+      if not (Float.is_finite c.(i).(j)) then
+        invalid_arg "Graph.of_matrix: non-finite entry";
       if i <> j && c.(i).(j) > 0. then set_edge g ~src:i ~dst:j c.(i).(j)
     done
   done;

@@ -21,7 +21,8 @@ val add_edge : t -> src:int -> dst:int -> float -> unit
 (** [add_edge g ~src ~dst w] adds [w] to the weight of edge [src -> dst]
     (creating it if absent; removing it if the result is [<= 0]). Self
     loops are rejected. Raises [Invalid_argument] on out-of-range nodes,
-    self loops, or NaN weight. *)
+    self loops, or non-finite weight (NaN and infinities — an infinite
+    capacity would silently corrupt the max-flow arena). *)
 
 val set_edge : t -> src:int -> dst:int -> float -> unit
 (** [set_edge g ~src ~dst w] sets the weight to exactly [w] ([<= 0] removes
@@ -57,7 +58,8 @@ val scale : t -> float -> t
 
 val of_matrix : float array array -> t
 (** Dense adjacency matrix [c.(i).(j)]; non-positive entries are absent
-    edges. The matrix must be square; the diagonal must be [<= 0]. *)
+    edges. The matrix must be square; the diagonal must be [<= 0]; every
+    entry must be finite. *)
 
 val to_matrix : t -> float array array
 

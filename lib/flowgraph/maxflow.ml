@@ -1,111 +1,178 @@
-(* Dinic's algorithm on an arena of forward/backward arc pairs.
+(* Dinic's algorithm on a flat CSR arena.
 
-   The arena is built once per graph; verification workloads solve one
+   The arena is built once per snapshot; verification workloads solve one
    max-flow per destination on the same scheme, so the [solver] type keeps
    the arena (and a pristine copy of the capacities) alive across sinks:
    switching sink is an [Array.blit] instead of a rebuild, and augmentation
-   can stop early as soon as a caller-supplied flow target is certified. *)
+   can stop early as soon as a caller-supplied flow target is certified.
+
+   Everything in the hot loops is an int or float array indexed by arc or
+   node — no lists, no hashtables, no allocation per phase:
+
+   - arcs 2e / 2e + 1 are the forward/backward pair of CSR edge e, so
+     flow readback is a direct index, not a hashtable lookup;
+   - adjacency is itself CSR ([adj_off]/[adj_arcs]), and the per-phase
+     cursor reset is [Array.blit adj_off cur] instead of copying an
+     [int list array];
+   - BFS runs on a flat int queue (each node enters at most once, so a
+     plain array with head/tail indices suffices);
+   - the blocking-flow DFS is iterative over an explicit arc-path stack,
+     so deep level graphs (path-shaped schemes at n = 100k) cannot
+     overflow the OCaml stack. *)
 
 type arena = {
-  (* arc i: head.(i) = destination, cap.(i) = residual capacity;
-     arc i lxor 1 is its reverse. *)
-  head : int array;
-  cap : float array;
-  adj : int list array;  (* arc indices leaving each node *)
-  level : int array;
-  arc_of_edge : (int * int, int) Hashtbl.t;
-      (* forward-arc index of each original (src, dst) edge, recorded at
-         build time so flow readback does not depend on iteration order *)
+  csr : Csr.t;
+  head : int array;  (* 2m: arc destination; arc lxor 1 is its reverse *)
+  cap : float array;  (* 2m: residual capacity *)
+  adj_off : int array;  (* n+1: arcs leaving u are adj_arcs.(adj_off.(u) ..) *)
+  adj_arcs : int array;  (* 2m: arc indices, forward then backward per node *)
+  level : int array;  (* n: BFS level, -1 = unreached *)
+  cur : int array;  (* n: per-node cursor into adj_arcs *)
+  queue : int array;  (* n: flat BFS queue *)
+  path : int array;  (* n: arc stack of the current DFS path *)
 }
 
-let build g =
-  let k = Graph.node_count g in
-  let arcs = Graph.edge_count g in
-  let head = Array.make (2 * arcs) 0 in
-  let cap = Array.make (2 * arcs) 0. in
-  let adj = Array.make k [] in
-  let arc_of_edge = Hashtbl.create arcs in
-  let next = ref 0 in
-  Graph.iter_edges
-    (fun ~src ~dst w ->
-      let a = !next in
-      next := a + 2;
-      head.(a) <- dst;
-      cap.(a) <- w;
-      head.(a + 1) <- src;
-      cap.(a + 1) <- 0.;
-      adj.(src) <- a :: adj.(src);
-      adj.(dst) <- (a + 1) :: adj.(dst);
-      Hashtbl.replace arc_of_edge (src, dst) a)
-    g;
-  { head; cap; adj; level = Array.make k (-1); arc_of_edge }
+let build (c : Csr.t) =
+  let n = c.Csr.n and m = c.Csr.m in
+  let head = Array.make (2 * m) 0 in
+  let cap = Array.make (2 * m) 0. in
+  for u = 0 to n - 1 do
+    for e = c.Csr.row_off.(u) to c.Csr.row_off.(u + 1) - 1 do
+      head.(2 * e) <- c.Csr.col.(e);
+      cap.(2 * e) <- c.Csr.w.(e);
+      head.((2 * e) + 1) <- u
+    done
+  done;
+  let adj_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    adj_off.(u + 1) <-
+      adj_off.(u)
+      + (c.Csr.row_off.(u + 1) - c.Csr.row_off.(u))
+      + (c.Csr.pred_off.(u + 1) - c.Csr.pred_off.(u))
+  done;
+  let adj_arcs = Array.make (2 * m) 0 in
+  for u = 0 to n - 1 do
+    let p = ref adj_off.(u) in
+    for e = c.Csr.row_off.(u) to c.Csr.row_off.(u + 1) - 1 do
+      adj_arcs.(!p) <- 2 * e;
+      incr p
+    done;
+    for q = c.Csr.pred_off.(u) to c.Csr.pred_off.(u + 1) - 1 do
+      adj_arcs.(!p) <- (2 * c.Csr.pred_edge.(q)) + 1;
+      incr p
+    done
+  done;
+  {
+    csr = c;
+    head;
+    cap;
+    adj_off;
+    adj_arcs;
+    level = Array.make n (-1);
+    cur = Array.make n 0;
+    queue = Array.make (max 1 n) 0;
+    path = Array.make (max 1 n) 0;
+  }
 
-let bfs eps a ~src ~dst =
-  Array.fill a.level 0 (Array.length a.level) (-1);
+(* BFS stops as soon as [dst] is labelled: BFS labels nodes in
+   nondecreasing distance order, so at that point every node closer than
+   [dst] already carries its exact level and the level graph restricted
+   to labelled nodes still contains every shortest src-dst path. *)
+let bfs a eps ~src ~dst =
+  let n = Array.length a.level in
+  Array.fill a.level 0 n (-1);
   a.level.(src) <- 0;
-  let q = Queue.create () in
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    List.iter
-      (fun arc ->
-        let v = a.head.(arc) in
-        if a.cap.(arc) > eps && a.level.(v) < 0 then begin
-          a.level.(v) <- a.level.(u) + 1;
-          Queue.add v q
-        end)
-      a.adj.(u)
+  a.queue.(0) <- src;
+  let qh = ref 0 and qt = ref 1 in
+  while !qh < !qt && a.level.(dst) < 0 do
+    let u = a.queue.(!qh) in
+    incr qh;
+    let lvl = a.level.(u) + 1 in
+    for p = a.adj_off.(u) to a.adj_off.(u + 1) - 1 do
+      let arc = a.adj_arcs.(p) in
+      let v = a.head.(arc) in
+      if a.cap.(arc) > eps && a.level.(v) < 0 then begin
+        a.level.(v) <- lvl;
+        a.queue.(!qt) <- v;
+        incr qt
+      end
+    done
   done;
   a.level.(dst) >= 0
 
-(* Blocking flow by DFS with per-node arc cursors. *)
-let rec dfs eps a cursors ~dst u pushed =
-  if u = dst then pushed
-  else
-    match cursors.(u) with
-    | [] -> 0.
-    | arc :: rest ->
-      let v = a.head.(arc) in
-      if a.cap.(arc) > eps && a.level.(v) = a.level.(u) + 1 then begin
-        let sent = dfs eps a cursors ~dst v (Float.min pushed a.cap.(arc)) in
-        if sent > eps then begin
-          a.cap.(arc) <- a.cap.(arc) -. sent;
-          a.cap.(arc lxor 1) <- a.cap.(arc lxor 1) +. sent;
-          sent
-        end
-        else begin
-          cursors.(u) <- rest;
-          dfs eps a cursors ~dst u pushed
-        end
+(* One blocking flow on the current level graph, accumulating into
+   [total] and stopping once it reaches [limit]. The DFS path lives in
+   [a.path] (arc indices); reaching [dst] augments by the bottleneck and
+   retreats to the first saturated arc, a dead end prunes the node from
+   the level graph and backs up one arc. *)
+let blocking_flow a eps ~src ~dst ~limit total =
+  Array.blit a.adj_off 0 a.cur 0 (Array.length a.cur);
+  let depth = ref 0 in
+  let u = ref src in
+  let running = ref true in
+  while !running do
+    if !u = dst then begin
+      let f = ref infinity in
+      for i = 0 to !depth - 1 do
+        let arc = a.path.(i) in
+        if a.cap.(arc) < !f then f := a.cap.(arc)
+      done;
+      let f = !f in
+      total := !total +. f;
+      let cut = ref 0 in
+      for i = !depth - 1 downto 0 do
+        let arc = a.path.(i) in
+        a.cap.(arc) <- a.cap.(arc) -. f;
+        a.cap.(arc lxor 1) <- a.cap.(arc lxor 1) +. f;
+        if a.cap.(arc) <= eps then cut := i
+      done;
+      depth := !cut;
+      u := (if !cut = 0 then src else a.head.(a.path.(!cut - 1)));
+      if !total >= limit then running := false
+    end
+    else begin
+      let stop = a.adj_off.(!u + 1) in
+      let lvl = a.level.(!u) + 1 in
+      let c = ref a.cur.(!u) in
+      let found = ref (-1) in
+      while !found < 0 && !c < stop do
+        let arc = a.adj_arcs.(!c) in
+        if a.cap.(arc) > eps && a.level.(a.head.(arc)) = lvl then found := arc
+        else incr c
+      done;
+      a.cur.(!u) <- !c;
+      if !found >= 0 then begin
+        a.path.(!depth) <- !found;
+        incr depth;
+        u := a.head.(!found)
       end
+      else if !u = src then running := false
       else begin
-        cursors.(u) <- rest;
-        dfs eps a cursors ~dst u pushed
+        a.level.(!u) <- -1;
+        decr depth;
+        let arc = a.path.(!depth) in
+        u := a.head.(arc lxor 1);
+        a.cur.(!u) <- a.cur.(!u) + 1
       end
+    end
+  done
 
 type solver = {
   arena : arena;
   pristine : float array;  (* capacities before any augmentation *)
   src : int;
   eps : float;
-  in_cap : float array;  (* per-node incoming capacity, an upper bound on
-                            the max-flow into that node (cut isolating it) *)
 }
 
-let solver ?(eps = 1e-12) g ~src =
-  let k = Graph.node_count g in
-  if src < 0 || src >= k then invalid_arg "Maxflow: node out of range";
-  let arena = build g in
-  {
-    arena;
-    pristine = Array.copy arena.cap;
-    src;
-    eps;
-    in_cap = Array.init k (Graph.in_weight g);
-  }
+let solver_of_csr ?(eps = 1e-12) c ~src =
+  if src < 0 || src >= Csr.node_count c then
+    invalid_arg "Maxflow: node out of range";
+  let arena = build c in
+  { arena; pristine = Array.copy arena.cap; src; eps }
 
-let reset s =
-  Array.blit s.pristine 0 s.arena.cap 0 (Array.length s.pristine)
+let solver ?eps g ~src = solver_of_csr ?eps (Csr.of_graph g) ~src
+
+let reset s = Array.blit s.pristine 0 s.arena.cap 0 (Array.length s.pristine)
 
 let solve ?(limit = infinity) s ~dst =
   if dst = s.src then invalid_arg "Maxflow: src = dst";
@@ -114,82 +181,93 @@ let solve ?(limit = infinity) s ~dst =
   reset s;
   let a = s.arena and eps = s.eps in
   let total = ref 0. in
-  while !total < limit && bfs eps a ~src:s.src ~dst do
-    let cursors = Array.copy a.adj in
-    let continue = ref true in
-    while !continue && !total < limit do
-      let sent = dfs eps a cursors ~dst s.src infinity in
-      if sent > eps then total := !total +. sent else continue := false
-    done
+  while !total < limit && bfs a eps ~src:s.src ~dst do
+    blocking_flow a eps ~src:s.src ~dst ~limit total
   done;
   !total
 
-let run ?(eps = 1e-12) g ~src ~dst =
+let max_flow ?eps g ~src ~dst =
   if src = dst then invalid_arg "Maxflow: src = dst";
   let k = Graph.node_count g in
   if src < 0 || src >= k || dst < 0 || dst >= k then
     invalid_arg "Maxflow: node out of range";
-  let a = build g in
-  let total = ref 0. in
-  while bfs eps a ~src ~dst do
-    let cursors = Array.copy a.adj in
-    let continue = ref true in
-    while !continue do
-      let sent = dfs eps a cursors ~dst src infinity in
-      if sent > eps then total := !total +. sent else continue := false
-    done
-  done;
-  (!total, a)
+  solve (solver ?eps g ~src) ~dst
 
-let max_flow ?eps g ~src ~dst = fst (run ?eps g ~src ~dst)
-
-(* Destinations in increasing incoming-capacity order: [in_cap v] bounds
-   [maxflow src v] (the cut isolating [v]), so cheap sinks are likely to
-   lower the running minimum early and later sinks can stop augmenting as
-   soon as they reach it. *)
+(* Destinations in increasing incoming-capacity order: [in_weight v]
+   bounds [maxflow src v] (the cut isolating [v]), so cheap sinks are
+   likely to lower the running minimum early and later sinks can stop
+   augmenting as soon as they reach it. Ties break on node index so the
+   order is deterministic. *)
 let sinks_by_in_cap s =
-  let k = Array.length s.in_cap in
-  let sinks = ref [] in
-  for v = k - 1 downto 0 do
-    if v <> s.src then sinks := v :: !sinks
+  let c = s.arena.csr in
+  let n = Csr.node_count c in
+  let sinks = Array.make (max 1 n - 1) 0 in
+  let j = ref 0 in
+  for v = 0 to n - 1 do
+    if v <> s.src then begin
+      sinks.(!j) <- v;
+      incr j
+    end
   done;
-  List.stable_sort
-    (fun u v -> Float.compare s.in_cap.(u) s.in_cap.(v))
-    !sinks
+  let in_wt = c.Csr.in_wt in
+  Array.sort
+    (fun u v ->
+      let cmp = Float.compare in_wt.(u) in_wt.(v) in
+      if cmp <> 0 then cmp else compare u v)
+    sinks;
+  sinks
 
-let min_broadcast_flow ?eps g ~src =
-  if Graph.node_count g <= 1 then infinity
+let min_broadcast_flow_csr ?eps c ~src =
+  if Csr.node_count c <= 1 then infinity
   else begin
-    let s = solver ?eps g ~src in
-    List.fold_left
+    let s = solver_of_csr ?eps c ~src in
+    Array.fold_left
       (fun best v ->
         let f = solve ~limit:best s ~dst:v in
         if f < best then f else best)
       infinity (sinks_by_in_cap s)
   end
 
-let achieves_rate ?eps g ~src ~rate =
-  if Graph.node_count g <= 1 then true
+let min_broadcast_flow ?eps g ~src =
+  min_broadcast_flow_csr ?eps (Csr.of_graph g) ~src
+
+let achieves_rate_csr ?eps c ~src ~rate =
+  if Csr.node_count c <= 1 then true
   else begin
-    let s = solver ?eps g ~src in
-    List.for_all
+    let s = solver_of_csr ?eps c ~src in
+    Array.for_all
       (fun v -> solve ~limit:rate s ~dst:v >= rate)
       (sinks_by_in_cap s)
   end
 
-let broadcast_throughput ?eps g ~src =
-  if Graph.node_count g <= 1 then infinity
-  else if Topo.is_acyclic g then fst (Topo.min_incoming_cut g ~src)
-  else min_broadcast_flow ?eps g ~src
+let achieves_rate ?eps g ~src ~rate =
+  achieves_rate_csr ?eps (Csr.of_graph g) ~src ~rate
 
-let flow_assignment ?(eps = 1e-12) g ~src ~dst =
-  let value, a = run ~eps g ~src ~dst in
-  (* Flow on a forward arc = original capacity - residual = reverse cap. *)
-  let flow = Graph.create (Graph.node_count g) in
-  Graph.iter_edges
-    (fun ~src:u ~dst:v _w ->
-      let arc = Hashtbl.find a.arc_of_edge (u, v) in
-      let f = a.cap.(arc + 1) in
-      if f > eps then Graph.set_edge flow ~src:u ~dst:v f)
-    g;
-  (value, flow)
+let broadcast_throughput_csr ?eps c ~src =
+  if Csr.node_count c <= 1 then infinity
+  else if Csr.is_acyclic c then fst (Csr.min_incoming_cut c ~src)
+  else min_broadcast_flow_csr ?eps c ~src
+
+let broadcast_throughput ?eps g ~src =
+  broadcast_throughput_csr ?eps (Csr.of_graph g) ~src
+
+(* Flow on a forward arc = original capacity - residual = reverse cap;
+   arc 2e + 1 belongs to CSR edge e, so readback is one array pass. *)
+let read_flow s =
+  let c = s.arena.csr and cap = s.arena.cap in
+  let flow = Graph.create (Csr.node_count c) in
+  for u = 0 to Csr.node_count c - 1 do
+    for e = c.Csr.row_off.(u) to c.Csr.row_off.(u + 1) - 1 do
+      let f = cap.((2 * e) + 1) in
+      if f > s.eps then Graph.set_edge flow ~src:u ~dst:c.Csr.col.(e) f
+    done
+  done;
+  flow
+
+let flow_of_solver s ~dst =
+  let value = solve s ~dst in
+  (value, read_flow s)
+
+let flow_assignment ?eps g ~src ~dst =
+  if src = dst then invalid_arg "Maxflow: src = dst";
+  flow_of_solver (solver ?eps g ~src) ~dst

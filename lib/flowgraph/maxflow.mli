@@ -1,4 +1,5 @@
-(** Maximum flow on float-capacity digraphs (Dinic's algorithm).
+(** Maximum flow on float-capacity digraphs (Dinic's algorithm on a flat
+    CSR arena).
 
     The throughput of a broadcast scheme is
     [min over i of maxflow (C0 -> Ci)] on the weighted communication graph
@@ -7,12 +8,22 @@
     the test instances require — and capacities are floats, so a relative
     tolerance [eps] bounds the residual-capacity cutoff.
 
+    The residual network lives in arc-indexed int/float arrays built from
+    a {!Csr.t} snapshot: adjacency is itself CSR, phase cursors reset by
+    [Array.blit], BFS runs on a flat int queue, and the blocking-flow DFS
+    is {e iterative} (explicit arc stack), so deep level graphs — path- or
+    ring-shaped schemes at n = 100k and beyond — cannot overflow the OCaml
+    stack. The pre-CSR list-based engine survives as {!Maxflow_legacy},
+    the oracle of the differential suite.
+
     Verification workloads solve one flow per destination on the {e same}
     scheme; the {!solver} type shares one residual arena across all sinks
     (switching sink restores capacities with a blit instead of rebuilding
     the arena) and supports early exit once a target value is certified.
     {!broadcast_throughput} additionally takes the O(V + E)
-    {!Topo.min_incoming_cut} fast path on acyclic schemes. *)
+    {!Csr.min_incoming_cut} fast path on acyclic schemes. Callers that
+    already hold a {!Csr.t} snapshot should use the [_csr] variants to
+    avoid re-freezing the graph. *)
 
 val max_flow : ?eps:float -> Graph.t -> src:int -> dst:int -> float
 (** [max_flow g ~src ~dst] is the value of a maximum [src]-[dst] flow in
@@ -30,6 +41,9 @@ type solver
 val solver : ?eps:float -> Graph.t -> src:int -> solver
 (** [solver g ~src] prepares the shared residual network. Later changes to
     [g] are not reflected. *)
+
+val solver_of_csr : ?eps:float -> Csr.t -> src:int -> solver
+(** Like {!solver}, but from an existing snapshot — no re-freeze. *)
 
 val solve : ?limit:float -> solver -> dst:int -> float
 (** [solve s ~dst] is [max_flow] from the solver's source to [dst],
@@ -53,7 +67,7 @@ val min_broadcast_flow : ?eps:float -> Graph.t -> src:int -> float
 val broadcast_throughput : ?eps:float -> Graph.t -> src:int -> float
 (** Structure-aware {!min_broadcast_flow}: on acyclic graphs the
     throughput is [min over v <> src of in_weight v]
-    (see {!Topo.min_incoming_cut}) and costs O(V + E) total; cyclic graphs
+    (see {!Csr.min_incoming_cut}) and costs O(V + E) total; cyclic graphs
     fall back to {!min_broadcast_flow}. Values agree with the plain
     per-destination Dinic computation up to its [eps] tolerance. *)
 
@@ -63,8 +77,25 @@ val achieves_rate : ?eps:float -> Graph.t -> src:int -> rate:float -> bool
     scan aborts at the first sink below it. The comparison is exact; apply
     any tolerance by adjusting [rate] before the call. *)
 
+val min_broadcast_flow_csr : ?eps:float -> Csr.t -> src:int -> float
+(** {!min_broadcast_flow} on an existing snapshot. *)
+
+val achieves_rate_csr : ?eps:float -> Csr.t -> src:int -> rate:float -> bool
+(** {!achieves_rate} on an existing snapshot. *)
+
+val broadcast_throughput_csr : ?eps:float -> Csr.t -> src:int -> float
+(** {!broadcast_throughput} on an existing snapshot. *)
+
+(** {1 Flow witnesses} *)
+
 val flow_assignment :
   ?eps:float -> Graph.t -> src:int -> dst:int -> float * Graph.t
 (** [flow_assignment g ~src ~dst] additionally returns the flow itself as a
     graph (edge weight = flow routed on that edge), for callers that need a
-    witness (e.g. decomposition into paths). *)
+    witness (e.g. decomposition into paths). Builds a one-shot solver;
+    when one is already alive, use {!flow_of_solver} instead. *)
+
+val flow_of_solver : solver -> dst:int -> float * Graph.t
+(** [flow_of_solver s ~dst] solves from the solver's source to [dst]
+    (resetting the shared arena, no [limit]) and reads the witness back
+    from the residual capacities — no arena rebuild. *)

@@ -1,0 +1,155 @@
+(* The pre-CSR Dinic engine, kept verbatim as a reference oracle: the
+   differential test suite and verify_bench compare the CSR engine in
+   Maxflow against this implementation (per-node [int list] adjacency,
+   an [Array.copy] of the adjacency per phase, recursive blocking-flow
+   DFS). Do not optimise this file — its value is being the old code. *)
+
+type arena = {
+  (* arc i: head.(i) = destination, cap.(i) = residual capacity;
+     arc i lxor 1 is its reverse. *)
+  head : int array;
+  cap : float array;
+  adj : int list array;  (* arc indices leaving each node *)
+  level : int array;
+}
+
+let build g =
+  let k = Graph.node_count g in
+  let arcs = Graph.edge_count g in
+  let head = Array.make (2 * arcs) 0 in
+  let cap = Array.make (2 * arcs) 0. in
+  let adj = Array.make k [] in
+  let next = ref 0 in
+  Graph.iter_edges
+    (fun ~src ~dst w ->
+      let a = !next in
+      next := a + 2;
+      head.(a) <- dst;
+      cap.(a) <- w;
+      head.(a + 1) <- src;
+      cap.(a + 1) <- 0.;
+      adj.(src) <- a :: adj.(src);
+      adj.(dst) <- (a + 1) :: adj.(dst))
+    g;
+  { head; cap; adj; level = Array.make k (-1) }
+
+let bfs eps a ~src ~dst =
+  Array.fill a.level 0 (Array.length a.level) (-1);
+  a.level.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun arc ->
+        let v = a.head.(arc) in
+        if a.cap.(arc) > eps && a.level.(v) < 0 then begin
+          a.level.(v) <- a.level.(u) + 1;
+          Queue.add v q
+        end)
+      a.adj.(u)
+  done;
+  a.level.(dst) >= 0
+
+(* Blocking flow by DFS with per-node arc cursors. *)
+let rec dfs eps a cursors ~dst u pushed =
+  if u = dst then pushed
+  else
+    match cursors.(u) with
+    | [] -> 0.
+    | arc :: rest ->
+      let v = a.head.(arc) in
+      if a.cap.(arc) > eps && a.level.(v) = a.level.(u) + 1 then begin
+        let sent = dfs eps a cursors ~dst v (Float.min pushed a.cap.(arc)) in
+        if sent > eps then begin
+          a.cap.(arc) <- a.cap.(arc) -. sent;
+          a.cap.(arc lxor 1) <- a.cap.(arc lxor 1) +. sent;
+          sent
+        end
+        else begin
+          cursors.(u) <- rest;
+          dfs eps a cursors ~dst u pushed
+        end
+      end
+      else begin
+        cursors.(u) <- rest;
+        dfs eps a cursors ~dst u pushed
+      end
+
+type solver = {
+  arena : arena;
+  pristine : float array;  (* capacities before any augmentation *)
+  src : int;
+  eps : float;
+  in_cap : float array;  (* per-node incoming capacity, an upper bound on
+                            the max-flow into that node (cut isolating it) *)
+}
+
+let solver ?(eps = 1e-12) g ~src =
+  let k = Graph.node_count g in
+  if src < 0 || src >= k then invalid_arg "Maxflow: node out of range";
+  let arena = build g in
+  {
+    arena;
+    pristine = Array.copy arena.cap;
+    src;
+    eps;
+    in_cap = Array.init k (Graph.in_weight g);
+  }
+
+let reset s =
+  Array.blit s.pristine 0 s.arena.cap 0 (Array.length s.pristine)
+
+let solve ?(limit = infinity) s ~dst =
+  if dst = s.src then invalid_arg "Maxflow: src = dst";
+  if dst < 0 || dst >= Array.length s.arena.level then
+    invalid_arg "Maxflow: node out of range";
+  reset s;
+  let a = s.arena and eps = s.eps in
+  let total = ref 0. in
+  while !total < limit && bfs eps a ~src:s.src ~dst do
+    let cursors = Array.copy a.adj in
+    let continue = ref true in
+    while !continue && !total < limit do
+      let sent = dfs eps a cursors ~dst s.src infinity in
+      if sent > eps then total := !total +. sent else continue := false
+    done
+  done;
+  !total
+
+let max_flow ?(eps = 1e-12) g ~src ~dst =
+  if src = dst then invalid_arg "Maxflow: src = dst";
+  let k = Graph.node_count g in
+  if src < 0 || src >= k || dst < 0 || dst >= k then
+    invalid_arg "Maxflow: node out of range";
+  solve (solver ~eps g ~src) ~dst
+
+let sinks_by_in_cap s =
+  let k = Array.length s.in_cap in
+  let sinks = ref [] in
+  for v = k - 1 downto 0 do
+    if v <> s.src then sinks := v :: !sinks
+  done;
+  List.stable_sort
+    (fun u v -> Float.compare s.in_cap.(u) s.in_cap.(v))
+    !sinks
+
+let min_broadcast_flow ?eps g ~src =
+  if Graph.node_count g <= 1 then infinity
+  else begin
+    let s = solver ?eps g ~src in
+    List.fold_left
+      (fun best v ->
+        let f = solve ~limit:best s ~dst:v in
+        if f < best then f else best)
+      infinity (sinks_by_in_cap s)
+  end
+
+let achieves_rate ?eps g ~src ~rate =
+  if Graph.node_count g <= 1 then true
+  else begin
+    let s = solver ?eps g ~src in
+    List.for_all
+      (fun v -> solve ~limit:rate s ~dst:v >= rate)
+      (sinks_by_in_cap s)
+  end

@@ -1,0 +1,23 @@
+(** Reference Dinic engine (pre-CSR), frozen for differential testing.
+
+    This is the list-adjacency implementation {!Maxflow} replaced: per-node
+    [int list] arc adjacency, cursors reset by copying the whole adjacency
+    array each phase, [Queue.t]-based BFS and a {e recursive}
+    blocking-flow DFS (stack depth proportional to the level-graph path
+    length — unsafe past a few tens of thousands of nodes).
+
+    It stays in the tree as the oracle the CSR engine is differentially
+    tested and benchmarked against ([test/test_csr_differential.ml],
+    [bench/verify_bench.ml]). Production callers must use {!Maxflow}. *)
+
+val max_flow : ?eps:float -> Graph.t -> src:int -> dst:int -> float
+
+type solver
+
+val solver : ?eps:float -> Graph.t -> src:int -> solver
+
+val solve : ?limit:float -> solver -> dst:int -> float
+
+val min_broadcast_flow : ?eps:float -> Graph.t -> src:int -> float
+
+val achieves_rate : ?eps:float -> Graph.t -> src:int -> rate:float -> bool

@@ -1,71 +1,13 @@
-(* Min-index tie-breaking uses a simple module-free binary heap over ints. *)
+(* Thin wrappers: every traversal runs on a frozen Csr snapshot (flat
+   arrays, explicit stacks — no lists, no recursion), so these are safe
+   on deep graphs and cost one O(V + E) freeze on top of the traversal
+   itself. Callers that already hold a snapshot should use Csr directly. *)
 
-let sort g =
-  let k = Graph.node_count g in
-  let indeg = Array.init k (fun v -> List.length (Graph.in_edges g v)) in
-  let heap = ref [] in
-  (* The frontier is small; an ordered list keeps the code obvious and the
-     deterministic smallest-index-first property. *)
-  let push v = heap := List.merge compare [ v ] !heap in
-  let pop () =
-    match !heap with
-    | [] -> None
-    | v :: rest ->
-      heap := rest;
-      Some v
-  in
-  for v = 0 to k - 1 do
-    if indeg.(v) = 0 then push v
-  done;
-  let order = Array.make k (-1) in
-  let filled = ref 0 in
-  let rec drain () =
-    match pop () with
-    | None -> ()
-    | Some v ->
-      order.(!filled) <- v;
-      incr filled;
-      List.iter
-        (fun (w, _) ->
-          indeg.(w) <- indeg.(w) - 1;
-          if indeg.(w) = 0 then push w)
-        (Graph.out_edges g v);
-      drain ()
-  in
-  drain ();
-  if !filled = k then Some order else None
+let sort g = Csr.topo_order (Csr.of_graph g)
 
-let is_acyclic g = sort g <> None
+let is_acyclic g = Csr.is_acyclic (Csr.of_graph g)
 
-let find_cycle g =
-  let k = Graph.node_count g in
-  (* Colors: 0 = unvisited, 1 = on stack, 2 = done. *)
-  let color = Array.make k 0 in
-  let parent = Array.make k (-1) in
-  let result = ref None in
-  let rec visit v =
-    color.(v) <- 1;
-    List.iter
-      (fun (w, _) ->
-        if !result = None then
-          if color.(w) = 0 then begin
-            parent.(w) <- v;
-            visit w
-          end
-          else if color.(w) = 1 then begin
-            (* Back edge v -> w: walk parents from v back to w. *)
-            let rec collect u acc = if u = w then u :: acc else collect parent.(u) (u :: acc) in
-            result := Some (collect v [])
-          end)
-      (Graph.out_edges g v);
-    color.(v) <- 2
-  in
-  let v = ref 0 in
-  while !result = None && !v < k do
-    if color.(!v) = 0 then visit !v;
-    incr v
-  done;
-  !result
+let find_cycle g = Csr.find_cycle (Csr.of_graph g)
 
 (* Broadcast cut theorem (the engine behind the fast verification path).
 
@@ -85,31 +27,23 @@ let find_cycle g =
 let min_incoming_cut g ~src =
   let k = Graph.node_count g in
   if src < 0 || src >= k then invalid_arg "Topo.min_incoming_cut: src out of range";
-  let best = ref infinity and arg = ref src in
-  for v = 0 to k - 1 do
-    if v <> src then begin
-      let w = Graph.in_weight g v in
-      if w < !best then begin
-        best := w;
-        arg := v
-      end
-    end
-  done;
-  (!best, !arg)
+  Csr.min_incoming_cut (Csr.of_graph g) ~src
 
 let depth_from g root =
-  match sort g with
+  let c = Csr.of_graph g in
+  match Csr.topo_order c with
   | None -> invalid_arg "Topo.depth_from: graph has a cycle"
   | Some order ->
-    let k = Graph.node_count g in
-    let depth = Array.make k (-1) in
+    let k = Csr.node_count c in
     if root < 0 || root >= k then invalid_arg "Topo.depth_from: root out of range";
+    let depth = Array.make k (-1) in
     depth.(root) <- 0;
     Array.iter
       (fun v ->
         if depth.(v) >= 0 then
-          List.iter
-            (fun (w, _) -> if depth.(w) < depth.(v) + 1 then depth.(w) <- depth.(v) + 1)
-            (Graph.out_edges g v))
+          for e = c.Csr.row_off.(v) to c.Csr.row_off.(v + 1) - 1 do
+            let w = c.Csr.col.(e) in
+            if depth.(w) < depth.(v) + 1 then depth.(w) <- depth.(v) + 1
+          done)
       order;
     depth

@@ -2,7 +2,10 @@
 
     A broadcast scheme is {e acyclic} iff its communication graph admits a
     topological order (Section II-D); these helpers implement that test and
-    produce the witness order [sigma]. *)
+    produce the witness order [sigma]. Each call freezes the graph into a
+    {!Csr} snapshot and traverses flat arrays with explicit stacks, so
+    they are stack-safe on arbitrarily deep graphs; callers that already
+    hold a snapshot should call the {!Csr} traversals directly. *)
 
 val sort : Graph.t -> int array option
 (** [sort g] is [Some order] where [order] lists all nodes such that every

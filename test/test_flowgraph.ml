@@ -26,8 +26,30 @@ let test_edges_validation () =
       G.add_edge g ~src:1 ~dst:1 1.);
   Alcotest.check_raises "out of range" (Invalid_argument "Graph: node out of range")
     (fun () -> G.add_edge g ~src:0 ~dst:3 1.);
-  Alcotest.check_raises "nan" (Invalid_argument "Graph: NaN weight") (fun () ->
-      G.set_edge g ~src:0 ~dst:1 nan)
+  let non_finite = Invalid_argument "Graph: non-finite weight" in
+  Alcotest.check_raises "nan" non_finite (fun () -> G.set_edge g ~src:0 ~dst:1 nan);
+  Alcotest.check_raises "inf" non_finite (fun () ->
+      G.set_edge g ~src:0 ~dst:1 infinity);
+  Alcotest.check_raises "-inf" non_finite (fun () ->
+      G.set_edge g ~src:0 ~dst:1 neg_infinity);
+  (* An accumulation that overflows to infinity must be caught too. *)
+  G.set_edge g ~src:0 ~dst:1 max_float;
+  Alcotest.check_raises "overflow to inf" non_finite (fun () ->
+      G.add_edge g ~src:0 ~dst:1 max_float);
+  Alcotest.(check int) "rejected edge not inserted" 1 (G.edge_count g);
+  close "rejected edge left intact" (G.edge_weight g ~src:0 ~dst:1) max_float
+
+let test_of_matrix_non_finite () =
+  let reject what c =
+    Alcotest.check_raises what
+      (Invalid_argument "Graph.of_matrix: non-finite entry") (fun () ->
+        ignore (G.of_matrix c))
+  in
+  reject "inf entry" [| [| 0.; infinity |]; [| 0.; 0. |] |];
+  (* NaN compares false against everything, so before the explicit check
+     it slipped through of_matrix as an absent edge. *)
+  reject "nan entry" [| [| 0.; nan |]; [| 0.; 0. |] |];
+  reject "-inf entry" [| [| 0.; 1. |]; [| neg_infinity; 0. |] |]
 
 let test_in_out_consistency () =
   let g = G.create 5 in
@@ -145,6 +167,26 @@ let test_flow_assignment_conservation () =
     close "value at sink" (G.in_weight flow 7 -. G.out_weight flow 7) v
   done
 
+let test_flow_of_solver_matches () =
+  let rng = Prng.Splitmix.create 57L in
+  for _ = 1 to 15 do
+    let g = random_graph rng 9 0.35 in
+    let s = Flowgraph.Maxflow.solver g ~src:0 in
+    for dst = 1 to 8 do
+      let v, flow = Flowgraph.Maxflow.flow_of_solver s ~dst in
+      let v', flow' = Flowgraph.Maxflow.flow_assignment g ~src:0 ~dst in
+      close "solver/one-shot value" v v';
+      (* Same engine over the same canonical arena: identical witnesses. *)
+      Alcotest.(check bool) "solver/one-shot witness" true (G.equal flow flow');
+      for n = 1 to 8 do
+        if n <> dst then
+          close "conservation" (G.in_weight flow n) (G.out_weight flow n)
+      done;
+      close "value at source" (G.out_weight flow 0 -. G.in_weight flow 0) v;
+      close "value at sink" (G.in_weight flow dst -. G.out_weight flow dst) v
+    done
+  done
+
 let test_min_broadcast_flow () =
   let g = diamond () in
   (* maxflow to 1 = 3 (direct); to 2 = 2 + 1 = 3; to 3 = 5 -> min 3. *)
@@ -254,6 +296,8 @@ let suites =
       [
         Alcotest.test_case "edge bookkeeping" `Quick test_edges_basic;
         Alcotest.test_case "validation" `Quick test_edges_validation;
+        Alcotest.test_case "of_matrix rejects non-finite" `Quick
+          test_of_matrix_non_finite;
         Alcotest.test_case "in/out consistency" `Quick test_in_out_consistency;
         Alcotest.test_case "matrix roundtrip" `Quick test_matrix_roundtrip;
         Alcotest.test_case "copy and scale" `Quick test_copy_scale;
@@ -266,6 +310,8 @@ let suites =
         Alcotest.test_case "invalid arguments" `Quick test_maxflow_invalid;
         Alcotest.test_case "cut bounds (random)" `Quick test_maxflow_bounds_random;
         Alcotest.test_case "flow conservation (random)" `Quick test_flow_assignment_conservation;
+        Alcotest.test_case "flow_of_solver = flow_assignment" `Quick
+          test_flow_of_solver_matches;
         Alcotest.test_case "broadcast minimum" `Quick test_min_broadcast_flow;
       ] );
     ( "topo",

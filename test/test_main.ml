@@ -11,4 +11,5 @@ let () =
    @ Test_export.suites @ Test_exact_q.suites @ Test_one_port.suites
    @ Test_edge_cases.suites @ Test_integration.suites
    @ Test_experiments.suites @ Test_verify_fast.suites
+   @ Test_csr.suites @ Test_csr_differential.suites
    @ Test_parallel.suites @ Test_qcheck_properties.suites)
