@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-verify bench-sweep bench-full clean
+.PHONY: all build test bench bench-verify bench-sweep bench-full scheme-roundtrip clean
 
 all:
 	dune build @runtest @all
@@ -28,6 +28,19 @@ bench-sweep:
 # Full sweeps (Figure 7 grid, Figure 19 replication) — a few minutes.
 bench-full: bench-verify bench-sweep
 	dune exec -- bench/main.exe
+
+# Scheme-artifact lifecycle, end to end through the CLI: build Figure 1's
+# scheme, reload and re-verify it, require the canonical bytes to survive
+# the round-trip unchanged, and the verification report to match.
+scheme-roundtrip:
+	dune build bin/bmp.exe
+	dune exec -- bin/bmp.exe scheme build examples/fig1.instance --rate 4 -o fig1-scheme.json
+	dune exec -- bin/bmp.exe scheme check fig1-scheme.json --reserialize fig1-scheme.rt.json
+	cmp fig1-scheme.json fig1-scheme.rt.json
+	dune exec -- bin/bmp.exe scheme check fig1-scheme.json > fig1-report-a.txt
+	dune exec -- bin/bmp.exe scheme check fig1-scheme.rt.json > fig1-report-b.txt
+	cmp fig1-report-a.txt fig1-report-b.txt
+	rm -f fig1-scheme.json fig1-scheme.rt.json fig1-report-a.txt fig1-report-b.txt
 
 clean:
 	dune clean

@@ -77,8 +77,10 @@ let rate100, word100 =
   let t, w = Broadcast.Greedy.optimal_acyclic inst100 in
   (t *. (1. -. 4e-9), w)
 
-let scheme100 = Broadcast.Low_degree.build inst100 ~rate:rate100 word100
-let fig1_scheme = snd (Broadcast.Low_degree.build_optimal fig1)
+let scheme100 =
+  Broadcast.Scheme.graph (Broadcast.Low_degree.build inst100 ~rate:rate100 word100)
+
+let fig1_scheme = Broadcast.Scheme.graph (snd (Broadcast.Low_degree.build_optimal fig1))
 let gadget57 = Broadcast.Ratio.five_sevenths_instance ~epsilon:(1. /. 14.)
 let sqrt41_inst = fst (Broadcast.Ratio.sqrt41_instance ~k:1 ())
 

@@ -12,11 +12,20 @@
    - structured : Maxflow.broadcast_throughput — the O(V + E) incoming-cut
                   fast path on acyclic schemes, batch CSR Dinic otherwise.
 
-   Each case asserts that all three values agree within 1e-6 relative
-   error, prints a table, and appends its row to BENCH_verify.json (written
-   in the current directory) so the performance trajectory is tracked
-   across PRs: legacy_s vs csr_s is this PR's old-vs-new column pair.
-   Run with `make bench-verify` or `dune exec -- bench/verify_bench.exe`. *)
+   It also measures the full verify-plus-metrics consumer path two ways:
+
+   - split      : Verify.check + Metrics.degree_report (+ Metrics.depth on
+                  acyclic schemes) on the bare graph — each call walks or
+                  re-freezes the graph on its own;
+   - artifact   : Scheme.create + Scheme.report + Metrics.scheme_report
+                  (+ Metrics.scheme_depth) — one construction-time
+                  validation, one shared CSR snapshot for every query.
+
+   Each case asserts that the engines agree within 1e-6 relative error,
+   prints a table, and appends its row to BENCH_verify.json (written in
+   the current directory) so the performance trajectory is tracked across
+   PRs. Run with `make bench-verify` or
+   `dune exec -- bench/verify_bench.exe`. *)
 
 (* Times [f], returning its value and the per-call seconds. Slow calls
    (> 0.5 s — the n = 5000 / 10000 legacy runs) are measured exactly once
@@ -59,12 +68,18 @@ type row = {
   legacy_s : float;
   csr_s : float;
   structured_s : float;
+  split_s : float;
+  artifact_s : float;
   agree : bool;
 }
 
 let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.max a b)
 
-let case name (_, g) =
+let case name (inst, scheme) =
+  let g = Broadcast.Scheme.graph scheme in
+  let rate = Broadcast.Scheme.rate scheme in
+  let provenance = Broadcast.Scheme.provenance scheme in
+  let acyclic = Flowgraph.Topo.is_acyclic g in
   let legacy_v, legacy_s =
     time (fun () -> Flowgraph.Maxflow_legacy.min_broadcast_flow g ~src:0)
   in
@@ -74,21 +89,46 @@ let case name (_, g) =
   let structured_v, structured_s =
     time (fun () -> Flowgraph.Maxflow.broadcast_throughput g ~src:0)
   in
+  (* Consumer path, old style: every query re-reads the mutable graph. *)
+  let split () =
+    let r = Broadcast.Verify.check inst g in
+    let d = Broadcast.Metrics.degree_report inst ~t:rate g in
+    let depth = if acyclic then Broadcast.Metrics.depth g else 0 in
+    (r.Broadcast.Verify.throughput, d.Broadcast.Metrics.max_excess, depth)
+  in
+  (* Consumer path, artifact style: one validated Scheme, one shared CSR
+     snapshot. A fresh Scheme per call keeps the memoization honest — we
+     time construction + first-use, not cache hits. *)
+  let artifact () =
+    let s = Broadcast.Scheme.create ~provenance inst g in
+    let r = Broadcast.Scheme.report s in
+    let d = Broadcast.Metrics.scheme_report s in
+    let depth = if acyclic then Broadcast.Metrics.scheme_depth s else 0 in
+    (r.Broadcast.Verify.throughput, d.Broadcast.Metrics.max_excess, depth)
+  in
+  let (split_t, split_exc, split_depth), split_s = time split in
+  let (art_t, art_exc, art_depth), artifact_s = time artifact in
   {
     name;
     nodes = Flowgraph.Graph.node_count g;
     edges = Flowgraph.Graph.edge_count g;
-    acyclic = Flowgraph.Topo.is_acyclic g;
+    acyclic;
     legacy_s;
     csr_s;
     structured_s;
-    agree = close legacy_v csr_v && close legacy_v structured_v;
+    split_s;
+    artifact_s;
+    agree =
+      close legacy_v csr_v && close legacy_v structured_v
+      && close split_t art_t && split_exc = art_exc && split_depth = art_depth;
   }
 
 (* Verify.check_batch over a fleet of schemes — the driver-facing entry
    point (one structural pass + one throughput per scheme). *)
 let batch_fleet_case schemes =
-  let pairs = List.map (fun (inst, g) -> (inst, g)) schemes in
+  let pairs =
+    List.map (fun (inst, s) -> (inst, Broadcast.Scheme.graph s)) schemes
+  in
   let _, t = time (fun () -> Broadcast.Verify.check_batch pairs) in
   let reports = Broadcast.Verify.check_batch pairs in
   let ok =
@@ -112,11 +152,13 @@ let emit_json rows (fleet_s, fleet_n, fleet_ok) path =
         "    {\"name\": \"%s\", \"nodes\": %d, \"edges\": %d, \"acyclic\": \
          %b,\n\
         \     \"legacy_s\": %.6e, \"csr_s\": %.6e, \"structured_s\": %.6e,\n\
+        \     \"split_s\": %.6e, \"artifact_s\": %.6e,\n\
         \     \"speedup_csr\": %.2f, \"speedup_structured\": %.2f, \
-         \"agree\": %b}%s\n"
+         \"speedup_artifact\": %.2f, \"agree\": %b}%s\n"
         (json_escape r.name) r.nodes r.edges r.acyclic r.legacy_s r.csr_s
-        r.structured_s (r.legacy_s /. r.csr_s)
+        r.structured_s r.split_s r.artifact_s (r.legacy_s /. r.csr_s)
         (r.legacy_s /. r.structured_s)
+        (r.split_s /. r.artifact_s)
         r.agree
         (if i = List.length rows - 1 then "" else ","))
     rows;
@@ -160,12 +202,15 @@ let () =
       (Array.to_list
          (Parallel.Pool.map_range 20 (fun i -> acyclic_scheme (150 + (5 * i)))))
   in
-  Printf.printf "%-15s %6s %6s %8s %12s %12s %12s %8s %8s %6s\n" "case" "nodes"
-    "edges" "acyclic" "legacy/s" "csr/s" "struct/s" "x-csr" "x-struct" "agree";
+  Printf.printf "%-15s %6s %6s %8s %12s %12s %12s %12s %12s %8s %8s %6s\n" "case"
+    "nodes" "edges" "acyclic" "legacy/s" "csr/s" "struct/s" "split/s" "artif/s"
+    "x-csr" "x-struct" "agree";
   List.iter
     (fun r ->
-      Printf.printf "%-15s %6d %6d %8b %12.3e %12.3e %12.3e %8.1f %8.1f %6b\n"
+      Printf.printf
+        "%-15s %6d %6d %8b %12.3e %12.3e %12.3e %12.3e %12.3e %8.1f %8.1f %6b\n"
         r.name r.nodes r.edges r.acyclic r.legacy_s r.csr_s r.structured_s
+        r.split_s r.artifact_s
         (r.legacy_s /. r.csr_s)
         (r.legacy_s /. r.structured_s)
         r.agree)
@@ -200,6 +245,19 @@ let () =
   if not gate_structured then begin
     Printf.eprintf
       "speedup gate (structured >= 3x legacy on acyclic n >= 200) FAILED\n";
+    exit 1
+  end;
+  (* Artifact tripwire: the Scheme path (construction-time validation plus
+     one shared snapshot) must not lose to the split path (which re-walks
+     or re-freezes the graph per query). 10% slack absorbs timer noise on
+     the mid-size cases. *)
+  let gate_artifact =
+    List.filter (fun r -> r.nodes >= 1000) rows
+    |> List.for_all (fun r -> r.artifact_s <= 1.10 *. r.split_s)
+  in
+  if not gate_artifact then begin
+    Printf.eprintf
+      "artifact gate (scheme path <= 1.1x split path on n >= 1000) FAILED\n";
     exit 1
   end;
   print_endline "verify_bench: ok (BENCH_verify.json written)"

@@ -5,7 +5,8 @@
      generate   draw a random instance (paper's average-case protocol)
      exp        run one paper experiment by name (fig1, fig7, ...)
      exp-all    run every experiment (the EXPERIMENTS.md content)
-     simulate   run the randomized transport on a computed overlay *)
+     simulate   run the randomized transport on a computed overlay
+     scheme     build / check / show / export persistent scheme artifacts *)
 
 open Cmdliner
 
@@ -26,24 +27,25 @@ let or_die f = try f () with Sys_error msg -> die msg
    construction on a degenerate hand-written instance), not a bug. *)
 let or_invalid f = try f () with Invalid_argument msg -> die msg
 
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let read_text path =
+  or_die (fun () ->
+      if path = "-" then read_all stdin
+      else begin
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+      end)
+
 let read_instance path =
-  let read_all ic =
-    let buf = Buffer.create 4096 in
-    (try
-       while true do
-         Buffer.add_channel buf ic 4096
-       done
-     with End_of_file -> ());
-    Buffer.contents buf
-  in
-  let content =
-    or_die (fun () ->
-        if path = "-" then read_all stdin
-        else begin
-          let ic = open_in path in
-          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
-        end)
-  in
+  let content = read_text path in
   match Platform.Instance.of_string content with
   | Ok inst -> or_invalid (fun () -> fst (Platform.Instance.normalize inst))
   | Error msg -> die (Printf.sprintf "cannot parse %s: %s" path msg)
@@ -112,8 +114,9 @@ let solve_cmd =
         let t = Broadcast.Bounds.cyclic_open_optimal inst in
         (t, Broadcast.Cyclic_open.build inst)
     in
-    let report = Broadcast.Verify.check inst scheme in
-    let degrees = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+    let graph = Broadcast.Scheme.graph scheme in
+    let report = Broadcast.Scheme.report scheme in
+    let degrees = Broadcast.Metrics.scheme_report scheme in
     Printf.printf "built scheme: rate %.6f, max-flow throughput %.6f, %s\n" rate
       report.Broadcast.Verify.throughput
       (if report.Broadcast.Verify.acyclic then "acyclic" else "cyclic");
@@ -122,7 +125,7 @@ let solve_cmd =
     if edges then
       Flowgraph.Graph.iter_edges
         (fun ~src ~dst w -> Printf.printf "  C%d -> C%d : %.6f\n" src dst w)
-        scheme;
+        graph;
     let node_class v =
       if v = 0 then Some "source"
       else if Platform.Instance.is_guarded inst v then Some "guarded"
@@ -130,12 +133,12 @@ let solve_cmd =
     in
     Option.iter
       (fun path ->
-        write_file path (Flowgraph.Export.to_dot ~node_class scheme);
+        write_file path (Flowgraph.Export.to_dot ~node_class graph);
         Printf.printf "wrote %s\n" path)
       dot;
     Option.iter
       (fun path ->
-        write_file path (Flowgraph.Export.to_json scheme);
+        write_file path (Flowgraph.Export.to_json graph);
         Printf.printf "wrote %s\n" path)
       json
   in
@@ -252,7 +255,8 @@ let trees_cmd =
       or_invalid (fun () -> Broadcast.Low_degree.build_optimal inst)
     in
     let trees =
-      or_invalid (fun () -> Flowgraph.Arborescence.decompose scheme ~root:0)
+      or_invalid (fun () ->
+          Flowgraph.Arborescence.decompose (Broadcast.Scheme.graph scheme) ~root:0)
     in
     Printf.printf "overlay rate %.6f decomposed into %d broadcast trees:\n" rate
       (List.length trees);
@@ -302,7 +306,7 @@ let simulate_cmd =
       or_invalid (fun () -> Broadcast.Low_degree.build_optimal inst)
     in
     let config = { Massoulie.Sim.default_config with chunks; streaming } in
-    let r = Massoulie.Sim.simulate ~config scheme ~rate in
+    let r = Massoulie.Sim.simulate ~config (Broadcast.Scheme.graph scheme) ~rate in
     Printf.printf "overlay rate           : %.6f\n" rate;
     Printf.printf "delivered all chunks   : %b\n" r.Massoulie.Sim.delivered_all;
     Printf.printf "completion time        : %.3f (ideal %.3f)\n"
@@ -319,10 +323,174 @@ let simulate_cmd =
   in
   Cmd.v info Term.(const run $ instance_arg $ chunks $ streaming)
 
+(* scheme: persistent artifacts *)
+
+let read_scheme path =
+  match Broadcast.Scheme.of_json (read_text path) with
+  | Ok s -> s
+  | Error msg -> die (Printf.sprintf "cannot load scheme %s: %s" path msg)
+
+let write_scheme path s =
+  let doc = Broadcast.Scheme.to_json s ^ "\n" in
+  if path = "-" then print_string doc
+  else begin
+    write_file path doc;
+    Printf.printf "wrote %s\n" path
+  end
+
+let scheme_file_arg =
+  let doc = "Scheme file (bmp-scheme JSON); '-' for stdin." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCHEME" ~doc)
+
+let scheme_build_cmd =
+  let kind =
+    let doc =
+      "Construction: 'acyclic' (Theorem 4.1), 'cyclic' (Theorem 5.2, open-only) \
+       or 'min-depth' (depth-optimized acyclic)."
+    in
+    Arg.(value
+         & opt (enum [ ("acyclic", `Acyclic); ("cyclic", `Cyclic); ("min-depth", `Min_depth) ]) `Acyclic
+         & info [ "k"; "kind" ] ~doc)
+  in
+  let rate_arg =
+    let doc = "Target rate (default: the family's optimal rate, with back-off)." in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let out =
+    let doc = "Output scheme file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run path kind rate out =
+    let inst = read_instance path in
+    let word_at rate =
+      match Broadcast.Greedy.test inst ~rate with
+      | Some word -> word
+      | None -> die (Printf.sprintf "rate %g is not feasible for this instance" rate)
+    in
+    let scheme =
+      or_invalid @@ fun () ->
+      match kind with
+      | `Acyclic -> begin
+        match rate with
+        | None -> snd (Broadcast.Low_degree.build_optimal inst)
+        | Some rate -> Broadcast.Low_degree.build inst ~rate (word_at rate)
+      end
+      | `Min_depth -> begin
+        match rate with
+        | None -> snd (Broadcast.Depth.build_optimal inst)
+        | Some rate -> Broadcast.Depth.build inst ~rate (word_at rate)
+      end
+      | `Cyclic ->
+        if inst.Platform.Instance.m > 0 then
+          die "cyclic construction requires open nodes only";
+        Broadcast.Cyclic_open.build ?t:rate inst
+    in
+    write_scheme out scheme
+  in
+  let info =
+    Cmd.info "build" ~doc:"Build a scheme artifact from an instance and serialize it."
+  in
+  Cmd.v info Term.(const run $ instance_arg $ kind $ rate_arg $ out)
+
+let print_scheme_report s =
+  let r = Broadcast.Scheme.report s in
+  Format.printf "%a@." Broadcast.Scheme.pp s;
+  Printf.printf "throughput (oracle)  : %.6f\n" r.Broadcast.Verify.throughput;
+  Printf.printf "achieves target rate : %b\n" (Broadcast.Scheme.achieves_target s);
+  Printf.printf "acyclic              : %b\n" r.Broadcast.Verify.acyclic;
+  Printf.printf "bandwidth / firewall / caps ok: %b / %b / %b\n"
+    r.Broadcast.Verify.bandwidth_ok r.Broadcast.Verify.firewall_ok
+    r.Broadcast.Verify.bin_ok
+
+let scheme_check_cmd =
+  let reserialize =
+    let doc =
+      "Re-serialize the loaded scheme to $(docv) (canonical bytes — identical \
+       to a fresh serialization of the same artifact)."
+    in
+    Arg.(value & opt (some string) None & info [ "reserialize" ] ~docv:"FILE" ~doc)
+  in
+  let run path reserialize =
+    let s = read_scheme path in
+    print_scheme_report s;
+    Option.iter (fun out -> write_scheme out s) reserialize;
+    if not (Broadcast.Scheme.achieves_target s) then exit 1
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:"Load a scheme file, re-verify it against the max-flow oracle, and exit \
+            non-zero if it misses its target rate."
+  in
+  Cmd.v info Term.(const run $ scheme_file_arg $ reserialize)
+
+let scheme_show_cmd =
+  let edges = Arg.(value & flag & info [ "edges" ] ~doc:"Print the overlay edges.") in
+  let run path edges =
+    let s = read_scheme path in
+    print_scheme_report s;
+    let degrees = Broadcast.Metrics.scheme_report s in
+    Printf.printf "max degree excess    : %d\n" degrees.Broadcast.Metrics.max_excess;
+    (match (Broadcast.Scheme.provenance s).Broadcast.Scheme.degree_bound with
+    | Some bound ->
+      Printf.printf "promised excess bound: +%d (%s)\n" bound
+        (if degrees.Broadcast.Metrics.max_excess <= bound then "kept" else "VIOLATED")
+    | None -> print_string "promised excess bound: none\n");
+    if Broadcast.Scheme.is_acyclic s then
+      Printf.printf "depth                : %d\n" (Broadcast.Metrics.scheme_depth s);
+    let node, cut = Broadcast.Metrics.scheme_bottleneck s in
+    Printf.printf "bottleneck           : C%d at %.6f\n" node cut;
+    if edges then
+      Flowgraph.Graph.iter_edges
+        (fun ~src ~dst w -> Printf.printf "  C%d -> C%d : %.6f\n" src dst w)
+        (Broadcast.Scheme.graph s)
+  in
+  let info = Cmd.info "show" ~doc:"Summarize a scheme file (provenance, metrics, degrees)." in
+  Cmd.v info Term.(const run $ scheme_file_arg $ edges)
+
+let scheme_export_cmd =
+  let dot_out =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Write the overlay as a Graphviz file.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the bare graph as legacy JSON.")
+  in
+  let run path dot json =
+    let s = read_scheme path in
+    if dot = None && json = None then die "nothing to do: pass --dot and/or --json";
+    let inst = Broadcast.Scheme.instance s in
+    let node_class v =
+      if v = 0 then Some "source"
+      else if Platform.Instance.is_guarded inst v then Some "guarded"
+      else Some "open"
+    in
+    let graph = Broadcast.Scheme.graph s in
+    let emit out content =
+      if out = "-" then print_string content
+      else begin
+        write_file out content;
+        Printf.printf "wrote %s\n" out
+      end
+    in
+    Option.iter (fun out -> emit out (Flowgraph.Export.to_dot ~node_class graph)) dot;
+    Option.iter
+      (fun out -> emit out (Flowgraph.Export.to_json graph ^ "\n"))
+      json
+  in
+  let info = Cmd.info "export" ~doc:"Convert a scheme file to Graphviz or bare-graph JSON." in
+  Cmd.v info Term.(const run $ scheme_file_arg $ dot_out $ json_out)
+
+let scheme_cmd =
+  let doc = "Build, verify, inspect and convert persistent scheme artifacts." in
+  Cmd.group (Cmd.info "scheme" ~doc)
+    [ scheme_build_cmd; scheme_check_cmd; scheme_show_cmd; scheme_export_cmd ]
+
 let () =
   let doc = "bounded multi-port broadcast: overlays, bounds and experiments" in
   let info = Cmd.info "bmp" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd; trees_cmd; selfcheck_cmd ]))
+          [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd; trees_cmd;
+            scheme_cmd; selfcheck_cmd ]))

@@ -25,16 +25,18 @@ let () =
   let overlay = ref (build inst) in
   Printf.printf "initial swarm: %d peers, streaming at %.2f (=%d%% of optimum)\n\n"
     (Platform.Instance.size inst - 1)
-    !overlay.Broadcast.Overlay.rate
+    (Broadcast.Overlay.rate !overlay)
     (int_of_float (100. *. headroom));
   Printf.printf "%-28s %12s %14s %10s\n" "event" "patch edges" "rebuild edges" "rate kept";
   for step = 1 to 12 do
-    let size = Platform.Instance.size !overlay.Broadcast.Overlay.instance in
+    let size = Platform.Instance.size (Broadcast.Overlay.instance !overlay) in
     let leaving = size > 10 && Prng.Splitmix.next_float rng < 0.5 in
     let label, (patched, stats) =
       if leaving then begin
         let node = 1 + Prng.Splitmix.next_below rng (size - 1) in
-        let b = !overlay.Broadcast.Overlay.instance.Platform.Instance.bandwidth.(node) in
+        let b =
+          (Broadcast.Overlay.instance !overlay).Platform.Instance.bandwidth.(node)
+        in
         ( Printf.sprintf "%2d. peer leaves (b=%.1f)" step b,
           Broadcast.Repair.leave !overlay ~node )
       end
@@ -59,12 +61,12 @@ let () =
       (100. *. kept);
     if kept < 0.8 then begin
       Printf.printf "    -> degraded too far, full rebuild\n";
-      overlay := build patched.Broadcast.Overlay.instance
+      overlay := build (Broadcast.Overlay.instance patched)
     end
     else overlay := patched
   done;
   let final = !overlay in
   Printf.printf "\nfinal swarm: %d peers, verified rate %.2f (target %.2f)\n"
-    (Platform.Instance.size final.Broadcast.Overlay.instance - 1)
+    (Platform.Instance.size (Broadcast.Overlay.instance final) - 1)
     (Broadcast.Overlay.verified_rate final)
-    final.Broadcast.Overlay.rate
+    (Broadcast.Overlay.rate final)

@@ -19,16 +19,17 @@ let () =
     swarm.Platform.Instance.bandwidth.(0);
 
   let t_star = Broadcast.Bounds.cyclic_upper swarm in
-  let rate, overlay = Broadcast.Low_degree.build_optimal swarm in
+  let rate, scheme = Broadcast.Low_degree.build_optimal swarm in
+  let overlay = Broadcast.Scheme.graph scheme in
   Printf.printf "stream rate: %.2f Mb/s (cyclic upper bound %.2f -> %.1f%% achieved)\n"
     rate t_star (100. *. rate /. t_star);
 
-  let degrees = Broadcast.Metrics.degree_report swarm ~t:rate overlay in
+  let degrees = Broadcast.Metrics.scheme_report scheme in
   Printf.printf "max connections per peer: %d (max excess over ceil(b/T): %d)\n"
-    (Broadcast.Metrics.max_outdegree overlay)
+    (Broadcast.Metrics.max_outdegree_csr (Broadcast.Scheme.snapshot scheme))
     degrees.Broadcast.Metrics.max_excess;
   Printf.printf "overlay depth (hops from source): %d\n"
-    (Broadcast.Metrics.depth overlay);
+    (Broadcast.Metrics.scheme_depth scheme);
 
   (* Streaming simulation. Chunk duration matters: a chunk must be small
      enough that the slowest overlay edge can relay it quickly, otherwise

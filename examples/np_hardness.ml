@@ -42,7 +42,7 @@ let () =
      +1 degree slack. *)
   let t_ac = Broadcast.Bounds.acyclic_open_optimal instance in
   let scheme = Broadcast.Acyclic_open.build instance in
-  let degrees = Broadcast.Metrics.degree_report instance ~t:t_ac scheme in
+  let degrees = Broadcast.Metrics.scheme_report scheme in
   Printf.printf
     "\nAlgorithm 1 on the gadget: throughput %g, max degree excess %d \
      (the +1 slack of Section III-B)\n"

@@ -53,12 +53,13 @@ let () =
       !worst
   in
   let rate = Float.min (t_ac *. (1. -. 1e-6)) min_bin in
-  let overlay =
+  let scheme =
     match Broadcast.Greedy.test instance ~rate with
     | Some word -> Broadcast.Low_degree.build instance ~rate word
     | None -> failwith "clipped rate should be feasible"
   in
-  let report = Broadcast.Verify.check instance overlay in
+  let overlay = Broadcast.Scheme.graph scheme in
+  let report = Broadcast.Scheme.report scheme in
   Printf.printf
     "uplink-only optimum %.2f Mb/s; weakest downlink %.2f -> overlay rate %.2f \
      Mb/s\n"

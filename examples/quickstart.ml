@@ -21,18 +21,23 @@ let () =
   Printf.printf "optimal acyclic throughput   : %g (order word %s)\n" t_ac
     (Broadcast.Word.to_string word);
 
-  (* Build the low-degree overlay achieving it - Lemma 4.6. *)
-  let rate, overlay = Broadcast.Low_degree.build_optimal instance in
-  Printf.printf "\noverlay at rate %g:\n" rate;
+  (* Build the low-degree overlay achieving it - Lemma 4.6. The result is
+     a verified scheme artifact carrying its own provenance. *)
+  let rate, scheme = Broadcast.Low_degree.build_optimal instance in
+  let overlay = Broadcast.Scheme.graph scheme in
+  Printf.printf "\noverlay at rate %g (%s):\n" rate
+    (Broadcast.Scheme.algorithm_name
+       (Broadcast.Scheme.provenance scheme).Broadcast.Scheme.algorithm);
   Flowgraph.Graph.iter_edges
     (fun ~src ~dst w -> Printf.printf "  C%d -> C%d at %.3f\n" src dst w)
     overlay;
 
-  (* Check it with the independent max-flow oracle, and inspect degrees. *)
-  let report = Broadcast.Verify.check instance overlay in
+  (* Check it with the independent max-flow oracle, and inspect degrees.
+     Both queries share the scheme's cached snapshot. *)
+  let report = Broadcast.Scheme.report scheme in
   Printf.printf "\nverified throughput (max-flow): %.3f; acyclic: %b\n"
     report.Broadcast.Verify.throughput report.Broadcast.Verify.acyclic;
-  let degrees = Broadcast.Metrics.degree_report instance ~t:rate overlay in
+  let degrees = Broadcast.Metrics.scheme_report scheme in
   Array.iteri
     (fun i o ->
       Printf.printf "  C%d: outdegree %d (lower bound %d)\n" i o

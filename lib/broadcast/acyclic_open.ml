@@ -55,4 +55,7 @@ let build ?t inst =
   if t <= 0. then invalid_arg "Acyclic_open.build: t must be positive";
   if Util.fgt t t_opt then
     invalid_arg "Acyclic_open.build: t exceeds the optimal acyclic throughput";
-  build_prefix inst ~t ~senders:(inst.Instance.n + 1)
+  let g = build_prefix inst ~t ~senders:(inst.Instance.n + 1) in
+  Scheme.create
+    ~provenance:{ Scheme.algorithm = Scheme.Algorithm1; rate = t; degree_bound = Some 1 }
+    inst g

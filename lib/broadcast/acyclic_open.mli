@@ -8,11 +8,12 @@
     most [ceil (b i / t) + 1] — one more than the trivial lower bound,
     which is optimal unless P = NP (Theorem 3.1). *)
 
-val build : ?t:float -> Platform.Instance.t -> Flowgraph.Graph.t
-(** [build inst] returns the scheme of throughput [t] (default:
-    [Bounds.acyclic_open_optimal inst]). Requires a sorted instance with
-    [m = 0], [n >= 1], and [t <= T*ac] (within tolerance); raises
-    [Invalid_argument] otherwise. *)
+val build : ?t:float -> Platform.Instance.t -> Scheme.t
+(** [build inst] returns the scheme artifact of throughput [t] (default:
+    [Bounds.acyclic_open_optimal inst]), with provenance
+    [Scheme.Algorithm1] and the [+1] degree promise. Requires a sorted
+    instance with [m = 0], [n >= 1], and [t <= T*ac] (within tolerance);
+    raises [Invalid_argument] otherwise. *)
 
 val build_prefix : Platform.Instance.t -> t:float -> senders:int -> Flowgraph.Graph.t
 (** [build_prefix inst ~t ~senders] runs Algorithm 1 but lets only nodes

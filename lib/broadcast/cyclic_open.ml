@@ -82,4 +82,6 @@ let build ?t inst =
         G.add_edge g ~src:(i + 1) ~dst:(i - 1) beta
       done
     end;
-    g
+    Scheme.create
+      ~provenance:{ Scheme.algorithm = Scheme.Theorem52; rate = t; degree_bound = Some 2 }
+      inst g

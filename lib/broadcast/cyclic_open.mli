@@ -22,7 +22,10 @@
     When no deficit occurs the acyclic Algorithm 1 scheme is already
     optimal and returned as is. *)
 
-val build : ?t:float -> Platform.Instance.t -> Flowgraph.Graph.t
-(** [build inst] returns a scheme of throughput [t] (default:
+val build : ?t:float -> Platform.Instance.t -> Scheme.t
+(** [build inst] returns a scheme artifact of throughput [t] (default:
     [Bounds.cyclic_open_optimal inst]). Requires a sorted instance with
-    [m = 0], [n >= 1] and [t <= T*] within tolerance. *)
+    [m = 0], [n >= 1] and [t <= T*] within tolerance. When a deficit
+    occurs the provenance is [Scheme.Theorem52] (degree promise [+2]);
+    otherwise the scheme comes straight from {!Acyclic_open.build} and
+    keeps its [Scheme.Algorithm1] provenance. *)

@@ -77,7 +77,12 @@ let build inst ~rate w =
      Returning the shallower of the two candidates makes "never deeper
      than FIFO" unconditional. *)
   let fifo = Low_degree.build inst ~rate w in
-  if Metrics.depth fifo < Metrics.depth graph then fifo else graph
+  let winner =
+    if Metrics.scheme_depth fifo < Metrics.depth graph then Scheme.graph fifo else graph
+  in
+  Scheme.create
+    ~provenance:{ Scheme.algorithm = Scheme.Min_depth; rate; degree_bound = None }
+    inst winner
 
 let build_optimal ?(fraction = 1.0) inst =
   if fraction <= 0. || fraction > 1. then
@@ -109,15 +114,13 @@ let tradeoff ?(fractions = [ 1.0; 0.9; 0.75; 0.5 ]) inst =
         | Some word ->
           let fifo = Low_degree.build inst ~rate word in
           let shallow = build inst ~rate word in
-          let excess g =
-            (Metrics.degree_report inst ~t:rate g).Metrics.max_excess
-          in
+          let excess s = (Metrics.scheme_report s).Metrics.max_excess in
           Some
             {
               fraction;
               rate;
-              fifo_depth = Metrics.depth fifo;
-              min_depth = Metrics.depth shallow;
+              fifo_depth = Metrics.scheme_depth fifo;
+              min_depth = Metrics.scheme_depth shallow;
               fifo_max_excess = excess fifo;
               min_depth_max_excess = excess shallow;
             })

@@ -19,16 +19,18 @@
     and simulated streaming lag, FIFO versus min-depth, across target-rate
     fractions). *)
 
-val build : Platform.Instance.t -> rate:float -> Word.t -> Flowgraph.Graph.t
+val build : Platform.Instance.t -> rate:float -> Word.t -> Scheme.t
 (** [build inst ~rate w] — same contract as {!Low_degree.build} (sorted
     instance, complete word, feasible rate) with min-depth sender
     selection. Every non-source node receives exactly [rate]; the scheme
     is acyclic and firewall-safe, and never deeper than the
     {!Low_degree.build} scheme from the same word and rate (the greedy
     candidate is compared against the FIFO one and the shallower wins —
-    the pure greedy can lose globally on rare sender-pool shapes). *)
+    the pure greedy can lose globally on rare sender-pool shapes). The
+    artifact carries [Scheme.Min_depth] provenance with no degree promise
+    (the trade buys depth with degree). *)
 
-val build_optimal : ?fraction:float -> Platform.Instance.t -> float * Flowgraph.Graph.t
+val build_optimal : ?fraction:float -> Platform.Instance.t -> float * Scheme.t
 (** [build_optimal inst] is the min-depth counterpart of
     {!Low_degree.build_optimal}; [fraction] (default 1.0, in (0, 1])
     scales the target below the optimal acyclic rate to buy depth. *)

@@ -26,7 +26,7 @@ let draw pool graph ~dst ~need ~cut =
   in
   go need
 
-let build inst ~rate w =
+let build_graph inst ~rate w =
   if not (Instance.sorted inst) then invalid_arg "Low_degree.build: instance must be sorted";
   if not (Word.complete w inst) then invalid_arg "Low_degree.build: incomplete word";
   if rate <= 0. then invalid_arg "Low_degree.build: rate must be positive";
@@ -60,6 +60,21 @@ let build inst ~rate w =
   in
   Array.iter feed w;
   graph
+
+(* Worst promised class of Theorem 4.1: guarded +1, one open node +3, the
+   rest +2; open-only instances degenerate to Algorithm 1's +1. *)
+let promised_bound inst = if inst.Instance.m = 0 then 1 else 3
+
+let build inst ~rate w =
+  let g = build_graph inst ~rate w in
+  Scheme.create
+    ~provenance:
+      {
+        Scheme.algorithm = Scheme.Theorem41;
+        rate;
+        degree_bound = Some (promised_bound inst);
+      }
+    inst g
 
 let build_optimal inst =
   let rate, w = Greedy.optimal_acyclic inst in

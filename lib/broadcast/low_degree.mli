@@ -14,13 +14,14 @@
     For open-only instances the construction degenerates to Algorithm 1
     and the bound is [+1]. *)
 
-val build : Platform.Instance.t -> rate:float -> Word.t -> Flowgraph.Graph.t
-(** [build inst ~rate w] constructs the scheme. Requires a sorted instance,
-    [complete w inst] and [Word.feasible inst ~rate w]; raises
-    [Invalid_argument] otherwise. Every non-source node receives exactly
-    [rate]; the scheme is acyclic and respects the firewall constraint by
-    construction. *)
+val build : Platform.Instance.t -> rate:float -> Word.t -> Scheme.t
+(** [build inst ~rate w] constructs the scheme artifact (provenance
+    [Scheme.Theorem41], promised excess [+3], or [+1] when [m = 0]).
+    Requires a sorted instance, [complete w inst] and
+    [Word.feasible inst ~rate w]; raises [Invalid_argument] otherwise.
+    Every non-source node receives exactly [rate]; the scheme is acyclic
+    and respects the firewall constraint by construction. *)
 
-val build_optimal : Platform.Instance.t -> float * Flowgraph.Graph.t
+val build_optimal : Platform.Instance.t -> float * Scheme.t
 (** Convenience: [Greedy.optimal_acyclic] followed by {!build} — the full
     Theorem 4.1 pipeline. Returns [(T*ac, scheme)]. *)

@@ -9,12 +9,14 @@ type degree_report = {
   opens_above : int -> int;
 }
 
-let degree_report inst ~t g =
+(* Shared body: the graph only enters through its outdegree profile, so
+   one implementation serves the hashtable view, the CSR snapshot and the
+   scheme artifact. *)
+let degree_report_of inst ~t degrees =
   let size = Instance.size inst in
-  if Flowgraph.Graph.node_count g <> size then
+  if Array.length degrees <> size then
     invalid_arg "Metrics.degree_report: node count mismatch";
   if t <= 0. then invalid_arg "Metrics.degree_report: t must be positive";
-  let degrees = Array.init size (Flowgraph.Graph.out_degree g) in
   let excess =
     Array.init size (fun i ->
         degrees.(i) - Util.ceil_ratio inst.Instance.bandwidth.(i) t)
@@ -42,17 +44,58 @@ let degree_report inst ~t g =
   in
   { degrees; excess; max_excess; max_excess_open; max_excess_guarded; opens_above }
 
+let degree_report inst ~t g =
+  degree_report_of inst ~t (Array.init (Flowgraph.Graph.node_count g) (Flowgraph.Graph.out_degree g))
+
+let degree_report_csr inst ~t c =
+  degree_report_of inst ~t (Array.init (Flowgraph.Csr.node_count c) (Flowgraph.Csr.out_degree c))
+
+let scheme_report s =
+  degree_report_csr (Scheme.instance s) ~t:(Scheme.rate s) (Scheme.snapshot s)
+
 let depth g =
   let d = Flowgraph.Topo.depth_from g 0 in
   Array.fold_left max 0 d
+
+let depth_csr c =
+  match Flowgraph.Csr.topo_order c with
+  | None -> invalid_arg "Metrics.depth_csr: graph has a cycle"
+  | Some order ->
+    let n = Flowgraph.Csr.node_count c in
+    let d = Array.make n (-1) in
+    if n > 0 then d.(0) <- 0;
+    Array.iter
+      (fun v ->
+        if d.(v) >= 0 then
+          for e = c.Flowgraph.Csr.row_off.(v) to c.Flowgraph.Csr.row_off.(v + 1) - 1 do
+            let u = c.Flowgraph.Csr.col.(e) in
+            if d.(v) + 1 > d.(u) then d.(u) <- d.(v) + 1
+          done)
+      order;
+    Array.fold_left max 0 d
+
+let scheme_depth s = depth_csr (Scheme.snapshot s)
 
 let bottleneck g =
   let w, v = Flowgraph.Topo.min_incoming_cut g ~src:0 in
   (v, w)
 
+let bottleneck_csr c =
+  let w, v = Flowgraph.Csr.min_incoming_cut c ~src:0 in
+  (v, w)
+
+let scheme_bottleneck s = bottleneck_csr (Scheme.snapshot s)
+
 let max_outdegree g =
   let best = ref 0 in
   for i = 0 to Flowgraph.Graph.node_count g - 1 do
     best := max !best (Flowgraph.Graph.out_degree g i)
+  done;
+  !best
+
+let max_outdegree_csr c =
+  let best = ref 0 in
+  for i = 0 to Flowgraph.Csr.node_count c - 1 do
+    best := max !best (Flowgraph.Csr.out_degree c i)
   done;
   !best

@@ -23,8 +23,24 @@ val degree_report : Platform.Instance.t -> t:float -> Flowgraph.Graph.t -> degre
 (** [degree_report inst ~t g] compares outdegrees against
     [ceil (b i / t)]. Requires matching node counts and [t > 0]. *)
 
+val degree_report_csr :
+  Platform.Instance.t -> t:float -> Flowgraph.Csr.t -> degree_report
+(** {!degree_report} on a frozen snapshot — no graph traversal, outdegrees
+    are row-offset differences. *)
+
+val scheme_report : Scheme.t -> degree_report
+(** Degree report of a scheme artifact against its own provenance rate,
+    on the artifact's cached snapshot. *)
+
 val depth : Flowgraph.Graph.t -> int
 (** Longest hop-path from node [0]; requires an acyclic graph. *)
+
+val depth_csr : Flowgraph.Csr.t -> int
+(** {!depth} on a frozen snapshot. Raises [Invalid_argument] on a cyclic
+    graph. *)
+
+val scheme_depth : Scheme.t -> int
+(** Depth of a scheme artifact, reusing its cached snapshot. *)
 
 val bottleneck : Flowgraph.Graph.t -> int * float
 (** [(node, rate)] — the non-source node with the least incoming rate and
@@ -32,4 +48,8 @@ val bottleneck : Flowgraph.Graph.t -> int * float
     (it is the binding cut of {!Flowgraph.Topo.min_incoming_cut});
     [(0, infinity)] on a single-node graph. *)
 
+val bottleneck_csr : Flowgraph.Csr.t -> int * float
+val scheme_bottleneck : Scheme.t -> int * float
+
 val max_outdegree : Flowgraph.Graph.t -> int
+val max_outdegree_csr : Flowgraph.Csr.t -> int

@@ -1,19 +1,16 @@
-open Platform
-
 type t = {
-  instance : Instance.t;
-  rate : float;
+  scheme : Scheme.t;
   order : int array;
-  graph : Flowgraph.Graph.t;
 }
 
+let scheme t = t.scheme
+let instance t = Scheme.instance t.scheme
+let rate t = Scheme.rate t.scheme
+let graph t = Scheme.graph t.scheme
+let order t = t.order
+
 let of_word inst ~rate word =
-  {
-    instance = inst;
-    rate;
-    order = Word.to_order word inst;
-    graph = Low_degree.build inst ~rate word;
-  }
+  { scheme = Low_degree.build inst ~rate word; order = Word.to_order word inst }
 
 let build ?rate inst =
   match rate with
@@ -31,8 +28,7 @@ let build ?rate inst =
   end
 
 let verified_rate t =
-  if Instance.size t.instance <= 1 then infinity
-  else Flowgraph.Maxflow.min_broadcast_flow t.graph ~src:0
+  if Scheme.size t.scheme <= 1 then infinity else Scheme.throughput t.scheme
 
 let positions t =
   let pos = Array.make (Array.length t.order) (-1) in
@@ -40,7 +36,7 @@ let positions t =
   pos
 
 let well_formed t =
-  let size = Instance.size t.instance in
+  let size = Scheme.size t.scheme in
   Array.length t.order = size
   && t.order.(0) = 0
   && begin
@@ -60,9 +56,14 @@ let well_formed t =
     let pos = positions t in
     Flowgraph.Graph.fold_edges
       (fun ~src ~dst _w ok -> ok && pos.(src) < pos.(dst))
-      t.graph true
+      (Scheme.graph t.scheme) true
   end
-  && Verify.valid t.instance t.graph
+  &&
+  (* Structural validity is a [Scheme.create] invariant; the memoized
+     report re-certifies it for free (and flags cap violations the same
+     tolerant way the legacy [Verify.valid] check did). *)
+  let rep = Scheme.report t.scheme in
+  rep.Verify.bandwidth_ok && rep.Verify.firewall_ok && rep.Verify.bin_ok
 
 let edge_distance a b =
   let eps = 1e-9 in
@@ -78,3 +79,9 @@ let edge_distance a b =
       if Flowgraph.Graph.edge_weight a ~src ~dst = 0. then incr count)
     b;
   !count
+
+let of_scheme scheme ~order =
+  if Array.length order <> Scheme.size scheme then
+    invalid_arg "Overlay.of_scheme: order length mismatch";
+  if order.(0) <> 0 then invalid_arg "Overlay.of_scheme: order must start at the source";
+  { scheme; order = Array.copy order }

@@ -1,20 +1,36 @@
-(** A built broadcast overlay: the instance it was computed for, the target
-    rate, a topological order of the nodes and the communication graph,
-    bundled so that dynamic operations (the churn handling of {!Repair})
-    can reason about all four consistently.
+(** A built broadcast overlay: a verified {!Scheme} artifact plus a
+    topological order of its nodes, bundled so that dynamic operations
+    (the churn handling of {!Repair}) can reason about both consistently.
 
     Fresh overlays come from the Theorem 4.1 pipeline; repaired overlays
     keep the same shape but their order is no longer necessarily an
-    increasing-order word (nodes joined under churn are appended last). *)
+    increasing-order word (nodes joined under churn are appended last),
+    and their scheme carries [Scheme.Repaired] provenance. *)
 
 type t = {
-  instance : Platform.Instance.t;  (** sorted instance *)
-  rate : float;  (** target rate the graph was built for *)
+  scheme : Scheme.t;  (** the structurally-validated artifact *)
   order : int array;
       (** topological order of the scheme: [order.(0) = 0] (the source),
           then every other node exactly once; every edge goes forward *)
-  graph : Flowgraph.Graph.t;
 }
+
+val scheme : t -> Scheme.t
+val instance : t -> Platform.Instance.t
+(** [Scheme.instance (scheme t)] — always sorted. *)
+
+val rate : t -> float
+(** Target rate the scheme was built for ([Scheme.rate]). *)
+
+val graph : t -> Flowgraph.Graph.t
+(** The scheme's rated edge set; read-only (see {!Scheme.graph}). *)
+
+val order : t -> int array
+
+val of_scheme : Scheme.t -> order:int array -> t
+(** [of_scheme s ~order] wraps an existing artifact with a node order
+    (copied). Raises [Invalid_argument] if the order length does not
+    match the scheme size or [order.(0) <> 0]; permutation and
+    forward-edge properties are checked by {!well_formed}, not here. *)
 
 val build : ?rate:float -> Platform.Instance.t -> t
 (** [build inst] computes the optimal low-degree acyclic overlay
@@ -23,15 +39,16 @@ val build : ?rate:float -> Platform.Instance.t -> t
     sorted. *)
 
 val verified_rate : t -> float
-(** Max-flow throughput of the graph (the honest number after repairs). *)
+(** Throughput from the scheme's memoized {!Scheme.report} (the honest
+    number after repairs); [infinity] on a single-node overlay. *)
 
 val positions : t -> int array
 (** [pos] with [pos.(v)] the position of node [v] in [order]. *)
 
 val well_formed : t -> bool
 (** Structural sanity: order is a permutation starting at the source, all
-    edges go forward in it, and the graph respects bandwidth and firewall
-    constraints. *)
+    edges go forward in it, and the scheme's report confirms bandwidth,
+    firewall and cap constraints. *)
 
 val edge_distance : Flowgraph.Graph.t -> Flowgraph.Graph.t -> int
 (** Number of edge insertions, deletions and re-weightings (beyond a 1e-9

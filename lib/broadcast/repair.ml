@@ -8,6 +8,21 @@ type stats = {
   optimal_after : float;
 }
 
+(* Provenance of a patched scheme: the original algorithm wrapped once in
+   [Repaired] — repairs of repairs keep a single layer of wrapping. The
+   target rate promise is kept; the degree promise is dropped (refill can
+   grow outdegrees past any constructive bound). *)
+let repaired_provenance o =
+  let p = Scheme.provenance (Overlay.scheme o) in
+  let algorithm =
+    match p.Scheme.algorithm with Scheme.Repaired _ as a -> a | a -> Scheme.Repaired a
+  in
+  { Scheme.algorithm; rate = p.Scheme.rate; degree_bound = None }
+
+let patched_overlay_of o ~inst ~graph ~order =
+  let scheme = Scheme.create ~provenance:(repaired_provenance o) inst graph in
+  Overlay.of_scheme scheme ~order
+
 let remap_graph old_graph ~size ~map ~drop =
   let g = G.create size in
   G.iter_edges
@@ -48,24 +63,22 @@ let refill inst graph ~pos ~r ~deficit ~cut =
   in
   draw remaining (senders_of_class false)
 
-let finish ~before_projected ~touched patched_overlay =
-  let new_inst = patched_overlay.Overlay.instance in
-  let rebuilt = Overlay.build new_inst in
-  let optimal_after = rebuilt.Overlay.rate in
+let finish ~before_projected ~touched patched =
+  let rebuilt = Overlay.build (Overlay.instance patched) in
   let stats =
     {
       patch_edges =
-        touched + Overlay.edge_distance before_projected patched_overlay.Overlay.graph;
+        touched + Overlay.edge_distance before_projected (Overlay.graph patched);
       rebuild_edges =
-        touched + Overlay.edge_distance before_projected rebuilt.Overlay.graph;
-      rate_after = Overlay.verified_rate patched_overlay;
-      optimal_after;
+        touched + Overlay.edge_distance before_projected (Overlay.graph rebuilt);
+      rate_after = Overlay.verified_rate patched;
+      optimal_after = Overlay.rate rebuilt;
     }
   in
-  (patched_overlay, stats)
+  (patched, stats)
 
-let leave (o : Overlay.t) ~node =
-  let inst = o.Overlay.instance in
+let leave o ~node =
+  let inst = Overlay.instance o in
   let size = Instance.size inst in
   if node <= 0 || node >= size then invalid_arg "Repair.leave: bad node";
   if size <= 2 then invalid_arg "Repair.leave: cannot remove the last receiver";
@@ -79,30 +92,29 @@ let leave (o : Overlay.t) ~node =
   let map u = if u < node then u else u - 1 in
   let order =
     Array.of_list
-      (Array.to_list o.Overlay.order
+      (Array.to_list (Overlay.order o)
       |> List.filter (( <> ) node)
       |> List.map map)
   in
-  let touched =
-    G.out_degree o.Overlay.graph node + List.length (G.in_edges o.Overlay.graph node)
-  in
-  let graph = remap_graph o.Overlay.graph ~size:(size - 1) ~map ~drop:node in
+  let old_graph = Overlay.graph o in
+  let touched = G.out_degree old_graph node + List.length (G.in_edges old_graph node) in
+  let graph = remap_graph old_graph ~size:(size - 1) ~map ~drop:node in
   let before_projected = G.copy graph in
   (* Refill reception deficits in topological order so earlier repairs can
      rely on upstream nodes being whole again. *)
   let pos = Array.make (size - 1) 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
-  let cut = 1e-7 *. o.Overlay.rate in
+  let rate = Overlay.rate o in
+  let cut = 1e-7 *. rate in
   Array.iter
     (fun r ->
       if r <> 0 then begin
-        let deficit = o.Overlay.rate -. G.in_weight graph r in
+        let deficit = rate -. G.in_weight graph r in
         if deficit > cut then
           ignore (refill new_inst graph ~pos ~r ~deficit ~cut)
       end)
     order;
-  finish ~before_projected ~touched
-    { Overlay.instance = new_inst; rate = o.Overlay.rate; order; graph }
+  finish ~before_projected ~touched (patched_overlay_of o ~inst:new_inst ~graph ~order)
 
 let sorted_insert_position inst ~cls ~bandwidth =
   let b = inst.Instance.bandwidth in
@@ -115,10 +127,10 @@ let sorted_insert_position inst ~cls ~bandwidth =
   | Instance.Guarded ->
     scan (inst.Instance.n + 1) (inst.Instance.n + inst.Instance.m)
 
-let join (o : Overlay.t) ~bandwidth ~cls =
+let join o ~bandwidth ~cls =
   if bandwidth < 0. || Float.is_nan bandwidth then
     invalid_arg "Repair.join: bad bandwidth";
-  let inst = o.Overlay.instance in
+  let inst = Overlay.instance o in
   let size = Instance.size inst in
   let p = sorted_insert_position inst ~cls ~bandwidth in
   let b = inst.Instance.bandwidth in
@@ -130,25 +142,23 @@ let join (o : Overlay.t) ~bandwidth ~cls =
   let m = inst.Instance.m + (if cls = Instance.Guarded then 1 else 0) in
   let new_inst = Instance.create ~bandwidth:new_bandwidth ~n ~m () in
   let map u = if u < p then u else u + 1 in
-  let graph = remap_graph o.Overlay.graph ~size:(size + 1) ~map ~drop:(-1) in
+  let graph = remap_graph (Overlay.graph o) ~size:(size + 1) ~map ~drop:(-1) in
   let before_projected = G.copy graph in
-  let order =
-    Array.append (Array.map map o.Overlay.order) [| p |]
-  in
+  let order = Array.append (Array.map map (Overlay.order o)) [| p |] in
   let pos = Array.make (size + 1) 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
-  let cut = 1e-7 *. o.Overlay.rate in
-  ignore (refill new_inst graph ~pos ~r:p ~deficit:o.Overlay.rate ~cut);
-  finish ~before_projected ~touched:0
-    { Overlay.instance = new_inst; rate = o.Overlay.rate; order; graph }
+  let rate = Overlay.rate o in
+  let cut = 1e-7 *. rate in
+  ignore (refill new_inst graph ~pos ~r:p ~deficit:rate ~cut);
+  finish ~before_projected ~touched:0 (patched_overlay_of o ~inst:new_inst ~graph ~order)
 
-let rebuild (o : Overlay.t) =
-  let rebuilt = Overlay.build o.Overlay.instance in
-  let edges = Overlay.edge_distance o.Overlay.graph rebuilt.Overlay.graph in
+let rebuild o =
+  let rebuilt = Overlay.build (Overlay.instance o) in
+  let edges = Overlay.edge_distance (Overlay.graph o) (Overlay.graph rebuilt) in
   ( rebuilt,
     {
       patch_edges = edges;
       rebuild_edges = edges;
       rate_after = Overlay.verified_rate rebuilt;
-      optimal_after = rebuilt.Overlay.rate;
+      optimal_after = Overlay.rate rebuilt;
     } )

@@ -28,11 +28,13 @@ type stats = {
 }
 
 val leave : Overlay.t -> node:int -> Overlay.t * stats
-(** [leave o ~node] removes node [node] (an index in [o.instance], not the
-    source) and patches the overlay. The returned overlay is
-    {!Overlay.well_formed}; its [rate] field keeps the original target.
-    Raises [Invalid_argument] on the source, an out-of-range index, or
-    when the overlay has a single receiver left. *)
+(** [leave o ~node] removes node [node] (an index in the overlay's
+    instance, not the source) and patches the overlay. The returned
+    overlay is {!Overlay.well_formed}; its scheme keeps the original
+    target rate and carries [Scheme.Repaired] provenance (collapsed to a
+    single wrapping layer across successive repairs, with no degree
+    promise). Raises [Invalid_argument] on the source, an out-of-range
+    index, or when the overlay has a single receiver left. *)
 
 val join :
   Overlay.t ->
@@ -45,6 +47,7 @@ val join :
     [Invalid_argument] on negative bandwidth. *)
 
 val rebuild : Overlay.t -> Overlay.t * stats
-(** [rebuild o] re-runs the full Theorem 4.1 pipeline on [o.instance] —
-    the expensive alternative the patch operations are measured against.
-    [patch_edges = rebuild_edges] in the returned stats. *)
+(** [rebuild o] re-runs the full Theorem 4.1 pipeline on the overlay's
+    instance — the expensive alternative the patch operations are
+    measured against. [patch_edges = rebuild_edges] in the returned
+    stats; the result carries fresh [Scheme.Theorem41] provenance. *)

@@ -45,10 +45,7 @@ let throughput g =
   if Flowgraph.Graph.node_count g <= 1 then infinity
   else Flowgraph.Maxflow.broadcast_throughput g ~src:0
 
-let check ?eps inst g =
-  (* One snapshot serves the structural pass, the acyclicity test and the
-     throughput engine — the graph is frozen exactly once per scheme. *)
-  let c = Csr.of_graph g in
+let check_csr ?eps inst c =
   let bandwidth_ok, firewall_ok, bin_ok = structural ?eps inst c in
   let size = Instance.size inst in
   let source_receives = Csr.in_degree c 0 > 0 in
@@ -70,6 +67,12 @@ let check ?eps inst g =
     throughput;
     fast_path;
   }
+
+(* One snapshot serves the structural pass, the acyclicity test and the
+   throughput engine — the graph is frozen exactly once per scheme.
+   Callers that already hold a snapshot (the [Scheme] artifact layer)
+   enter at [check_csr] and skip the freeze entirely. *)
+let check ?eps inst g = check_csr ?eps inst (Csr.of_graph g)
 
 let check_batch ?eps batch = List.map (fun (inst, g) -> check ?eps inst g) batch
 

@@ -41,7 +41,14 @@ type report = {
 val check : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> report
 (** [check inst g] evaluates all properties. [eps] is the constraint
     tolerance (default {!Util.eps}), applied relatively. The graph must
-    have exactly [Instance.size inst] nodes. *)
+    have exactly [Instance.size inst] nodes. Freezes one
+    {!Flowgraph.Csr} snapshot internally; callers that already hold one
+    (e.g. through [Scheme.snapshot]) should use {!check_csr}. *)
+
+val check_csr : ?eps:float -> Platform.Instance.t -> Flowgraph.Csr.t -> report
+(** [check_csr inst c] — {!check} on a prebuilt snapshot: no graph freeze,
+    every structural read is an array lookup. This is the engine behind
+    the memoized [Scheme.report]. *)
 
 val check_batch :
   ?eps:float ->

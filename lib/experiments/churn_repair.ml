@@ -27,7 +27,7 @@ let run ?(nodes = 40) ?(events = 30) ?(p_open = 0.7) ?(headroom = 0.9)
   let patch_edges = ref [] and rebuild_edges = ref [] and kept = ref [] in
   let rebuilds = ref 0 in
   for _ = 1 to events do
-    let size = Instance.size !overlay.Broadcast.Overlay.instance in
+    let size = Instance.size (Broadcast.Overlay.instance !overlay) in
     let leave = size > 3 && Prng.Splitmix.next_float rng < 0.5 in
     let patched, stats =
       if leave then begin
@@ -53,7 +53,7 @@ let run ?(nodes = 40) ?(events = 30) ?(p_open = 0.7) ?(headroom = 0.9)
     kept := ratio :: !kept;
     if ratio < rebuild_threshold then begin
       incr rebuilds;
-      overlay := build_with_headroom patched.Broadcast.Overlay.instance ~headroom
+      overlay := build_with_headroom (Broadcast.Overlay.instance patched) ~headroom
     end
     else overlay := patched
   done;

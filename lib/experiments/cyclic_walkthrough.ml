@@ -13,8 +13,8 @@ type row = {
 
 let compute inst ~t ~label =
   let scheme = Broadcast.Cyclic_open.build ~t inst in
-  let report = Broadcast.Verify.check inst scheme in
-  let degrees = Broadcast.Metrics.degree_report inst ~t scheme in
+  let report = Broadcast.Scheme.report scheme in
+  let degrees = Broadcast.Metrics.scheme_report scheme in
   let bound_ok =
     let ok = ref true in
     Array.iteri

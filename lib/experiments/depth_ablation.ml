@@ -36,8 +36,8 @@ let compute ?(nodes = 60) ?(fractions = [ 1.0; 0.9; 0.75; 0.5 ]) ?(seed = 5L) ()
         let shallow = Broadcast.Depth.build inst ~rate word in
         {
           point;
-          fifo_lag = stream_lag fifo ~rate;
-          min_depth_lag = stream_lag shallow ~rate;
+          fifo_lag = stream_lag (Broadcast.Scheme.graph fifo) ~rate;
+          min_depth_lag = stream_lag (Broadcast.Scheme.graph shallow) ~rate;
         })
     points
 

@@ -122,7 +122,8 @@ let compute ?jobs config =
   let reports =
     Broadcast.Verify.check_batch
       (List.filter_map
-         (fun (_, w) -> Option.map (fun (inst, g, _) -> (inst, g)) w)
+         (fun (_, w) ->
+           Option.map (fun (inst, s, _) -> (inst, Broadcast.Scheme.graph s)) w)
          cells_w)
   in
   let ok rate r =

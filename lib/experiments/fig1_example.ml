@@ -22,8 +22,8 @@ let compute () =
     | None, _ -> failwith "Fig1_example: T = 4 should be feasible"
   in
   let scheme = Broadcast.Low_degree.build inst ~rate word in
-  let report = Broadcast.Verify.check inst scheme in
-  let degrees = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+  let report = Broadcast.Scheme.report scheme in
+  let degrees = Broadcast.Metrics.scheme_report scheme in
   {
     cyclic;
     acyclic;

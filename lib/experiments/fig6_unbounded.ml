@@ -21,7 +21,7 @@ let compute ~m =
     source_degree = Flowgraph.Graph.out_degree scheme 0;
     degree_bound = Broadcast.Bounds.degree_lower_bound inst ~t:cyclic 0;
     acyclic;
-    acyclic_source_degree = Flowgraph.Graph.out_degree low 0;
+    acyclic_source_degree = Flowgraph.Graph.out_degree (Broadcast.Scheme.graph low) 0;
   }
 
 let print ?(ms = [ 2; 4; 8; 16; 32; 64 ]) fmt =

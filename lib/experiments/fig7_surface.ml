@@ -82,7 +82,7 @@ let compute ?jobs ?(ns = default_axis) ?(ms = default_axis) () =
     let schemes = List.filter_map build_witness (List.filter_map snd cells_w) in
     let reports =
       Broadcast.Verify.check_batch
-        (List.map (fun (inst, g, _) -> (inst, g)) schemes)
+        (List.map (fun (inst, s, _) -> (inst, Broadcast.Scheme.graph s)) schemes)
     in
     let verified =
       List.fold_left2

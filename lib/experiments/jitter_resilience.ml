@@ -11,7 +11,8 @@ let compute ?(nodes = 40) ?(chunks = 400) ?(seed = 23L) ~jitter () =
       { Platform.Generator.total = nodes; p_open = 0.7; dist = Prng.Dist.unif100 }
       rng
   in
-  let rate, overlay = Broadcast.Low_degree.build_optimal inst in
+  let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+  let overlay = Broadcast.Scheme.graph scheme in
   let base =
     {
       Massoulie.Sim.default_config with

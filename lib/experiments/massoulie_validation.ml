@@ -34,10 +34,11 @@ let compute ?(chunks = 300) () =
   in
   let inst3 = Platform.Generator.generate spec rng in
   let rate3, scheme3 = Broadcast.Low_degree.build_optimal inst3 in
+  let graph = Broadcast.Scheme.graph in
   [
-    run_overlay ~label:"Fig1 low-degree acyclic" scheme1 ~rate:rate1 ~chunks;
-    run_overlay ~label:"Thm 5.2 cyclic example" scheme2 ~rate:5.0 ~chunks;
-    run_overlay ~label:"random n=30 Unif100" scheme3 ~rate:rate3 ~chunks;
+    run_overlay ~label:"Fig1 low-degree acyclic" (graph scheme1) ~rate:rate1 ~chunks;
+    run_overlay ~label:"Thm 5.2 cyclic example" (graph scheme2) ~rate:5.0 ~chunks;
+    run_overlay ~label:"random n=30 Unif100" (graph scheme3) ~rate:rate3 ~chunks;
   ]
 
 let print ?chunks fmt =

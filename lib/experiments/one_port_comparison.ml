@@ -39,7 +39,7 @@ let compute ?(nodes = 24) ?(chunks = 120) ?(seed = 31L) ?source_bout ~scenario ~
     match Broadcast.Greedy.test inst ~rate with
     | None -> 0.
     | Some word ->
-      let overlay = Broadcast.Low_degree.build inst ~rate word in
+      let overlay = Broadcast.Scheme.graph (Broadcast.Low_degree.build inst ~rate word) in
       let sim =
         Massoulie.Sim.simulate
           ~config:

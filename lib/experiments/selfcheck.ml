@@ -73,8 +73,8 @@ let check_schemes_valid () =
         rng
     in
     let rate, scheme = Broadcast.Low_degree.build_optimal inst in
-    let r = Broadcast.Verify.check inst scheme in
-    let d = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+    let r = Broadcast.Scheme.report scheme in
+    let d = Broadcast.Metrics.scheme_report scheme in
     if
       not
         (r.Broadcast.Verify.bandwidth_ok && r.Broadcast.Verify.firewall_ok
@@ -96,7 +96,7 @@ let check_cyclic_valid () =
     let t = Broadcast.Bounds.cyclic_open_optimal inst *. (1. -. 1e-9) in
     if t > 0. then begin
       let scheme = Broadcast.Cyclic_open.build ~t inst in
-      if not (Broadcast.Verify.achieves inst scheme ~rate:t) then incr failures
+      if not (Broadcast.Scheme.achieves_target scheme) then incr failures
     end
   done;
   check "Theorem 5.2 schemes valid (20 random)" (!failures = 0)
@@ -118,11 +118,11 @@ let check_ratio_floor () =
     (Printf.sprintf "worst ratio %.4f (floor %.4f)" !worst (5. /. 7.))
 
 let check_transport () =
-  let rate, overlay = Broadcast.Low_degree.build_optimal Instance.fig1 in
+  let rate, scheme = Broadcast.Low_degree.build_optimal Instance.fig1 in
   let sim =
     Massoulie.Sim.simulate
       ~config:{ Massoulie.Sim.default_config with chunks = 200 }
-      overlay ~rate
+      (Broadcast.Scheme.graph scheme) ~rate
   in
   check "transport delivers fig1"
     (sim.Massoulie.Sim.delivered_all && sim.Massoulie.Sim.efficiency > 0.8)

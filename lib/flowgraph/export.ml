@@ -2,10 +2,27 @@ let sorted_edges g =
   Graph.fold_edges (fun ~src ~dst w acc -> (src, dst, w) :: acc) g []
   |> List.sort compare
 
+(* DOT double-quoted strings: backslash and double quote must be escaped,
+   and literal newlines are only legal as the \n escape. User-supplied
+   [node_label]/[node_class] strings go through this, so a label like
+   [peer "eu-1"\fast] renders instead of producing an unparsable file. *)
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_dot ?(name = "overlay") ?(node_label = Printf.sprintf "C%d")
     ?(node_class = fun _ -> None) g =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" name);
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (dot_escape name));
   Buffer.add_string buf "  rankdir=LR;\n  node [fontname=\"sans-serif\"];\n";
   for v = 0 to Graph.node_count g - 1 do
     let style =
@@ -16,7 +33,7 @@ let to_dot ?(name = "overlay") ?(node_label = Printf.sprintf "C%d")
       | Some _ | None -> ", shape=circle"
     in
     Buffer.add_string buf
-      (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v (node_label v) style)
+      (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v (dot_escape (node_label v)) style)
   done;
   List.iter
     (fun (src, dst, w) ->
@@ -26,17 +43,88 @@ let to_dot ?(name = "overlay") ?(node_label = Printf.sprintf "C%d")
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let to_json g =
+let to_json ?(precision = 12) g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "{\"nodes\": %d, \"edges\": [" (Graph.node_count g));
   List.iteri
     (fun i (src, dst, w) ->
       if i > 0 then Buffer.add_string buf ", ";
       Buffer.add_string buf
-        (Printf.sprintf "{\"src\": %d, \"dst\": %d, \"rate\": %.12g}" src dst w))
+        (Printf.sprintf "{\"src\": %d, \"dst\": %d, \"rate\": %.*g}" src dst
+           precision w))
     (sorted_edges g);
   Buffer.add_string buf "]}";
   Buffer.contents buf
+
+(* Strict reader for the {!to_json} shape. Every rejection names the edge
+   index so a hand-edited scheme file fails with an actionable message. *)
+let graph_of_json_value v =
+  let ( let* ) = Result.bind in
+  let* nodes =
+    match Json.member "nodes" v with
+    | None -> Error "graph: missing \"nodes\" field"
+    | Some n ->
+      Result.map_error (fun e -> "graph: \"nodes\": " ^ e) (Json.to_int n)
+  in
+  let* () = if nodes < 0 then Error "graph: negative node count" else Ok () in
+  let* edges =
+    match Json.member "edges" v with
+    | Some (Json.Arr l) -> Ok l
+    | Some _ -> Error "graph: \"edges\" must be an array"
+    | None -> Error "graph: missing \"edges\" field"
+  in
+  let* () =
+    match v with
+    | Json.Obj fields ->
+      (match
+         List.find_opt (fun (k, _) -> k <> "nodes" && k <> "edges") fields
+       with
+      | Some (k, _) -> Error (Printf.sprintf "graph: unknown field %S" k)
+      | None -> Ok ())
+    | _ -> Error "graph: expected an object"
+  in
+  let g = Graph.create nodes in
+  let rec load i = function
+    | [] -> Ok g
+    | e :: rest ->
+      let err msg = Error (Printf.sprintf "graph: edge %d: %s" i msg) in
+      let field k =
+        match Json.member k e with
+        | None -> Error (Printf.sprintf "graph: edge %d: missing %S" i k)
+        | Some v -> Ok v
+      in
+      let* src = field "src" in
+      let* dst = field "dst" in
+      let* rate = field "rate" in
+      let* src =
+        Result.map_error (fun m -> Printf.sprintf "graph: edge %d: src: %s" i m)
+          (Json.to_int src)
+      in
+      let* dst =
+        Result.map_error (fun m -> Printf.sprintf "graph: edge %d: dst: %s" i m)
+          (Json.to_int dst)
+      in
+      let* rate =
+        Result.map_error (fun m -> Printf.sprintf "graph: edge %d: rate: %s" i m)
+          (Json.to_float rate)
+      in
+      if src < 0 || src >= nodes then err "src out of range"
+      else if dst < 0 || dst >= nodes then err "dst out of range"
+      else if src = dst then err "self loop"
+      else if not (Float.is_finite rate) then err "non-finite rate"
+      else if rate <= 0. then err "rate must be positive"
+      else if Graph.edge_weight g ~src ~dst > 0. then err "duplicate edge"
+      else begin
+        Graph.set_edge g ~src ~dst rate;
+        load (i + 1) rest
+      end
+  in
+  load 0 edges
+
+let graph_of_json s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok v -> graph_of_json_value v
 
 let schedule_to_json trees =
   let buf = Buffer.create 1024 in

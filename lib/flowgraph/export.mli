@@ -1,10 +1,12 @@
-(** Export of communication graphs for external tooling.
+(** Export and import of communication graphs for external tooling.
 
     A release-quality broadcast library must hand its overlays to other
     systems: visualization (Graphviz), deployment (a JSON description of
     which connections to open at which rate), and schedulers (the
     broadcast-tree decomposition as an explicit edge/tree table). All
-    emitters are dependency-free string builders. *)
+    emitters are dependency-free string builders; the JSON reader below is
+    their strict inverse, so persisted overlays can be reloaded and
+    re-verified. *)
 
 val to_dot :
   ?name:string ->
@@ -16,12 +18,29 @@ val to_dot :
     [node_label], default ["C<i>"]) and one edge per positive-weight arc,
     labelled with its rate. [node_class] may return a style class:
     ["source"], ["open"], ["guarded"] get distinct shapes/colors, other
-    strings are ignored. *)
+    strings are ignored. [name] and every label are escaped for DOT's
+    double-quoted strings (quotes, backslashes, newlines), so arbitrary
+    user-supplied labels cannot produce an unparsable file. *)
 
-val to_json : Graph.t -> string
+val to_json : ?precision:int -> Graph.t -> string
 (** [to_json g] is a compact JSON object
     [{"nodes": <count>, "edges": [{"src": i, "dst": j, "rate": w}, ...]}]
-    with edges sorted by [(src, dst)] for reproducible output. *)
+    with edges sorted by [(src, dst)] for reproducible output. [precision]
+    is the [%g] significand precision for rates (default 12; use 17 for
+    an exact float round-trip through {!graph_of_json}). *)
+
+val graph_of_json : string -> (Graph.t, string) result
+(** [graph_of_json s] parses the {!to_json} format back into a graph,
+    strictly: unknown fields, out-of-range or duplicate [(src, dst)]
+    pairs, self loops, and non-finite, NaN, negative or zero rates are
+    all rejected with a message naming the offending edge. The inverse of
+    {!to_json} for every graph this library builds (exactly so at
+    [precision >= 17]). *)
+
+val graph_of_json_value : Json.t -> (Graph.t, string) result
+(** Same validation on an already-parsed JSON value — the entry point for
+    readers of enclosing documents (scheme artifacts embed a graph
+    object). *)
 
 val schedule_to_json : Arborescence.tree list -> string
 (** Renders a tree decomposition as JSON:

@@ -1,0 +1,249 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let max_depth = 512
+
+exception Fail of int * string
+
+let parse input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        true
+      | _ -> false
+    do
+      ()
+    done
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub input !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let digits () =
+    let start = !pos in
+    while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected digit"
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    (* Integer part: a single 0, or a nonzero digit followed by digits. *)
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some ('1' .. '9') -> digits ()
+    | _ -> fail "expected digit");
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    (* The slice obeys the JSON number grammar, so [float_of_string]
+       cannot see hex, underscores or nan/infinity spellings. *)
+    let v = float_of_string (String.sub input start (!pos - start)) in
+    if not (Float.is_finite v) then fail "number does not fit a finite float";
+    Num v
+  in
+  let hex4 () =
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match peek () with
+        | Some ('0' .. '9' as c) -> Char.code c - Char.code '0'
+        | Some ('a' .. 'f' as c) -> Char.code c - Char.code 'a' + 10
+        | Some ('A' .. 'F' as c) -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "invalid \\u escape"
+      in
+      advance ();
+      v := (!v * 16) + d
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> advance (); Buffer.add_char buf '"'
+        | Some '\\' -> advance (); Buffer.add_char buf '\\'
+        | Some '/' -> advance (); Buffer.add_char buf '/'
+        | Some 'b' -> advance (); Buffer.add_char buf '\b'
+        | Some 'f' -> advance (); Buffer.add_char buf '\012'
+        | Some 'n' -> advance (); Buffer.add_char buf '\n'
+        | Some 'r' -> advance (); Buffer.add_char buf '\r'
+        | Some 't' -> advance (); Buffer.add_char buf '\t'
+        | Some 'u' ->
+          advance ();
+          let cp = hex4 () in
+          if cp >= 0xD800 && cp <= 0xDBFF then begin
+            (* High surrogate: must be followed by a low surrogate. *)
+            expect '\\';
+            expect 'u';
+            let lo = hex4 () in
+            if lo < 0xDC00 || lo > 0xDFFF then fail "unpaired surrogate";
+            add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if cp >= 0xDC00 && cp <= 0xDFFF then fail "unpaired surrogate"
+          else add_utf8 buf cp
+        | _ -> fail "invalid escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "unescaped control character"
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (elements [])
+      end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = value 0 in
+    skip_ws ();
+    if !pos <> len then fail "trailing content after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (at, msg) ->
+    Error (Printf.sprintf "JSON error at byte %d: %s" at msg)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_int = function
+  | Num v when Float.is_integer v && Float.abs v <= 1e15 -> Ok (int_of_float v)
+  | Num _ -> Error "expected an integer"
+  | _ -> Error "expected a number"
+
+let to_float = function Num v -> Ok v | _ -> Error "expected a number"
+
+let to_string_exn = function Str s -> Ok s | _ -> Error "expected a string"

@@ -1,0 +1,47 @@
+(** Minimal strict JSON: the parsing substrate of the scheme-artifact
+    serialization layer.
+
+    The library's emitters ({!Export.to_json}, [Broadcast.Scheme.to_json])
+    are dependency-free string builders; this module is their inverse — a
+    dependency-free recursive-descent reader implementing the JSON grammar
+    (RFC 8259) strictly:
+
+    - numbers follow the JSON grammar only (no [nan], [inf], hex or
+      underscores) and must be finite once parsed — a literal too large
+      for a float (e.g. [1e999]) is rejected, so no document can smuggle a
+      non-finite value into a rate or bandwidth field;
+    - strings validate every escape, including [\uXXXX] (surrogate pairs
+      are combined, lone surrogates rejected);
+    - trailing content after the top-level value is an error;
+    - nesting is capped (depth 512) so adversarial inputs cannot blow the
+      stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float  (** always finite *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** members in document order *)
+
+val parse : string -> (t, string) result
+(** [parse s] reads exactly one JSON value spanning the whole input
+    (surrounding whitespace allowed). Errors carry a byte offset and a
+    reason. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the value bound to the first occurrence of [k];
+    [None] when absent or when the value is not an object. *)
+
+val escape : string -> string
+(** [escape s] is [s] with the JSON string escapes applied (["\""], ["\\"]
+    and control characters) — what emitters must interpolate between
+    quotes. *)
+
+val to_int : t -> (int, string) result
+(** Accepts a [Num] that is integral and within [int] range. *)
+
+val to_float : t -> (float, string) result
+
+val to_string_exn : t -> (string, string) result
+(** Accepts a [Str]. *)

@@ -1,0 +1,13 @@
+(* Regenerates the golden scheme artifact pinned by test_scheme.ml:
+
+     dune exec test/gen_golden.exe > test/golden/fig1_scheme.json
+
+   Only do this after an intentional format change (and bump
+   Scheme.format_version accordingly). *)
+
+let () =
+  let scheme =
+    Broadcast.Low_degree.build Platform.Instance.fig1 ~rate:4.
+      (Broadcast.Word.of_string "gogog")
+  in
+  print_string (Broadcast.Scheme.to_json scheme ^ "\n")

@@ -47,3 +47,15 @@ let check_scheme ?(what = "scheme") inst scheme ~rate =
     Alcotest.failf "%s: throughput %g below target %g" what
       report.Broadcast.Verify.throughput rate;
   report
+
+(* Same checks through a Scheme artifact's memoized report. *)
+let check_artifact ?(what = "scheme") s ~rate =
+  let report = Broadcast.Scheme.report s in
+  if not report.Broadcast.Verify.bandwidth_ok then
+    Alcotest.failf "%s: bandwidth constraint violated" what;
+  if not report.Broadcast.Verify.firewall_ok then
+    Alcotest.failf "%s: guarded-guarded edge" what;
+  if not (Broadcast.Util.fge ~eps:1e-6 report.Broadcast.Verify.throughput rate) then
+    Alcotest.failf "%s: throughput %g below target %g" what
+      report.Broadcast.Verify.throughput rate;
+  report

@@ -7,8 +7,12 @@ let test_fig3_structure () =
   let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
   let t = Broadcast.Bounds.acyclic_open_optimal inst in
   Helpers.close "T*ac" t 5.;
-  let g = Broadcast.Acyclic_open.build inst in
-  ignore (Helpers.check_scheme inst g ~rate:t);
+  let s = Broadcast.Acyclic_open.build inst in
+  ignore (Helpers.check_artifact s ~rate:t);
+  Alcotest.(check string) "provenance" "algorithm1"
+    (Broadcast.Scheme.algorithm_name
+       (Broadcast.Scheme.provenance s).Broadcast.Scheme.algorithm);
+  let g = Broadcast.Scheme.graph s in
   (* Source fills C1 (5) then starts C2 with its remaining 1; C1 fills the
      rest of C2 and starts C3... consecutive-interval structure. *)
   Helpers.close "c01" (Flowgraph.Graph.edge_weight g ~src:0 ~dst:1) 5.;
@@ -20,16 +24,16 @@ let test_fig3_structure () =
 let test_every_node_receives_rate () =
   let inst = Instance.create ~bandwidth:[| 10.; 8.; 8.; 2.; 1.; 1. |] ~n:5 ~m:0 () in
   let t = Broadcast.Bounds.acyclic_open_optimal inst in
-  let g = Broadcast.Acyclic_open.build inst in
+  let g = Broadcast.Scheme.graph (Broadcast.Acyclic_open.build inst) in
   for v = 1 to 5 do
     Helpers.close ~tol:1e-6 "in-weight = T" (Flowgraph.Graph.in_weight g v) t
   done
 
 let test_lower_rate () =
   let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
-  let g = Broadcast.Acyclic_open.build ~t:2.5 inst in
-  ignore (Helpers.check_scheme inst g ~rate:2.5);
-  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic g)
+  let s = Broadcast.Acyclic_open.build ~t:2.5 inst in
+  ignore (Helpers.check_artifact s ~rate:2.5);
+  Alcotest.(check bool) "acyclic" true (Broadcast.Scheme.is_acyclic s)
 
 let test_rejects () =
   let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
@@ -59,10 +63,10 @@ let prop_algorithm1 =
     (Helpers.open_instance_arb ~max_open:20) (fun inst ->
       let t = Broadcast.Bounds.acyclic_open_optimal inst in
       QCheck.assume (t > 1e-6);
-      let g = Broadcast.Acyclic_open.build inst in
-      ignore (Helpers.check_scheme inst g ~rate:(t *. (1. -. 1e-9)));
-      if not (Flowgraph.Topo.is_acyclic g) then Alcotest.fail "cyclic output";
-      let d = Broadcast.Metrics.degree_report inst ~t g in
+      let s = Broadcast.Acyclic_open.build inst in
+      ignore (Helpers.check_artifact s ~rate:(t *. (1. -. 1e-9)));
+      if not (Broadcast.Scheme.is_acyclic s) then Alcotest.fail "cyclic output";
+      let d = Broadcast.Metrics.scheme_report s in
       if d.Broadcast.Metrics.max_excess > 1 then
         Alcotest.failf "degree excess %d > 1" d.Broadcast.Metrics.max_excess;
       true)

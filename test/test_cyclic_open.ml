@@ -2,8 +2,10 @@
 
 open Platform
 
-let check_theorem52_degrees inst ~t scheme =
-  let d = Broadcast.Metrics.degree_report inst ~t scheme in
+let check_theorem52_degrees s =
+  let inst = Broadcast.Scheme.instance s in
+  let t = Broadcast.Scheme.rate s in
+  let d = Broadcast.Metrics.scheme_report s in
   Array.iteri
     (fun i o ->
       let bound = max (Broadcast.Bounds.degree_lower_bound inst ~t i + 2) 4 in
@@ -13,20 +15,24 @@ let check_theorem52_degrees inst ~t scheme =
 let test_fig12 () =
   (* b = (5, 5, 3, 2), T = 5 (Figures 11-12; i0 = n case). *)
   let inst = Instance.create ~bandwidth:[| 5.; 5.; 3.; 2. |] ~n:3 ~m:0 () in
-  let g = Broadcast.Cyclic_open.build ~t:5. inst in
-  ignore (Helpers.check_scheme inst g ~rate:5.);
-  Alcotest.(check bool) "cyclic" false (Flowgraph.Topo.is_acyclic g);
-  check_theorem52_degrees inst ~t:5. g
+  let s = Broadcast.Cyclic_open.build ~t:5. inst in
+  ignore (Helpers.check_artifact s ~rate:5.);
+  Alcotest.(check bool) "cyclic" false (Broadcast.Scheme.is_acyclic s);
+  Alcotest.(check string) "provenance" "theorem52"
+    (Broadcast.Scheme.algorithm_name
+       (Broadcast.Scheme.provenance s).Broadcast.Scheme.algorithm);
+  check_theorem52_degrees s
 
 let test_fig17 () =
   (* b = (5, 5, 4, 4, 4, 3), T = 5 (Figures 14-17; induction case). *)
   let inst = Instance.create ~bandwidth:[| 5.; 5.; 4.; 4.; 4.; 3. |] ~n:5 ~m:0 () in
-  let g = Broadcast.Cyclic_open.build ~t:5. inst in
-  ignore (Helpers.check_scheme inst g ~rate:5.);
-  Alcotest.(check bool) "cyclic" false (Flowgraph.Topo.is_acyclic g);
-  check_theorem52_degrees inst ~t:5. g;
+  let s = Broadcast.Cyclic_open.build ~t:5. inst in
+  ignore (Helpers.check_artifact s ~rate:5.);
+  Alcotest.(check bool) "cyclic" false (Broadcast.Scheme.is_acyclic s);
+  check_theorem52_degrees s;
   (* P1 holds for the most recently inserted pair (earlier pairs are
      modified by later insertions): c(n, n-1) + c(n-1, n) = T. *)
+  let g = Broadcast.Scheme.graph s in
   Helpers.close ~tol:1e-6 "property P1"
     (Flowgraph.Graph.edge_weight g ~src:4 ~dst:5
     +. Flowgraph.Graph.edge_weight g ~src:5 ~dst:4)
@@ -37,9 +43,13 @@ let test_no_deficit_stays_acyclic () =
   let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
   let t = Broadcast.Bounds.cyclic_open_optimal inst in
   (* T* = min(6, 18/3) = 6 > T*ac = 5: deficit occurs. Use a smaller t. *)
-  let g = Broadcast.Cyclic_open.build ~t:4.5 inst in
-  Alcotest.(check bool) "acyclic when feasible" true (Flowgraph.Topo.is_acyclic g);
-  ignore (Helpers.check_scheme inst g ~rate:4.5);
+  let s = Broadcast.Cyclic_open.build ~t:4.5 inst in
+  Alcotest.(check bool) "acyclic when feasible" true (Broadcast.Scheme.is_acyclic s);
+  (* No deficit means the artifact is literally Algorithm 1's. *)
+  Alcotest.(check string) "provenance" "algorithm1"
+    (Broadcast.Scheme.algorithm_name
+       (Broadcast.Scheme.provenance s).Broadcast.Scheme.algorithm);
+  ignore (Helpers.check_artifact s ~rate:4.5);
   ignore t
 
 let test_gap_instance () =
@@ -48,9 +58,9 @@ let test_gap_instance () =
   let t_cy = Broadcast.Bounds.cyclic_open_optimal inst in
   let t_ac = Broadcast.Bounds.acyclic_open_optimal inst in
   Alcotest.(check bool) "cyclic strictly better" true (t_cy > t_ac +. 0.5);
-  let g = Broadcast.Cyclic_open.build inst in
-  ignore (Helpers.check_scheme inst g ~rate:t_cy);
-  check_theorem52_degrees inst ~t:t_cy g
+  let s = Broadcast.Cyclic_open.build inst in
+  ignore (Helpers.check_artifact s ~rate:t_cy);
+  check_theorem52_degrees s
 
 let test_rejects () =
   let inst = Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 () in
@@ -72,9 +82,9 @@ let prop_theorem52 =
       QCheck.assume (t > 1e-6);
       (* Back off an epsilon so max-flow verification is clean. *)
       let t = t *. (1. -. 1e-9) in
-      let g = Broadcast.Cyclic_open.build ~t inst in
-      ignore (Helpers.check_scheme inst g ~rate:t);
-      check_theorem52_degrees inst ~t g;
+      let s = Broadcast.Cyclic_open.build ~t inst in
+      ignore (Helpers.check_artifact s ~rate:t);
+      check_theorem52_degrees s;
       true)
 
 (* The construction also works at any sub-optimal rate. *)
@@ -86,8 +96,8 @@ let prop_suboptimal_rates =
     (fun (inst, frac) ->
       let t = Broadcast.Bounds.cyclic_open_optimal inst *. frac in
       QCheck.assume (t > 1e-6);
-      let g = Broadcast.Cyclic_open.build ~t inst in
-      ignore (Helpers.check_scheme inst g ~rate:t);
+      let s = Broadcast.Cyclic_open.build ~t inst in
+      ignore (Helpers.check_artifact s ~rate:t);
       true)
 
 let suites =

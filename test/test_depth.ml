@@ -5,17 +5,21 @@ open Platform
 let test_fig1_depth_build () =
   let inst = Instance.fig1 in
   let w = Broadcast.Word.of_string "gogog" in
-  let g = Broadcast.Depth.build inst ~rate:4. w in
-  ignore (Helpers.check_scheme inst g ~rate:4.);
-  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic g);
+  let s = Broadcast.Depth.build inst ~rate:4. w in
+  ignore (Helpers.check_artifact s ~rate:4.);
+  Alcotest.(check bool) "acyclic" true (Broadcast.Scheme.is_acyclic s);
+  Alcotest.(check string) "provenance" "min-depth"
+    (Broadcast.Scheme.algorithm_name
+       (Broadcast.Scheme.provenance s).Broadcast.Scheme.algorithm);
+  let g = Broadcast.Scheme.graph s in
   for v = 1 to 5 do
     Helpers.close ~tol:1e-6 "in-rate" (Flowgraph.Graph.in_weight g v) 4.
   done
 
 let test_build_optimal () =
   let inst = Instance.fig1 in
-  let rate, g = Broadcast.Depth.build_optimal inst in
-  ignore (Helpers.check_scheme inst g ~rate);
+  let rate, s = Broadcast.Depth.build_optimal inst in
+  ignore (Helpers.check_artifact s ~rate);
   Helpers.close ~tol:1e-6 "optimal rate" rate 4.
 
 let test_fraction_validation () =
@@ -67,7 +71,8 @@ let prop_depth_no_worse =
       | Some word ->
         let fifo = Broadcast.Low_degree.build inst ~rate word in
         let shallow = Broadcast.Depth.build inst ~rate word in
-        Broadcast.Metrics.depth shallow <= Broadcast.Metrics.depth fifo)
+        Broadcast.Metrics.scheme_depth shallow
+        <= Broadcast.Metrics.scheme_depth fifo)
 
 (* Same feasibility envelope: whenever the FIFO construction succeeds, the
    min-depth one does too, and both verify at the same rate. *)
@@ -81,8 +86,8 @@ let prop_same_feasibility =
       | None -> QCheck.assume_fail ()
       | Some word ->
         let shallow = Broadcast.Depth.build inst ~rate word in
-        ignore (Helpers.check_scheme inst shallow ~rate);
-        Flowgraph.Topo.is_acyclic shallow)
+        ignore (Helpers.check_artifact shallow ~rate);
+        Broadcast.Scheme.is_acyclic shallow)
 
 let suites =
   [

@@ -13,11 +13,11 @@ let test_guarded_only () =
   Alcotest.(check string) "word all guarded" "ggg" (Broadcast.Word.to_string w);
   Helpers.close "cyclic also b0/m" (Broadcast.Bounds.cyclic_upper inst) 2.;
   let rate, scheme = Broadcast.Low_degree.build_optimal inst in
-  ignore (Helpers.check_scheme inst scheme ~rate);
+  ignore (Helpers.check_artifact scheme ~rate);
   (* The guarded nodes' own bandwidth is unusable: only source edges. *)
   Flowgraph.Graph.iter_edges
     (fun ~src ~dst:_ _ -> Alcotest.(check int) "all from source" 0 src)
-    scheme
+    (Broadcast.Scheme.graph scheme)
 
 let test_single_guarded_receiver () =
   let inst = Instance.create ~bandwidth:[| 3.; 100. |] ~n:0 ~m:1 () in
@@ -32,12 +32,12 @@ let test_zero_bandwidth_tail () =
   in
   let rate, scheme = Broadcast.Low_degree.build_optimal inst in
   Alcotest.(check bool) "positive rate" true (rate > 0.);
-  ignore (Helpers.check_scheme inst scheme ~rate);
+  ignore (Helpers.check_artifact scheme ~rate);
   (* Zero-bandwidth nodes never send. *)
+  let g = Broadcast.Scheme.graph scheme in
   for v = 0 to Instance.size inst - 1 do
     if inst.Instance.bandwidth.(v) = 0. then
-      Alcotest.(check int) "sink sends nothing" 0
-        (Flowgraph.Graph.out_degree scheme v)
+      Alcotest.(check int) "sink sends nothing" 0 (Flowgraph.Graph.out_degree g v)
   done
 
 let test_zero_source () =
@@ -55,8 +55,8 @@ let test_all_equal () =
   let t_cyc = Broadcast.Bounds.cyclic_upper inst in
   Alcotest.(check bool) "close to cyclic" true (t >= 0.9 *. t_cyc);
   let rate, scheme = Broadcast.Low_degree.build_optimal inst in
-  ignore (Helpers.check_scheme inst scheme ~rate);
-  let d = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+  ignore (Helpers.check_artifact scheme ~rate);
+  let d = Broadcast.Metrics.scheme_report scheme in
   Alcotest.(check bool) "lemma 4.6 degrees" true (d.Broadcast.Metrics.max_excess <= 3)
 
 let test_weak_source () =
@@ -64,8 +64,8 @@ let test_weak_source () =
   let inst = Instance.create ~bandwidth:[| 1.; 50.; 50.; 50.; 50. |] ~n:4 ~m:0 () in
   let t = Broadcast.Bounds.acyclic_open_optimal inst in
   Helpers.close "T = b0" t 1.;
-  let g = Broadcast.Acyclic_open.build inst in
-  ignore (Helpers.check_scheme inst g ~rate:1.)
+  let s = Broadcast.Acyclic_open.build inst in
+  ignore (Helpers.check_artifact s ~rate:1.)
 
 let test_strong_guarded () =
   (* Guarded nodes hold nearly all the bandwidth; open relays are scarce.
@@ -92,16 +92,15 @@ let test_large_instance_smoke () =
   in
   let rate, scheme = Broadcast.Low_degree.build_optimal inst in
   Alcotest.(check bool) "positive rate" true (rate > 0.);
-  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic scheme);
+  Alcotest.(check bool) "acyclic" true (Broadcast.Scheme.is_acyclic scheme);
+  let g = Broadcast.Scheme.graph scheme in
   let ok = ref true in
   for v = 1 to Instance.size inst - 1 do
-    if
-      not
-        (Broadcast.Util.feq ~eps:1e-6 (Flowgraph.Graph.in_weight scheme v) rate)
+    if not (Broadcast.Util.feq ~eps:1e-6 (Flowgraph.Graph.in_weight g v) rate)
     then ok := false
   done;
   Alcotest.(check bool) "every node receives the rate" true !ok;
-  let d = Broadcast.Metrics.degree_report inst ~t:rate scheme in
+  let d = Broadcast.Metrics.scheme_report scheme in
   Alcotest.(check bool) "degree bounds at scale" true
     (d.Broadcast.Metrics.max_excess <= 3)
 

@@ -44,8 +44,10 @@ let test_json_empty () =
     (Flowgraph.Export.to_json (G.create 2))
 
 let test_schedule_json () =
-  let scheme = Broadcast.Acyclic_open.build
-      (Platform.Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 ())
+  let scheme =
+    Broadcast.Scheme.graph
+      (Broadcast.Acyclic_open.build
+         (Platform.Instance.create ~bandwidth:[| 6.; 5.; 4.; 3. |] ~n:3 ~m:0 ()))
   in
   let trees = Flowgraph.Arborescence.decompose scheme ~root:0 in
   let json = Flowgraph.Export.schedule_to_json trees in
@@ -64,14 +66,70 @@ let test_schedule_json () =
   Alcotest.(check int) "parents arrays" (List.length trees)
     (count_occurrences json "\"parent\"")
 
+let test_dot_escaping () =
+  (* Hostile names and labels (quotes, backslashes, newlines) must come
+     out escaped, never as raw bytes that break DOT's quoted strings. *)
+  let dot =
+    Flowgraph.Export.to_dot ~name:{|over"lay\|}
+      ~node_label:(fun v -> Printf.sprintf "peer \"%d\"\nrack\\2" v)
+      (sample ())
+  in
+  Alcotest.(check bool) "name quote escaped" true
+    (contains dot {|digraph "over\"lay\\"|});
+  Alcotest.(check bool) "label quote escaped" true
+    (contains dot {|label="peer \"1\"\nrack\\2"|});
+  Alcotest.(check bool) "no raw newline inside a label" false
+    (contains dot "peer \"1\"\nrack")
+
+let ok_graph = function
+  | Ok g -> g
+  | Error e -> Alcotest.failf "valid graph rejected: %s" e
+
+let test_graph_of_json_roundtrip () =
+  let g = sample () in
+  let g' =
+    ok_graph (Flowgraph.Export.graph_of_json (Flowgraph.Export.to_json ~precision:17 g))
+  in
+  Alcotest.(check bool) "exact roundtrip" true (G.equal ~eps:0. g g')
+
+let rejects what text =
+  match Flowgraph.Export.graph_of_json text with
+  | Ok _ -> Alcotest.failf "%s accepted" what
+  | Error _ -> ()
+
+let test_graph_of_json_rejects () =
+  rejects "negative rate"
+    {|{"nodes": 2, "edges": [{"src": 0, "dst": 1, "rate": -1}]}|};
+  rejects "zero rate"
+    {|{"nodes": 2, "edges": [{"src": 0, "dst": 1, "rate": 0}]}|};
+  rejects "NaN rate"
+    {|{"nodes": 2, "edges": [{"src": 0, "dst": 1, "rate": nan}]}|};
+  rejects "src out of range"
+    {|{"nodes": 2, "edges": [{"src": 2, "dst": 1, "rate": 1}]}|};
+  rejects "negative dst"
+    {|{"nodes": 2, "edges": [{"src": 0, "dst": -1, "rate": 1}]}|};
+  rejects "self loop"
+    {|{"nodes": 2, "edges": [{"src": 1, "dst": 1, "rate": 1}]}|};
+  rejects "duplicate edge"
+    {|{"nodes": 2, "edges": [{"src": 0, "dst": 1, "rate": 1}, {"src": 0, "dst": 1, "rate": 2}]}|};
+  rejects "unknown field" {|{"nodes": 2, "edges": [], "color": "red"}|};
+  rejects "missing nodes" {|{"edges": []}|};
+  rejects "missing rate" {|{"nodes": 2, "edges": [{"src": 0, "dst": 1}]}|};
+  rejects "negative node count" {|{"nodes": -1, "edges": []}|}
+
 let suites =
   [
     ( "export",
       [
         Alcotest.test_case "dot rendering" `Quick test_dot;
         Alcotest.test_case "dot custom labels" `Quick test_dot_custom_labels;
+        Alcotest.test_case "dot escaping" `Quick test_dot_escaping;
         Alcotest.test_case "json rendering" `Quick test_json;
         Alcotest.test_case "json empty" `Quick test_json_empty;
+        Alcotest.test_case "json import roundtrip" `Quick
+          test_graph_of_json_roundtrip;
+        Alcotest.test_case "json import rejects" `Quick
+          test_graph_of_json_rejects;
         Alcotest.test_case "schedule json" `Quick test_schedule_json;
       ] );
   ]

@@ -249,7 +249,7 @@ let test_decompose_algorithm1 () =
     Platform.Instance.create ~bandwidth:[| 6.; 5.; 4.; 3.; 0. |] ~n:4 ~m:0 ()
   in
   let t = Broadcast.Bounds.acyclic_open_optimal inst in
-  let scheme = Broadcast.Acyclic_open.build inst in
+  let scheme = Broadcast.Scheme.graph (Broadcast.Acyclic_open.build inst) in
   let trees = Flowgraph.Arborescence.decompose scheme ~root:0 in
   let total = List.fold_left (fun acc tr -> acc +. tr.Flowgraph.Arborescence.weight) 0. trees in
   close ~tol:1e-6 "weights sum to T" total t;

@@ -42,9 +42,10 @@ let test_full_pipeline () =
   Alcotest.(check bool) "Theorem 6.2 floor" true
     (t_ac >= (5. /. 7.) *. t_cyc -. 1e-6);
   Alcotest.(check bool) "witness complete" true (Broadcast.Word.complete word inst);
-  (* 5. Overlay and verification. *)
-  let rate, overlay = Broadcast.Low_degree.build_optimal inst in
-  let report = Broadcast.Verify.check inst overlay in
+  (* 5. Overlay and verification (through the scheme artifact). *)
+  let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+  let overlay = Broadcast.Scheme.graph scheme in
+  let report = Broadcast.Scheme.report scheme in
   Alcotest.(check bool) "structurally valid" true
     (report.Broadcast.Verify.bandwidth_ok && report.Broadcast.Verify.firewall_ok);
   Alcotest.(check bool) "throughput delivered" true

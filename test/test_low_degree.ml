@@ -2,8 +2,8 @@
 
 open Platform
 
-let check_lemma_46_degrees inst ~t scheme =
-  let d = Broadcast.Metrics.degree_report inst ~t scheme in
+let check_lemma_46_degrees s =
+  let d = Broadcast.Metrics.scheme_report s in
   (match d.Broadcast.Metrics.max_excess_guarded with
   | Some e when e > 1 -> Alcotest.failf "guarded excess %d > 1" e
   | _ -> ());
@@ -19,11 +19,15 @@ let test_fig1 () =
   let inst = Instance.fig1 in
   let rate = 4.0 in
   let w = Broadcast.Word.of_string "gogog" in
-  let g = Broadcast.Low_degree.build inst ~rate w in
-  ignore (Helpers.check_scheme inst g ~rate);
-  Alcotest.(check bool) "acyclic" true (Flowgraph.Topo.is_acyclic g);
-  check_lemma_46_degrees inst ~t:rate g;
+  let s = Broadcast.Low_degree.build inst ~rate w in
+  ignore (Helpers.check_artifact s ~rate);
+  Alcotest.(check bool) "acyclic" true (Broadcast.Scheme.is_acyclic s);
+  Alcotest.(check string) "provenance" "theorem41"
+    (Broadcast.Scheme.algorithm_name
+       (Broadcast.Scheme.provenance s).Broadcast.Scheme.algorithm);
+  check_lemma_46_degrees s;
   (* Every non-source node receives exactly the rate. *)
+  let g = Broadcast.Scheme.graph s in
   for v = 1 to 5 do
     Helpers.close ~tol:1e-6 "in-weight" (Flowgraph.Graph.in_weight g v) rate
   done
@@ -31,7 +35,7 @@ let test_fig1 () =
 let test_acyclicity_respects_word_order () =
   let inst = Instance.fig1 in
   let w = Broadcast.Word.of_string "gogog" in
-  let g = Broadcast.Low_degree.build inst ~rate:4. w in
+  let g = Broadcast.Scheme.graph (Broadcast.Low_degree.build inst ~rate:4. w) in
   let order = Broadcast.Word.to_order w inst in
   let pos = Array.make 6 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
@@ -51,9 +55,9 @@ let test_rejects_infeasible () =
   with Invalid_argument _ -> ()
 
 let test_build_optimal_fig1 () =
-  let rate, g = Broadcast.Low_degree.build_optimal Instance.fig1 in
+  let rate, s = Broadcast.Low_degree.build_optimal Instance.fig1 in
   Helpers.close ~tol:1e-6 "rate ~ 4" rate 4.;
-  ignore (Helpers.check_scheme Instance.fig1 g ~rate)
+  ignore (Helpers.check_artifact s ~rate)
 
 (* The full Theorem 4.1 statement, property-tested: optimal throughput,
    acyclic, firewall-safe, with the Lemma 4.6 degree bounds. *)
@@ -62,9 +66,9 @@ let prop_theorem41 =
     (Helpers.instance_arb ~max_open:12 ~max_guarded:12) (fun inst ->
       let rate, scheme = Broadcast.Low_degree.build_optimal inst in
       QCheck.assume (rate > 1e-6);
-      let report = Helpers.check_scheme inst scheme ~rate in
+      let report = Helpers.check_artifact scheme ~rate in
       if not report.Broadcast.Verify.acyclic then Alcotest.fail "cyclic scheme";
-      check_lemma_46_degrees inst ~t:rate scheme;
+      check_lemma_46_degrees scheme;
       true)
 
 (* Firewall constraint holds even on guarded-heavy instances. *)
@@ -78,7 +82,7 @@ let prop_firewall =
         (fun ~src ~dst _ ->
           if Instance.is_guarded inst src && Instance.is_guarded inst dst then
             ok := false)
-        scheme;
+        (Broadcast.Scheme.graph scheme);
       !ok)
 
 (* Guarded senders always serve consecutive intervals of open nodes (the
@@ -94,7 +98,9 @@ let prop_guarded_interval =
         | Some w -> w
         | None -> QCheck.assume_fail ()
       in
-      let scheme = Broadcast.Low_degree.build inst ~rate word in
+      let scheme =
+        Broadcast.Scheme.graph (Broadcast.Low_degree.build inst ~rate word)
+      in
       (* Lemma 4.6's proof: every guarded node uploads to a consecutive
          interval of OPEN nodes. Open nodes are fed in index order, so the
          receivers' node indices must be consecutive. *)

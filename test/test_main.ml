@@ -12,4 +12,5 @@ let () =
    @ Test_edge_cases.suites @ Test_integration.suites
    @ Test_experiments.suites @ Test_verify_fast.suites
    @ Test_csr.suites @ Test_csr_differential.suites
-   @ Test_parallel.suites @ Test_qcheck_properties.suites)
+   @ Test_parallel.suites @ Test_qcheck_properties.suites
+   @ Test_scheme.suites)

@@ -33,8 +33,8 @@ let prop_pqueue_sorts =
       drain [] = List.sort Float.compare keys)
 
 let fig1_overlay () =
-  let rate, overlay = Broadcast.Low_degree.build_optimal Platform.Instance.fig1 in
-  (rate, overlay)
+  let rate, scheme = Broadcast.Low_degree.build_optimal Platform.Instance.fig1 in
+  (rate, Broadcast.Scheme.graph scheme)
 
 let test_delivers_fig1 () =
   let rate, overlay = fig1_overlay () in
@@ -128,7 +128,8 @@ let test_invalid_configs () =
 let prop_transport_achieves_rate =
   QCheck.Test.make ~name:"transport efficiency > 0.4 on random overlays" ~count:10
     (Helpers.instance_arb ~max_open:8 ~max_guarded:5) (fun inst ->
-      let rate, overlay = Broadcast.Low_degree.build_optimal inst in
+      let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+      let overlay = Broadcast.Scheme.graph scheme in
       QCheck.assume (rate > 1e-6);
       (* dedup off: with extreme heterogeneity a sliver edge would
          otherwise hold single chunks hostage for its whole transfer

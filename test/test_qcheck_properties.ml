@@ -18,7 +18,7 @@ let alg1_degree_bound =
       let t = Bounds.acyclic_open_optimal inst in
       QCheck.assume (t > 1e-9);
       let scheme = Acyclic_open.build inst in
-      let d = Metrics.degree_report inst ~t scheme in
+      let d = Metrics.scheme_report scheme in
       d.Metrics.max_excess <= 1)
 
 (* Algorithm 1 must also deliver the rate it promises — checked through
@@ -30,7 +30,7 @@ let alg1_achieves =
       let t = Bounds.acyclic_open_optimal inst in
       QCheck.assume (t > 1e-9);
       let scheme = Acyclic_open.build inst in
-      let r = Verify.check inst scheme in
+      let r = Scheme.report scheme in
       r.Verify.bandwidth_ok && r.Verify.acyclic && r.Verify.fast_path
       && Util.fge ~eps:1e-6 r.Verify.throughput t)
 
@@ -74,7 +74,7 @@ let low_degree_bounds =
       QCheck.assume (t_ac > 1e-9);
       let rate = t_ac *. (1. -. 4e-9) in
       let scheme = Low_degree.build inst ~rate word in
-      let d = Metrics.degree_report inst ~t:rate scheme in
+      let d = Metrics.scheme_report scheme in
       (match d.Metrics.max_excess_open with Some e -> e <= 3 | None -> false)
       && (match d.Metrics.max_excess_guarded with Some e -> e <= 1 | None -> true)
       && d.Metrics.opens_above 2 <= 1)
@@ -88,7 +88,7 @@ let cyclic_closed_form_achieved =
       let t_star = Bounds.cyclic_open_optimal inst in
       QCheck.assume (t_star > 1e-9);
       let scheme = Cyclic_open.build inst in
-      let r = Verify.check inst scheme in
+      let r = Scheme.report scheme in
       r.Verify.bandwidth_ok && r.Verify.firewall_ok
       && Util.feq ~eps:1e-6 r.Verify.throughput t_star)
 
@@ -100,7 +100,9 @@ let fast_verifier_differential =
     (fun inst ->
       let t_ac, word = Greedy.optimal_acyclic inst in
       QCheck.assume (t_ac > 1e-9);
-      let scheme = Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word in
+      let scheme =
+        Scheme.graph (Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word)
+      in
       let plain = ref infinity in
       for v = 1 to Flowgraph.Graph.node_count scheme - 1 do
         plain :=

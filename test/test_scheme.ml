@@ -1,0 +1,219 @@
+(* Tests for the Scheme artifact layer: smart-constructor invariants,
+   memoized snapshot/report caches, canonical JSON round-trips, and the
+   golden serialized bytes of the paper's Figure 1 scheme. *)
+
+open Platform
+module G = Flowgraph.Graph
+module Scheme = Broadcast.Scheme
+
+let fig1_scheme () =
+  Broadcast.Low_degree.build Instance.fig1 ~rate:4.
+    (Broadcast.Word.of_string "gogog")
+
+let imported rate = { Scheme.algorithm = Scheme.Imported; rate; degree_bound = None }
+
+let test_create_validations () =
+  let inst = Instance.create ~bandwidth:[| 4.; 2.; 2. |] ~n:2 ~m:0 () in
+  (try
+     ignore (Scheme.create ~provenance:(imported 1.) inst (G.create 2));
+     Alcotest.fail "node-count mismatch accepted"
+   with Invalid_argument _ -> ());
+  (try
+     let unsorted = Instance.create ~bandwidth:[| 4.; 1.; 2. |] ~n:2 ~m:0 () in
+     ignore (Scheme.create ~provenance:(imported 1.) unsorted (G.create 3));
+     Alcotest.fail "unsorted instance accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Scheme.create ~provenance:(imported 0.) inst (G.create 3));
+     Alcotest.fail "zero rate accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Scheme.create ~provenance:(imported Float.nan) inst (G.create 3));
+     Alcotest.fail "NaN rate accepted"
+   with Invalid_argument _ -> ());
+  (try
+     let g = G.create 3 in
+     G.add_edge g ~src:1 ~dst:2 5. (* b1 = 2 *);
+     ignore (Scheme.create ~provenance:(imported 1.) inst g);
+     Alcotest.fail "bandwidth violation accepted"
+   with Invalid_argument _ -> ());
+  try
+    let guarded = Instance.create ~bandwidth:[| 4.; 2.; 2. |] ~n:0 ~m:2 () in
+    let g = G.create 3 in
+    G.add_edge g ~src:1 ~dst:2 0.5;
+    ignore (Scheme.create ~provenance:(imported 1.) guarded g);
+    Alcotest.fail "guarded-to-guarded edge accepted"
+  with Invalid_argument _ -> ()
+
+let test_graph_copied () =
+  (* The constructor must copy, so caller-side mutation cannot reach the
+     artifact. *)
+  let inst = Instance.create ~bandwidth:[| 4.; 2. |] ~n:1 ~m:0 () in
+  let g = G.create 2 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  let s = Scheme.create ~provenance:(imported 1.) inst g in
+  G.set_edge g ~src:0 ~dst:1 4.;
+  Helpers.close "artifact keeps its own weights"
+    (G.edge_weight (Scheme.graph s) ~src:0 ~dst:1)
+    1.
+
+let test_memoized_caches () =
+  let s = fig1_scheme () in
+  Alcotest.(check bool) "snapshot cached" true
+    (Scheme.snapshot s == Scheme.snapshot s);
+  Alcotest.(check bool) "report cached" true (Scheme.report s == Scheme.report s)
+
+let test_report_fields () =
+  let s = fig1_scheme () in
+  Helpers.close ~tol:1e-6 "throughput" (Scheme.throughput s) 4.;
+  Alcotest.(check bool) "acyclic" true (Scheme.is_acyclic s);
+  Alcotest.(check bool) "achieves target" true (Scheme.achieves_target s);
+  Alcotest.(check int) "size" 6 (Scheme.size s);
+  Alcotest.(check bool) "edges present" true (Scheme.edge_count s > 0)
+
+let test_algorithm_names_roundtrip () =
+  List.iter
+    (fun a ->
+      match Scheme.algorithm_of_name (Scheme.algorithm_name a) with
+      | Ok a' -> Alcotest.(check bool) "name roundtrip" true (a = a')
+      | Error e -> Alcotest.failf "name roundtrip failed: %s" e)
+    [
+      Scheme.Algorithm1;
+      Scheme.Theorem41;
+      Scheme.Min_depth;
+      Scheme.Theorem52;
+      Scheme.Imported;
+      Scheme.Repaired Scheme.Theorem41;
+      Scheme.Repaired (Scheme.Repaired Scheme.Algorithm1);
+    ];
+  match Scheme.algorithm_of_name "frobnicate" with
+  | Ok _ -> Alcotest.fail "unknown algorithm accepted"
+  | Error _ -> ()
+
+let same_report (a : Broadcast.Verify.report) (b : Broadcast.Verify.report) =
+  a.Broadcast.Verify.bandwidth_ok = b.Broadcast.Verify.bandwidth_ok
+  && a.Broadcast.Verify.firewall_ok = b.Broadcast.Verify.firewall_ok
+  && a.Broadcast.Verify.bin_ok = b.Broadcast.Verify.bin_ok
+  && a.Broadcast.Verify.acyclic = b.Broadcast.Verify.acyclic
+  && a.Broadcast.Verify.fast_path = b.Broadcast.Verify.fast_path
+  && a.Broadcast.Verify.source_receives = b.Broadcast.Verify.source_receives
+  && a.Broadcast.Verify.throughput = b.Broadcast.Verify.throughput
+
+let test_json_roundtrip () =
+  let s = fig1_scheme () in
+  match Scheme.of_json (Scheme.to_json s) with
+  | Error e -> Alcotest.failf "roundtrip rejected: %s" e
+  | Ok s' ->
+    Alcotest.(check bool) "equal artifact" true (Scheme.equal s s');
+    Alcotest.(check bool) "identical report" true
+      (same_report (Scheme.report s) (Scheme.report s'));
+    Alcotest.(check string) "identical bytes" (Scheme.to_json s)
+      (Scheme.to_json s')
+
+let test_json_roundtrip_cyclic () =
+  (* A cyclic scheme with Theorem 5.2 provenance survives the disk too. *)
+  let inst = Instance.create ~bandwidth:[| 5.; 5.; 3.; 2. |] ~n:3 ~m:0 () in
+  let s = Broadcast.Cyclic_open.build ~t:5. inst in
+  match Scheme.of_json (Scheme.to_json s) with
+  | Error e -> Alcotest.failf "cyclic roundtrip rejected: %s" e
+  | Ok s' ->
+    Alcotest.(check bool) "equal artifact" true (Scheme.equal s s');
+    Alcotest.(check bool) "still cyclic" false (Scheme.is_acyclic s');
+    Alcotest.(check bool) "identical report" true
+      (same_report (Scheme.report s) (Scheme.report s'))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_json_golden () =
+  (* The serialized Figure 1 scheme is pinned byte-for-byte: any encoding
+     change must bump format_version and regenerate the golden file with
+     `dune exec test/gen_golden.exe`. *)
+  let golden = read_file "golden/fig1_scheme.json" in
+  Alcotest.(check string) "golden bytes"
+    golden
+    (Scheme.to_json (fig1_scheme ()) ^ "\n")
+
+let test_json_deterministic_across_domains () =
+  (* Byte-identical output no matter which domain built the artifact —
+     serialization must not depend on construction history or timing. *)
+  let reference = Scheme.to_json (fig1_scheme ()) in
+  let all =
+    Parallel.Pool.map_range 4 (fun _ -> Scheme.to_json (fig1_scheme ()))
+  in
+  Array.iter
+    (fun j -> Alcotest.(check string) "domain-independent bytes" reference j)
+    all
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* Replace every occurrence of [sub] in [s] by [by]. *)
+let replace ~sub ~by s =
+  let ls = String.length s and ln = String.length sub in
+  let buf = Buffer.create ls in
+  let i = ref 0 in
+  while !i < ls do
+    if !i + ln <= ls && String.sub s !i ln = sub then begin
+      Buffer.add_string buf by;
+      i := !i + ln
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let check_rejected what text =
+  match Scheme.of_json text with
+  | Ok _ -> Alcotest.failf "%s accepted" what
+  | Error _ -> ()
+
+let test_of_json_rejects () =
+  let valid = Scheme.to_json (fig1_scheme ()) in
+  check_rejected "garbage" "not json at all";
+  check_rejected "wrong format tag"
+    (replace ~sub:"bmp-scheme" ~by:"other-format" valid);
+  check_rejected "future version"
+    (replace ~sub:"\"version\": 1," ~by:"\"version\": 99," valid);
+  check_rejected "unknown top-level field"
+    (replace ~sub:"\"version\": 1," ~by:"\"version\": 1, \"extra\": 0," valid);
+  check_rejected "unknown algorithm"
+    (replace ~sub:"theorem41" ~by:"theorem99" valid);
+  (* A guarded-to-guarded edge smuggled into an otherwise valid file: the
+     create invariants run on load and must reject it. *)
+  check_rejected "firewall violation"
+    (replace ~sub:"\"edges\": [" ~by:"\"edges\": [{\"src\": 3, \"dst\": 4, \"rate\": 0.125}, "
+       valid)
+
+let test_pp () =
+  let s = fig1_scheme () in
+  let text = Format.asprintf "%a" Scheme.pp s in
+  Alcotest.(check bool) "mentions algorithm" true (contains text "theorem41")
+
+let suites =
+  [
+    ( "scheme",
+      [
+        Alcotest.test_case "create validations" `Quick test_create_validations;
+        Alcotest.test_case "graph copied" `Quick test_graph_copied;
+        Alcotest.test_case "memoized caches" `Quick test_memoized_caches;
+        Alcotest.test_case "report fields" `Quick test_report_fields;
+        Alcotest.test_case "algorithm names" `Quick test_algorithm_names_roundtrip;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json roundtrip (cyclic)" `Quick
+          test_json_roundtrip_cyclic;
+        Alcotest.test_case "json golden bytes" `Quick test_json_golden;
+        Alcotest.test_case "json deterministic across domains" `Quick
+          test_json_deterministic_across_domains;
+        Alcotest.test_case "of_json rejects" `Quick test_of_json_rejects;
+        Alcotest.test_case "pp" `Quick test_pp;
+      ] );
+  ]

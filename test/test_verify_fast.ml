@@ -79,7 +79,10 @@ let test_differential_constructed_schemes () =
     let inst = random_instance rng ~p_open:0.7 (5 + (3 * i)) in
     let t_ac, word = Broadcast.Greedy.optimal_acyclic inst in
     if t_ac > 1e-9 then begin
-      let g = Broadcast.Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word in
+      let g =
+        Broadcast.Scheme.graph
+          (Broadcast.Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word)
+      in
       Alcotest.(check bool)
         "low-degree scheme is acyclic" true
         (Flowgraph.Topo.is_acyclic g);
@@ -90,7 +93,7 @@ let test_differential_constructed_schemes () =
   done;
   for i = 1 to 20 do
     let inst = random_instance rng ~p_open:1. (5 + (3 * i)) in
-    let g = Broadcast.Cyclic_open.build inst in
+    let g = Broadcast.Scheme.graph (Broadcast.Cyclic_open.build inst) in
     close (Printf.sprintf "cyclic-open %d" i)
       (MF.broadcast_throughput g ~src:0)
       (plain_min_dinic g)
@@ -151,7 +154,10 @@ let test_check_batch_matches_check () =
     List.init 8 (fun i ->
         let inst = random_instance rng ~p_open:0.8 (4 + i) in
         let t_ac, word = Broadcast.Greedy.optimal_acyclic inst in
-        let g = Broadcast.Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word in
+        let g =
+          Broadcast.Scheme.graph
+            (Broadcast.Low_degree.build inst ~rate:(t_ac *. (1. -. 4e-9)) word)
+        in
         (inst, g))
   in
   let batch = Broadcast.Verify.check_batch pairs in
@@ -171,7 +177,8 @@ let test_check_batch_matches_check () =
 let test_fast_path_flag_and_bottleneck () =
   let inst = Platform.Instance.fig1 in
   let g =
-    Broadcast.Low_degree.build inst ~rate:4. (Broadcast.Word.of_string "gogog")
+    Broadcast.Scheme.graph
+      (Broadcast.Low_degree.build inst ~rate:4. (Broadcast.Word.of_string "gogog"))
   in
   let r = Broadcast.Verify.check inst g in
   Alcotest.(check bool) "acyclic scheme uses fast path" true

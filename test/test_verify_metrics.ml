@@ -3,8 +3,12 @@
 open Platform
 module G = Flowgraph.Graph
 
+(* Each call returns a fresh throwaway graph, so the mutation-based
+   violation tests below never alias a live Scheme artifact. *)
 let fig1_valid_scheme () =
-  Broadcast.Low_degree.build Instance.fig1 ~rate:4. (Broadcast.Word.of_string "gogog")
+  Broadcast.Scheme.graph
+    (Broadcast.Low_degree.build Instance.fig1 ~rate:4.
+       (Broadcast.Word.of_string "gogog"))
 
 let test_valid_scheme_report () =
   let r = Broadcast.Verify.check Instance.fig1 (fig1_valid_scheme ()) in
