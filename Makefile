@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-verify bench-sweep bench-full scheme-roundtrip clean
+.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-full scheme-roundtrip churn-smoke clean
 
 all:
 	dune build @runtest @all
@@ -25,8 +25,13 @@ bench-verify:
 bench-sweep:
 	dune exec -- bench/sweep_bench.exe
 
+# Fault-injection engine wall-clock (writes BENCH_churn.json; gates the
+# audited replay at <= 3x the unaudited one and identical outcomes).
+bench-churn:
+	dune exec -- bench/churn_bench.exe
+
 # Full sweeps (Figure 7 grid, Figure 19 replication) — a few minutes.
-bench-full: bench-verify bench-sweep
+bench-full: bench-verify bench-sweep bench-churn
 	dune exec -- bench/main.exe
 
 # Scheme-artifact lifecycle, end to end through the CLI: build Figure 1's
@@ -41,6 +46,16 @@ scheme-roundtrip:
 	dune exec -- bin/bmp.exe scheme check fig1-scheme.rt.json > fig1-report-b.txt
 	cmp fig1-report-a.txt fig1-report-b.txt
 	rm -f fig1-scheme.json fig1-scheme.rt.json fig1-report-a.txt fig1-report-b.txt
+
+# Churn lifecycle, end to end through the CLI: generate an instance and an
+# adversarial trace, replay it under the adaptive policy with the strict
+# auditor (every event re-verified, max-flow cross-check included).
+churn-smoke:
+	dune build bin/bmp.exe
+	dune exec -- bin/bmp.exe generate -n 30 --seed 7 -o churn-smoke
+	dune exec -- bin/bmp.exe churn gen-trace --events 60 --seed 9 -o churn-smoke.trace.json
+	dune exec -- bin/bmp.exe churn run churn-smoke-0001.txt --trace churn-smoke.trace.json --policy adaptive --audit strict
+	rm -f churn-smoke-0001.txt churn-smoke.trace.json
 
 clean:
 	dune clean

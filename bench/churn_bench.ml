@@ -1,0 +1,114 @@
+(* Wall-clock benchmark for the fault-injection engine (Churn.Engine).
+
+   For each population size, builds a platform and an adversarial trace
+   from fixed seeds, replays the trace once with auditing off and once at
+   Audit.Check level, asserts both runs end in the identical state (the
+   auditor is an observer, not an actor), and appends the timings to
+   BENCH_churn.json.
+
+   The gate: auditing must not cost more than 3x the unaudited replay —
+   the auditor's per-event work is O(V + E) array scans against a repair
+   that already measures its own rate, so a larger multiple means an
+   accidental slow path (e.g. a max-flow call) leaked into Check level.
+   Run with `make bench-churn` or `dune exec -- bench/churn_bench.exe`. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (Unix.gettimeofday () -. t0, result)
+
+type row = {
+  nodes : int;
+  events : int;
+  unaudited_s : float;
+  audited_s : float;
+  events_per_s : float;
+  overhead : float;
+  identical : bool;
+}
+
+let setup ~nodes ~events =
+  let rng = Prng.Splitmix.create (Int64.of_int (9200 + nodes)) in
+  let inst =
+    Platform.Generator.generate
+      { Platform.Generator.total = nodes; p_open = 0.7; dist = Prng.Dist.unif100 }
+      rng
+  in
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  let overlay = Broadcast.Overlay.build ~rate:(t *. 0.9) inst in
+  let trace = Churn.Trace.gen ~events rng in
+  (overlay, trace)
+
+let fingerprint (r : Churn.Engine.result) =
+  let s = r.Churn.Engine.summary in
+  Printf.sprintf "%d/%d/%d/%d/%.12g/%.12g" s.Churn.Engine.applied
+    s.Churn.Engine.rebuilds s.Churn.Engine.total_churn s.Churn.Engine.final_size
+    s.Churn.Engine.final_rate s.Churn.Engine.min_ratio
+
+let bench ~nodes ~events =
+  let overlay, trace = setup ~nodes ~events in
+  let run audit = Churn.Engine.run ~policy:Churn.Policy.Always_patch ~audit overlay trace in
+  let unaudited_s, r_off = time (fun () -> run Churn.Audit.Off) in
+  let audited_s, r_chk = time (fun () -> run Churn.Audit.Check) in
+  {
+    nodes;
+    events;
+    unaudited_s;
+    audited_s;
+    events_per_s = float_of_int events /. unaudited_s;
+    overhead = audited_s /. unaudited_s;
+    identical = String.equal (fingerprint r_off) (fingerprint r_chk);
+  }
+
+let emit_json rows path =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"benchmark\": \"churn\",\n  \"unit\": \"seconds_per_trace\",\n";
+  p "  \"gate_overhead_max\": 3.0,\n";
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"nodes\": %d, \"events\": %d, \"unaudited_s\": %.6e, \
+         \"audited_s\": %.6e,\n\
+        \     \"events_per_s\": %.1f, \"overhead\": %.2f, \"identical\": %b}%s\n"
+        r.nodes r.events r.unaudited_s r.audited_s r.events_per_s r.overhead
+        r.identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc
+
+let () =
+  let rows =
+    [
+      bench ~nodes:200 ~events:300;
+      bench ~nodes:1000 ~events:150;
+      bench ~nodes:5000 ~events:50;
+    ]
+  in
+  Printf.printf "%-7s %-7s %12s %12s %10s %9s %10s\n" "nodes" "events"
+    "unaudited/s" "audited/s" "events/s" "overhead" "identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-7d %-7d %12.3f %12.3f %10.1f %9.2f %10b\n" r.nodes
+        r.events r.unaudited_s r.audited_s r.events_per_s r.overhead r.identical)
+    rows;
+  emit_json rows "BENCH_churn.json";
+  print_endline "wrote BENCH_churn.json";
+  let divergent = List.filter (fun r -> not r.identical) rows in
+  if divergent <> [] then begin
+    List.iter
+      (fun r -> Printf.printf "FAIL: audited run diverged at n=%d\n" r.nodes)
+      divergent;
+    exit 1
+  end;
+  let slow = List.filter (fun r -> r.overhead > 3.0) rows in
+  if slow <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.printf "FAIL: audit overhead %.2fx > 3x at n=%d\n" r.overhead
+          r.nodes)
+      slow;
+    exit 1
+  end

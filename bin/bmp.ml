@@ -486,6 +486,178 @@ let scheme_cmd =
   Cmd.group (Cmd.info "scheme" ~doc)
     [ scheme_build_cmd; scheme_check_cmd; scheme_show_cmd; scheme_export_cmd ]
 
+(* churn: fault injection *)
+
+let read_trace path =
+  match Churn.Trace.of_json (read_text path) with
+  | Ok t -> t
+  | Error msg -> die (Printf.sprintf "cannot load trace %s: %s" path msg)
+
+let trace_events_arg =
+  Arg.(value & opt int 100
+       & info [ "events" ] ~docv:"N" ~doc:"Number of churn events (generated traces).")
+
+let trace_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for trace generation.")
+
+let churn_gen_trace_cmd =
+  let max_batch =
+    Arg.(value & opt int 5
+         & info [ "max-batch" ] ~docv:"K" ~doc:"Largest correlated failure batch.")
+  in
+  let max_flash =
+    Arg.(value & opt int 8
+         & info [ "max-flash" ] ~docv:"K" ~doc:"Largest flash-crowd join burst.")
+  in
+  let out =
+    Arg.(value & opt string "-"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file ('-' for stdout).")
+  in
+  let run events seed max_batch max_flash out =
+    if events < 0 then die "--events must be >= 0";
+    if max_batch < 1 then die "--max-batch must be >= 1";
+    if max_flash < 1 then die "--max-flash must be >= 1";
+    let mix = { Churn.Trace.default_mix with max_batch; max_flash } in
+    let trace =
+      Churn.Trace.gen ~mix ~events (Prng.Splitmix.create (Int64.of_int seed))
+    in
+    let doc = Churn.Trace.to_json trace ^ "\n" in
+    if out = "-" then print_string doc
+    else begin
+      write_file out doc;
+      Printf.printf "wrote %s (%d events)\n" out (Churn.Trace.length trace)
+    end
+  in
+  let info =
+    Cmd.info "gen-trace"
+      ~doc:"Generate a seeded adversarial churn trace (bmp-trace JSON)."
+  in
+  Cmd.v info
+    Term.(const run $ trace_events_arg $ trace_seed_arg $ max_batch $ max_flash $ out)
+
+let churn_run_cmd =
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Replay this bmp-trace file instead of generating one from \
+                   $(b,--events)/$(b,--seed).")
+  in
+  let policy_arg =
+    Arg.(value
+         & opt (enum [ ("patch", `Patch); ("rebuild", `Rebuild); ("adaptive", `Adaptive) ])
+             `Adaptive
+         & info [ "policy" ] ~doc:"Self-healing policy: patch, rebuild or adaptive.")
+  in
+  let min_ratio_arg =
+    Arg.(value & opt float 0.5
+         & info [ "min-ratio" ] ~docv:"R"
+             ~doc:"Adaptive: rebuild when rate/optimal falls below R.")
+  in
+  let degree_slack_arg =
+    Arg.(value & opt int 4
+         & info [ "degree-slack" ] ~docv:"D"
+             ~doc:"Adaptive: rebuild when degree drift exceeds the promised \
+                   bound by more than D.")
+  in
+  let headroom_arg =
+    Arg.(value & opt float 0.9
+         & info [ "headroom" ] ~docv:"H"
+             ~doc:"Build the initial overlay at H times the optimal rate.")
+  in
+  let rebuild_headroom_arg =
+    Arg.(value & opt float 0.8
+         & info [ "rebuild-headroom" ] ~docv:"H"
+             ~doc:"Policy-ordered rebuilds target H times the optimum (spare \
+                   capacity for later patches).")
+  in
+  let audit_arg =
+    Arg.(value
+         & opt (enum [ ("off", Churn.Audit.Off); ("on", Churn.Audit.Check);
+                       ("strict", Churn.Audit.Strict) ])
+             Churn.Audit.Check
+         & info [ "audit" ] ~doc:"Invariant auditing: off, on (default) or strict \
+                                  (adds the max-flow cross-check).")
+  in
+  let timeline_arg =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Print one line per event.")
+  in
+  let run path trace_file events seed policy min_ratio degree_slack headroom
+      rebuild_headroom audit timeline =
+    if not (headroom > 0. && headroom <= 1.) then die "--headroom must lie in (0, 1]";
+    if not (rebuild_headroom > 0. && rebuild_headroom <= 1.) then
+      die "--rebuild-headroom must lie in (0, 1]";
+    if not (min_ratio >= 0. && min_ratio <= 1.) then
+      die "--min-ratio must lie in [0, 1]";
+    if degree_slack < 0 then die "--degree-slack must be >= 0";
+    let inst = read_instance path in
+    let trace =
+      match trace_file with
+      | Some f -> read_trace f
+      | None ->
+        if events < 0 then die "--events must be >= 0";
+        Churn.Trace.gen ~events (Prng.Splitmix.create (Int64.of_int seed))
+    in
+    let policy =
+      match policy with
+      | `Patch -> Churn.Policy.Always_patch
+      | `Rebuild -> Churn.Policy.Always_rebuild
+      | `Adaptive -> Churn.Policy.Adaptive { min_ratio; degree_slack }
+    in
+    let overlay =
+      or_invalid @@ fun () ->
+      let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+      Broadcast.Overlay.build ~rate:(t *. headroom) inst
+    in
+    let on_event (r : Churn.Engine.record) =
+      if timeline then
+        Printf.printf
+          "%4d %-11s %-7s n=%-4d rate=%-9.3f opt=%-9.3f ratio=%.3f edges=%-4d \
+           churn=%-6d excess=%-3d rebuilds=%d\n"
+          r.Churn.Engine.index
+          (Churn.Trace.label r.Churn.Engine.event)
+          (match r.Churn.Engine.action with
+          | Churn.Engine.Patched -> "patch"
+          | Churn.Engine.Rebuilt -> "rebuild"
+          | Churn.Engine.Skipped -> "skip")
+          r.Churn.Engine.size r.Churn.Engine.rate r.Churn.Engine.optimal
+          r.Churn.Engine.ratio r.Churn.Engine.churn_edges
+          r.Churn.Engine.cumulative_churn r.Churn.Engine.max_excess
+          r.Churn.Engine.rebuilds
+    in
+    match
+      Churn.Engine.run ~policy ~audit ~rebuild_headroom ~on_event overlay trace
+    with
+    | exception Churn.Audit.Violation { index; what } ->
+      Printf.eprintf "audit violation at event %d: %s\n" index what;
+      exit 1
+    | result ->
+      let s = result.Churn.Engine.summary in
+      Printf.printf "policy          : %s\n" (Churn.Policy.name policy);
+      Printf.printf "audit           : %s\n" (Churn.Audit.level_name audit);
+      Printf.printf "events          : %d (%d applied, %d skipped)\n" s.Churn.Engine.events
+        s.Churn.Engine.applied s.Churn.Engine.skipped;
+      Printf.printf "rebuilds        : %d\n" s.Churn.Engine.rebuilds;
+      Printf.printf "edge churn      : %d\n" s.Churn.Engine.total_churn;
+      Printf.printf "rate ratio      : min %.4f, mean %.4f\n" s.Churn.Engine.min_ratio
+        s.Churn.Engine.mean_ratio;
+      Printf.printf "final overlay   : %d nodes, rate %.6f (optimal %.6f)\n"
+        s.Churn.Engine.final_size s.Churn.Engine.final_rate
+        s.Churn.Engine.final_optimal
+  in
+  let info =
+    Cmd.info "run"
+      ~doc:"Replay a churn trace against an instance's overlay under a \
+            self-healing policy, auditing every event."
+  in
+  Cmd.v info
+    Term.(const run $ instance_arg $ trace_file $ trace_events_arg $ trace_seed_arg
+          $ policy_arg $ min_ratio_arg $ degree_slack_arg $ headroom_arg
+          $ rebuild_headroom_arg $ audit_arg $ timeline_arg)
+
+let churn_cmd =
+  let doc = "Fault injection: generate churn traces and replay them under self-healing policies." in
+  Cmd.group (Cmd.info "churn" ~doc) [ churn_gen_trace_cmd; churn_run_cmd ]
+
 let () =
   let doc = "bounded multi-port broadcast: overlays, bounds and experiments" in
   let info = Cmd.info "bmp" ~version:"1.0.0" ~doc in
@@ -493,4 +665,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd; trees_cmd;
-            scheme_cmd; selfcheck_cmd ]))
+            scheme_cmd; churn_cmd; selfcheck_cmd ]))

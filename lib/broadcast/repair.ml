@@ -1,11 +1,13 @@
 open Platform
 module G = Flowgraph.Graph
+module Csr = Flowgraph.Csr
 
 type stats = {
   patch_edges : int;
   rebuild_edges : int;
   rate_after : float;
   optimal_after : float;
+  starved : int list;
 }
 
 (* Provenance of a patched scheme: the original algorithm wrapped once in
@@ -23,11 +25,11 @@ let patched_overlay_of o ~inst ~graph ~order =
   let scheme = Scheme.create ~provenance:(repaired_provenance o) inst graph in
   Overlay.of_scheme scheme ~order
 
-let remap_graph old_graph ~size ~map ~drop =
+let remap_graph old_graph ~size ~map ~keep =
   let g = G.create size in
   G.iter_edges
     (fun ~src ~dst w ->
-      if src <> drop && dst <> drop then G.set_edge g ~src:(map src) ~dst:(map dst) w)
+      if keep src && keep dst then G.set_edge g ~src:(map src) ~dst:(map dst) w)
     old_graph;
   g
 
@@ -63,58 +65,126 @@ let refill inst graph ~pos ~r ~deficit ~cut =
   in
   draw remaining (senders_of_class false)
 
-let finish ~before_projected ~touched patched =
-  let rebuilt = Overlay.build (Overlay.instance patched) in
-  let stats =
-    {
-      patch_edges =
-        touched + Overlay.edge_distance before_projected (Overlay.graph patched);
-      rebuild_edges =
-        touched + Overlay.edge_distance before_projected (Overlay.graph rebuilt);
-      rate_after = Overlay.verified_rate patched;
-      optimal_after = Overlay.rate rebuilt;
-    }
-  in
-  (patched, stats)
-
-let leave o ~node =
-  let inst = Overlay.instance o in
-  let size = Instance.size inst in
-  if node <= 0 || node >= size then invalid_arg "Repair.leave: bad node";
-  if size <= 2 then invalid_arg "Repair.leave: cannot remove the last receiver";
-  let b = inst.Instance.bandwidth in
-  let bandwidth =
-    Array.init (size - 1) (fun i -> if i < node then b.(i) else b.(i + 1))
-  in
-  let n = inst.Instance.n - (if node <= inst.Instance.n then 1 else 0) in
-  let m = inst.Instance.m - (if node > inst.Instance.n then 1 else 0) in
-  let new_inst = Instance.create ~bandwidth ~n ~m () in
-  let map u = if u < node then u else u - 1 in
-  let order =
-    Array.of_list
-      (Array.to_list (Overlay.order o)
-      |> List.filter (( <> ) node)
-      |> List.map map)
-  in
-  let old_graph = Overlay.graph o in
-  let touched = G.out_degree old_graph node + List.length (G.in_edges old_graph node) in
-  let graph = remap_graph old_graph ~size:(size - 1) ~map ~drop:node in
-  let before_projected = G.copy graph in
-  (* Refill reception deficits in topological order so earlier repairs can
-     rely on upstream nodes being whole again. *)
-  let pos = Array.make (size - 1) 0 in
+(* Refill every reception deficit in topological order, so earlier repairs
+   can rely on upstream nodes being whole again. *)
+let refill_all inst graph ~order ~rate =
+  let pos = Array.make (Array.length order) 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
-  let rate = Overlay.rate o in
   let cut = 1e-7 *. rate in
   Array.iter
     (fun r ->
       if r <> 0 then begin
         let deficit = rate -. G.in_weight graph r in
-        if deficit > cut then
-          ignore (refill new_inst graph ~pos ~r ~deficit ~cut)
+        if deficit > cut then ignore (refill inst graph ~pos ~r ~deficit ~cut)
       end)
-    order;
-  finish ~before_projected ~touched (patched_overlay_of o ~inst:new_inst ~graph ~order)
+    order
+
+(* Non-source nodes still receiving below [rate] (beyond a 1e-6 relative
+   slack) — read off the patched scheme's cached CSR snapshot. *)
+let starved_of scheme =
+  let rate = Scheme.rate scheme in
+  let snap = Scheme.snapshot scheme in
+  let slack = 1e-6 *. Float.max 1. rate in
+  let starved = ref [] in
+  for v = Csr.node_count snap - 1 downto 1 do
+    if Csr.in_weight snap v < rate -. slack then starved := v :: !starved
+  done;
+  !starved
+
+let finish ~before_projected ~touched patched =
+  let patch_edges =
+    touched + Overlay.edge_distance before_projected (Overlay.graph patched)
+  in
+  (* [rate_after] comes from the patched scheme's memoized report — the CSR
+     structured fast path on acyclic overlays, never a fresh max-flow. *)
+  let rate_after = Overlay.verified_rate patched in
+  let starved = starved_of (Overlay.scheme patched) in
+  let stats =
+    (* Churn can in principle leave an instance the Theorem 4.1 pipeline
+       no longer accepts (optimal rate 0); the patch must still stand on
+       its own, so a failed reference rebuild degrades to "no alternative"
+       instead of propagating the exception. *)
+    match Overlay.build (Overlay.instance patched) with
+    | rebuilt ->
+      {
+        patch_edges;
+        rebuild_edges =
+          touched + Overlay.edge_distance before_projected (Overlay.graph rebuilt);
+        rate_after;
+        optimal_after = Overlay.rate rebuilt;
+        starved;
+      }
+    | exception Invalid_argument _ ->
+      {
+        patch_edges;
+        rebuild_edges = patch_edges;
+        rate_after;
+        optimal_after = 0.;
+        starved;
+      }
+  in
+  (patched, stats)
+
+(* Shared removal core: drop a set of nodes in one event, remap the
+   survivors, and refill every reception deficit in topological order. *)
+let remove_nodes o ~nodes ~op =
+  let inst = Overlay.instance o in
+  let size = Instance.size inst in
+  if nodes = [] then invalid_arg (op ^ ": no node to remove");
+  let drop = Array.make size false in
+  List.iter
+    (fun v ->
+      if v <= 0 || v >= size then invalid_arg (op ^ ": bad node");
+      if drop.(v) then invalid_arg (op ^ ": duplicate node");
+      drop.(v) <- true)
+    nodes;
+  let k = List.length nodes in
+  if size - k < 2 then invalid_arg (op ^ ": cannot remove the last receiver");
+  let map = Array.make size (-1) in
+  let next = ref 0 in
+  for v = 0 to size - 1 do
+    if not drop.(v) then begin
+      map.(v) <- !next;
+      incr next
+    end
+  done;
+  let b = inst.Instance.bandwidth in
+  let bandwidth = Array.make (size - k) 0. in
+  for v = 0 to size - 1 do
+    if not drop.(v) then bandwidth.(map.(v)) <- b.(v)
+  done;
+  let dropped_open = ref 0 in
+  for v = 1 to inst.Instance.n do
+    if drop.(v) then incr dropped_open
+  done;
+  let n = inst.Instance.n - !dropped_open in
+  let m = inst.Instance.m - (k - !dropped_open) in
+  let new_inst = Instance.create ~bandwidth ~n ~m () in
+  let order =
+    Array.of_list
+      (Array.to_list (Overlay.order o)
+      |> List.filter (fun v -> not drop.(v))
+      |> List.map (fun v -> map.(v)))
+  in
+  let old_graph = Overlay.graph o in
+  (* Every connection incident to a casualty is churn the survivors pay. *)
+  let touched = ref 0 in
+  G.iter_edges
+    (fun ~src ~dst _w -> if drop.(src) || drop.(dst) then incr touched)
+    old_graph;
+  let graph =
+    remap_graph old_graph ~size:(size - k) ~map:(fun v -> map.(v))
+      ~keep:(fun v -> not drop.(v))
+  in
+  let before_projected = G.copy graph in
+  refill_all new_inst graph ~order ~rate:(Overlay.rate o);
+  finish ~before_projected ~touched:!touched
+    (patched_overlay_of o ~inst:new_inst ~graph ~order)
+
+let leave o ~node = remove_nodes o ~nodes:[ node ] ~op:"Repair.leave"
+
+let leave_batch o ~nodes =
+  remove_nodes o ~nodes:(List.sort_uniq compare nodes) ~op:"Repair.leave_batch"
 
 let sorted_insert_position inst ~cls ~bandwidth =
   let b = inst.Instance.bandwidth in
@@ -128,7 +198,7 @@ let sorted_insert_position inst ~cls ~bandwidth =
     scan (inst.Instance.n + 1) (inst.Instance.n + inst.Instance.m)
 
 let join o ~bandwidth ~cls =
-  if bandwidth < 0. || Float.is_nan bandwidth then
+  if bandwidth < 0. || not (Float.is_finite bandwidth) then
     invalid_arg "Repair.join: bad bandwidth";
   let inst = Overlay.instance o in
   let size = Instance.size inst in
@@ -142,23 +212,112 @@ let join o ~bandwidth ~cls =
   let m = inst.Instance.m + (if cls = Instance.Guarded then 1 else 0) in
   let new_inst = Instance.create ~bandwidth:new_bandwidth ~n ~m () in
   let map u = if u < p then u else u + 1 in
-  let graph = remap_graph (Overlay.graph o) ~size:(size + 1) ~map ~drop:(-1) in
+  let graph =
+    remap_graph (Overlay.graph o) ~size:(size + 1) ~map ~keep:(fun _ -> true)
+  in
   let before_projected = G.copy graph in
   let order = Array.append (Array.map map (Overlay.order o)) [| p |] in
   let pos = Array.make (size + 1) 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
   let rate = Overlay.rate o in
   let cut = 1e-7 *. rate in
+  (* On a saturated overlay this fills nothing: the newcomer is admitted
+     at rate 0 and lands in [stats.starved] — never an exception. *)
   ignore (refill new_inst graph ~pos ~r:p ~deficit:rate ~cut);
   finish ~before_projected ~touched:0 (patched_overlay_of o ~inst:new_inst ~graph ~order)
 
-let rebuild o =
-  let rebuilt = Overlay.build (Overlay.instance o) in
+(* Bandwidth change without membership change: move the node to its sorted
+   position within its class (a label permutation — the topology and the
+   topological order are untouched), clamp its outgoing edges to the new
+   cap, then refill every reception deficit from spare capacity. *)
+let set_bandwidth o ~node ~bandwidth ~op =
+  let inst = Overlay.instance o in
+  let size = Instance.size inst in
+  if node < 0 || node >= size then invalid_arg (op ^ ": bad node");
+  if not (Float.is_finite bandwidth) || bandwidth < 0. then
+    invalid_arg (op ^ ": bad bandwidth");
+  if node = 0 && bandwidth <= 0. then
+    invalid_arg (op ^ ": source bandwidth must stay positive");
+  let b = inst.Instance.bandwidth in
+  let b' = Array.copy b in
+  b'.(node) <- bandwidth;
+  (* Stable re-sort of the node's class block under the new bandwidth;
+     every other pair keeps its relative order, so the permutation is
+     deterministic and [Instance.sorted] holds again. *)
+  let lo, hi =
+    if node = 0 then (0, 0)
+    else if Instance.is_open inst node then (1, inst.Instance.n)
+    else (inst.Instance.n + 1, inst.Instance.n + inst.Instance.m)
+  in
+  let block =
+    List.stable_sort
+      (fun i j -> compare b'.(j) b'.(i))
+      (List.init (hi - lo + 1) (fun i -> lo + i))
+  in
+  let map = Array.init size (fun v -> v) in
+  List.iteri (fun i old -> map.(old) <- lo + i) block;
+  let bandwidth_sorted = Array.make size 0. in
+  Array.iteri (fun old new_i -> bandwidth_sorted.(new_i) <- b'.(old)) map;
+  let new_inst =
+    Instance.create ~bandwidth:bandwidth_sorted ~n:inst.Instance.n
+      ~m:inst.Instance.m ()
+  in
+  let graph =
+    remap_graph (Overlay.graph o) ~size ~map:(fun v -> map.(v))
+      ~keep:(fun _ -> true)
+  in
+  let before_projected = G.copy graph in
+  let node' = map.(node) in
+  let out = G.out_weight graph node' in
+  if out > bandwidth then
+    if bandwidth <= 0. then
+      List.iter
+        (fun (dst, _w) -> G.set_edge graph ~src:node' ~dst 0.)
+        (G.out_edges graph node')
+    else begin
+      let s = bandwidth /. out in
+      List.iter
+        (fun (dst, w) -> G.set_edge graph ~src:node' ~dst (w *. s))
+        (G.out_edges graph node')
+    end;
+  let order = Array.map (fun v -> map.(v)) (Overlay.order o) in
+  refill_all new_inst graph ~order ~rate:(Overlay.rate o);
+  finish ~before_projected ~touched:0
+    (patched_overlay_of o ~inst:new_inst ~graph ~order)
+
+let degrade o ~node ~bandwidth =
+  let inst = Overlay.instance o in
+  if node >= 0 && node < Instance.size inst
+     && not (Util.fle bandwidth inst.Instance.bandwidth.(node))
+  then invalid_arg "Repair.degrade: bandwidth increased";
+  set_bandwidth o ~node ~bandwidth ~op:"Repair.degrade"
+
+let restore o ~node ~bandwidth =
+  let inst = Overlay.instance o in
+  if node >= 0 && node < Instance.size inst
+     && not (Util.fge bandwidth inst.Instance.bandwidth.(node))
+  then invalid_arg "Repair.restore: bandwidth decreased";
+  set_bandwidth o ~node ~bandwidth ~op:"Repair.restore"
+
+let rebuild ?headroom o =
+  let inst = Overlay.instance o in
+  let rebuilt, optimal_after =
+    match headroom with
+    | None ->
+      let rebuilt = Overlay.build inst in
+      (rebuilt, Overlay.rate rebuilt)
+    | Some h ->
+      if not (h > 0. && h <= 1.) then
+        invalid_arg "Repair.rebuild: headroom must lie in (0, 1]";
+      let t, _ = Greedy.optimal_acyclic inst in
+      (Overlay.build ~rate:(t *. h) inst, t)
+  in
   let edges = Overlay.edge_distance (Overlay.graph o) (Overlay.graph rebuilt) in
   ( rebuilt,
     {
       patch_edges = edges;
       rebuild_edges = edges;
       rate_after = Overlay.verified_rate rebuilt;
-      optimal_after = Overlay.rate rebuilt;
+      optimal_after;
+      starved = starved_of (Overlay.scheme rebuilt);
     } )

@@ -2,29 +2,51 @@
 
     The paper's conclusion flags churn as the open problem of its approach
     ("it is probably not resilient to churn"). This module implements the
-    natural local-repair strategy on the acyclic overlays built here and
+    natural local-repair strategies on the acyclic overlays built here and
     quantifies the trade-off against a full rebuild:
 
     - {!leave}: when a node departs, its upload responsibilities are
       redistributed to earlier nodes with spare upload capacity (keeping
       the scheme acyclic and firewall-safe) and its own reception is
       dropped; nothing else moves. The repaired rate may be below the new
-      instance's optimum — the honest number is re-measured by max-flow.
+      instance's optimum — the honest number is re-measured through the
+      patched scheme's cached CSR snapshot.
+    - {!leave_batch}: a correlated failure — several nodes vanish in the
+      same event (rack loss, AS partition) and the survivors are patched
+      once, not once per casualty.
     - {!join}: a newcomer is appended last in the topological order and
       fed from whatever spare capacity exists (guarded supply first if it
       is open); its own upload stays idle until the next rebuild, so it
-      never degrades existing nodes.
+      never degrades existing nodes. On a saturated overlay the newcomer
+      is admitted at rate 0 and reported through {!stats.starved} — the
+      operation never raises for lack of capacity.
+    - {!degrade} / {!restore}: a node's measured upload capacity changes
+      without any membership change (congestion, throttling, recovery).
+      The node is moved to its sorted position within its class, its
+      outgoing edges are scaled down to the new cap when necessary, and
+      every reception deficit in the overlay is refilled from spare
+      capacity in topological order — so a restore also heals nodes
+      starved by an earlier degrade.
 
-    Both operations touch [O(degree)] edges where a rebuild re-wires the
-    whole swarm; the churn experiment (E13) measures exactly this gap and
+    All patch operations touch [O(degree)] edges where a rebuild re-wires
+    the whole swarm; the churn experiments (E13/E14) and the
+    fault-injection engine ({!Churn.Engine}) measure exactly this gap and
     the throughput cost of patching versus rebuilding. *)
 
 type stats = {
   patch_edges : int;  (** edge changes performed by the local repair *)
   rebuild_edges : int;
       (** edge changes a full re-optimization would have required *)
-  rate_after : float;  (** max-flow rate of the patched overlay *)
+  rate_after : float;
+      (** throughput of the patched overlay, measured through the scheme's
+          memoized report (the CSR structured fast path on acyclic
+          overlays — no fresh max-flow per operation) *)
   optimal_after : float;  (** optimal acyclic rate of the new instance *)
+  starved : int list;
+      (** non-source nodes whose incoming rate remains below the overlay's
+          target rate (beyond a [1e-6] relative slack) after the repair —
+          empty on a nominal patch. A join on a saturated overlay reports
+          the newcomer here instead of raising. *)
 }
 
 val leave : Overlay.t -> node:int -> Overlay.t * stats
@@ -36,6 +58,13 @@ val leave : Overlay.t -> node:int -> Overlay.t * stats
     promise). Raises [Invalid_argument] on the source, an out-of-range
     index, or when the overlay has a single receiver left. *)
 
+val leave_batch : Overlay.t -> nodes:int list -> Overlay.t * stats
+(** [leave_batch o ~nodes] removes every node of [nodes] in one event and
+    patches the survivors once, in topological order. Equivalent to (but
+    cheaper and less churn-prone than) a sequence of {!leave}s.
+    Raises [Invalid_argument] on an empty list, duplicates, the source, an
+    out-of-range index, or when fewer than two nodes would survive. *)
+
 val join :
   Overlay.t ->
   bandwidth:float ->
@@ -43,11 +72,40 @@ val join :
   Overlay.t * stats
 (** [join o ~bandwidth ~cls] inserts a new node of the given class. The
     node is placed at its sorted position in the instance (so a later
-    rebuild sees a sorted instance) but fed last. Raises
-    [Invalid_argument] on negative bandwidth. *)
+    rebuild sees a sorted instance) but fed last. When no node has spare
+    upload capacity the newcomer is admitted at rate 0 and listed in
+    {!stats.starved} — saturation is a reported condition, not an error.
+    Raises [Invalid_argument] on negative or non-finite bandwidth. *)
 
-val rebuild : Overlay.t -> Overlay.t * stats
+val degrade : Overlay.t -> node:int -> bandwidth:float -> Overlay.t * stats
+(** [degrade o ~node ~bandwidth] lowers [node]'s upload capacity to
+    [bandwidth] (which must not exceed its current bandwidth). The node
+    keeps its identity: it is moved to its sorted position within its
+    class, its outgoing edges are scaled down proportionally when they
+    exceed the new cap, and the resulting reception deficits are refilled
+    from spare capacity in topological order. Children that cannot be
+    refilled are reported through {!stats.starved}. Degrading the source
+    to 0 is rejected (the instance would not admit any broadcast);
+    otherwise raises [Invalid_argument] on an out-of-range node, a
+    negative, non-finite or increased bandwidth. *)
+
+val restore : Overlay.t -> node:int -> bandwidth:float -> Overlay.t * stats
+(** [restore o ~node ~bandwidth] raises [node]'s upload capacity to
+    [bandwidth] (which must be at least its current bandwidth) and uses
+    the recovered spare capacity to refill any node still starved, in
+    topological order — the healing converse of {!degrade}. Raises
+    [Invalid_argument] on an out-of-range node or a decreased bandwidth. *)
+
+val rebuild : ?headroom:float -> Overlay.t -> Overlay.t * stats
 (** [rebuild o] re-runs the full Theorem 4.1 pipeline on the overlay's
     instance — the expensive alternative the patch operations are
     measured against. [patch_edges = rebuild_edges] in the returned
-    stats; the result carries fresh [Scheme.Theorem41] provenance. *)
+    stats; the result carries fresh [Scheme.Theorem41] provenance.
+
+    By default the rebuild targets the instance's optimal acyclic rate,
+    leaving zero spare upload capacity — so the next [join] necessarily
+    admits its newcomer at rate 0. [headroom] (in (0, 1]) instead targets
+    that fraction of the optimum, trading throughput for patch capacity;
+    [stats.optimal_after] still reports the true optimum, so the
+    post-rebuild ratio is honestly [headroom], not 1. Raises
+    [Invalid_argument] on a headroom outside (0, 1]. *)

@@ -1,0 +1,98 @@
+open Broadcast
+module Instance = Platform.Instance
+module Csr = Flowgraph.Csr
+
+exception Violation of { index : int; what : string }
+
+type level = Off | Check | Strict
+
+let level_name = function Off -> "off" | Check -> "check" | Strict -> "strict"
+
+let fail index fmt = Printf.ksprintf (fun what -> raise (Violation { index; what })) fmt
+
+(* Relative slack matching the library's flow-comparison tolerance. *)
+let slack x = 1e-6 *. Float.max 1. (Float.abs x)
+
+let check_order index o =
+  let order = Overlay.order o in
+  let n = Scheme.size (Overlay.scheme o) in
+  if Array.length order <> n then
+    fail index "order length %d, %d nodes" (Array.length order) n;
+  if n > 0 && order.(0) <> 0 then
+    fail index "order does not start at the source (order.(0) = %d)" order.(0);
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then fail index "order mentions out-of-range node %d" v;
+      if seen.(v) then fail index "order mentions node %d twice" v;
+      seen.(v) <- true)
+    order;
+  let pos = Overlay.positions o in
+  Csr.iter_edges
+    (fun ~src ~dst _ ->
+      if pos.(src) >= pos.(dst) then
+        fail index "edge %d -> %d goes backward in the topological order" src dst)
+    (Scheme.snapshot (Overlay.scheme o))
+
+let check_structure index o =
+  let scheme = Overlay.scheme o in
+  let inst = Scheme.instance scheme in
+  let csr = Scheme.snapshot scheme in
+  let n = Instance.size inst in
+  for v = 0 to n - 1 do
+    let out = Csr.out_weight csr v in
+    let b = inst.Instance.bandwidth.(v) in
+    if not (Util.fle out b) then
+      fail index "node %d uploads %.12g over its bandwidth %.12g" v out b
+  done;
+  Csr.iter_edges
+    (fun ~src ~dst w ->
+      if w > 0. && Instance.is_guarded inst src && Instance.is_guarded inst dst then
+        fail index "firewall violation: guarded %d sends to guarded %d" src dst)
+    csr;
+  (match inst.Instance.bin with
+  | None -> ()
+  | Some bin ->
+    for v = 1 to n - 1 do
+      let w = Csr.in_weight csr v in
+      if not (Util.fle w bin.(v)) then
+        fail index "node %d receives %.12g over its incoming cap %.12g" v w bin.(v)
+    done);
+  if not (Csr.is_acyclic csr) then fail index "overlay graph has a directed cycle"
+
+let check_rate level index ?stats o =
+  let scheme = Overlay.scheme o in
+  let csr = Scheme.snapshot scheme in
+  let cut, _ = Csr.min_incoming_cut csr ~src:0 in
+  let reported = Overlay.verified_rate o in
+  if Float.is_finite cut || Float.is_finite reported then
+    if Float.abs (cut -. reported) > slack cut then
+      fail index
+        "incoming-cut rate %.12g disagrees with the memoized report %.12g" cut
+        reported;
+  (match stats with
+  | None -> ()
+  | Some (s : Repair.stats) ->
+    if Float.is_finite cut || Float.is_finite s.Repair.rate_after then
+      if Float.abs (cut -. s.Repair.rate_after) > slack cut then
+        fail index "repair reported rate_after %.12g but the overlay carries %.12g"
+          s.Repair.rate_after cut;
+    if
+      Float.is_finite s.Repair.optimal_after
+      && cut > s.Repair.optimal_after +. slack s.Repair.optimal_after
+    then
+      fail index "rate %.12g exceeds the reported optimum %.12g" cut
+        s.Repair.optimal_after);
+  if level = Strict && Float.is_finite cut then begin
+    let flow = Flowgraph.Maxflow.min_broadcast_flow_csr csr ~src:0 in
+    if Float.abs (cut -. flow) > slack cut then
+      fail index "fast-path rate %.12g disagrees with max-flow %.12g" cut flow
+  end
+
+let check level ~index ?stats o =
+  match level with
+  | Off -> ()
+  | Check | Strict ->
+    check_order index o;
+    check_structure index o;
+    check_rate level index ?stats o

@@ -1,0 +1,48 @@
+(** Invariant auditor for the fault-injection engine.
+
+    After every applied churn event the engine can re-check the live
+    overlay from scratch — an independent scan over the scheme's cached
+    {!Flowgraph.Csr} snapshot, not a replay of the constructor's checks —
+    and fail loudly with the index of the offending event. This is the
+    robustness harness's tripwire: a repair bug corrupts the overlay at
+    event [k], the auditor names [k], and the trace seed reproduces it
+    deterministically.
+
+    Checked at {!Check} level (all O(V + E) array scans):
+
+    - the topological order is a permutation starting at the source and
+      every edge goes forward in it;
+    - no node exceeds its outgoing bandwidth (relative [Util.eps]);
+    - no guarded node sends to a guarded node;
+    - incoming caps are respected when the instance has them;
+    - the snapshot is acyclic;
+    - the measured rate (minimal incoming cut — the structured fast path)
+      agrees with the overlay's memoized report and, when given, with the
+      repair's reported [rate_after];
+    - the rate does not exceed the reported optimum beyond the library's
+      [1e-6] relative flow slack.
+
+    {!Strict} additionally cross-checks the cut against a full max-flow
+    computation ({!Flowgraph.Maxflow.min_broadcast_flow_csr}) — the
+    generic oracle the fast path is differentially tested against. *)
+
+open Broadcast
+
+exception Violation of { index : int; what : string }
+(** [index] is the 0-based position of the event in the trace after which
+    the invariant broke. *)
+
+type level =
+  | Off  (** no auditing (benchmark baseline) *)
+  | Check  (** structural + fast-path rate audit after every event *)
+  | Strict  (** {!Check} plus the max-flow cross-check *)
+
+val level_name : level -> string
+(** ["off"], ["check"], ["strict"]. *)
+
+val check :
+  level -> index:int -> ?stats:Repair.stats -> Overlay.t -> unit
+(** [check lvl ~index ?stats o] audits [o]; raises {!Violation} carrying
+    [index] and a description on the first broken invariant. [Off] checks
+    nothing. [stats] enables the agreement checks against the repair's
+    own numbers. *)

@@ -1,0 +1,202 @@
+open Broadcast
+module Instance = Platform.Instance
+
+type action = Patched | Rebuilt | Skipped
+
+type record = {
+  index : int;
+  event : Trace.event;
+  action : action;
+  size : int;
+  rate : float;
+  optimal : float;
+  ratio : float;
+  churn_edges : int;
+  cumulative_churn : int;
+  max_excess : int;
+  rebuilds : int;
+}
+
+type summary = {
+  events : int;
+  applied : int;
+  skipped : int;
+  rebuilds : int;
+  total_churn : int;
+  min_ratio : float;
+  mean_ratio : float;
+  final_size : int;
+  final_rate : float;
+  final_optimal : float;
+}
+
+type result = { overlay : Overlay.t; timeline : record list; summary : summary }
+
+(* Smallest population the engine maintains: the source plus two
+   receivers, so every repair operation stays within its contract. *)
+let min_population = 3
+
+let resolve_pick ~size pick = 1 + (pick mod (size - 1))
+
+let ratio_of ~rate ~optimal =
+  if optimal > 0. && Float.is_finite optimal then rate /. optimal else 1.
+
+let cls_of guarded = if guarded then Instance.Guarded else Instance.Open
+
+(* Distinct casualties for a correlated failure, keeping at least
+   [min_population] survivors; picks beyond that budget are dropped. *)
+let resolve_batch ~size picks =
+  let budget = size - min_population in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun pick ->
+      let v = resolve_pick ~size pick in
+      if Hashtbl.length seen >= budget || Hashtbl.mem seen v then None
+      else begin
+        Hashtbl.add seen v ();
+        Some v
+      end)
+    picks
+
+let apply o (event : Trace.event) =
+  let size = Scheme.size (Overlay.scheme o) in
+  match event with
+  | Leave { pick } ->
+    if size <= min_population then None
+    else Some (Repair.leave o ~node:(resolve_pick ~size pick))
+  | Join { bandwidth; guarded } ->
+    Some (Repair.join o ~bandwidth ~cls:(cls_of guarded))
+  | Degrade { pick; factor } ->
+    let node = resolve_pick ~size pick in
+    let b = (Overlay.instance o).Instance.bandwidth.(node) in
+    Some (Repair.degrade o ~node ~bandwidth:(b *. factor))
+  | Restore { pick; factor } ->
+    let node = resolve_pick ~size pick in
+    let b = (Overlay.instance o).Instance.bandwidth.(node) in
+    Some (Repair.restore o ~node ~bandwidth:(b /. factor))
+  | Fail_batch { picks } ->
+    (match resolve_batch ~size picks with
+    | [] -> None
+    | nodes -> Some (Repair.leave_batch o ~nodes))
+  | Flash_crowd { arrivals } ->
+    let o, edges, last =
+      List.fold_left
+        (fun (o, edges, _) (bandwidth, guarded) ->
+          let o, (stats : Repair.stats) =
+            Repair.join o ~bandwidth ~cls:(cls_of guarded)
+          in
+          (o, edges + stats.patch_edges, Some stats))
+        (o, 0, None) arrivals
+    in
+    (match last with
+    | None -> None
+    | Some stats -> Some (o, { stats with Repair.patch_edges = edges }))
+
+let run ?(policy = Policy.Always_patch) ?(audit = Audit.Off) ?rebuild_headroom
+    ?on_event start trace =
+  let state = Policy.init policy start in
+  let overlay = ref start in
+  let timeline = ref [] in
+  let applied = ref 0 in
+  let skipped = ref 0 in
+  let rebuilds = ref 0 in
+  let churn = ref 0 in
+  let min_ratio = ref 1. in
+  let sum_ratio = ref 0. in
+  Array.iteri
+    (fun index event ->
+      let record =
+        match apply !overlay event with
+        | None ->
+          incr skipped;
+          let o = !overlay in
+          let rate = Overlay.verified_rate o in
+          {
+            index;
+            event;
+            action = Skipped;
+            size = Scheme.size (Overlay.scheme o);
+            rate;
+            optimal = rate;
+            ratio = 1.;
+            churn_edges = 0;
+            cumulative_churn = !churn;
+            max_excess = (Metrics.scheme_report (Overlay.scheme o)).max_excess;
+            rebuilds = !rebuilds;
+          }
+        | Some (patched, (stats : Repair.stats)) ->
+          incr applied;
+          let max_excess =
+            (Metrics.scheme_report (Overlay.scheme patched)).max_excess
+          in
+          let obs =
+            {
+              Policy.rate = stats.rate_after;
+              optimal = stats.optimal_after;
+              max_excess;
+            }
+          in
+          let o, action, churn_edges, (fstats : Repair.stats), max_excess =
+            if Policy.decide state obs then begin
+              let rebuilt, (rstats : Repair.stats) =
+                Repair.rebuild ?headroom:rebuild_headroom patched
+              in
+              incr rebuilds;
+              Policy.note_rebuild state rebuilt;
+              ( rebuilt,
+                Rebuilt,
+                stats.patch_edges + rstats.patch_edges,
+                rstats,
+                (Metrics.scheme_report (Overlay.scheme rebuilt)).max_excess )
+            end
+            else (patched, Patched, stats.patch_edges, stats, max_excess)
+          in
+          let rate = fstats.rate_after and optimal = fstats.optimal_after in
+          overlay := o;
+          churn := !churn + churn_edges;
+          let ratio = ratio_of ~rate ~optimal in
+          min_ratio := Float.min !min_ratio ratio;
+          sum_ratio := !sum_ratio +. ratio;
+          Audit.check audit ~index ~stats:fstats o;
+          {
+            index;
+            event;
+            action;
+            size = Scheme.size (Overlay.scheme o);
+            rate;
+            optimal;
+            ratio;
+            churn_edges;
+            cumulative_churn = !churn;
+            max_excess;
+            rebuilds = !rebuilds;
+          }
+      in
+      (match on_event with Some f -> f record | None -> ());
+      timeline := record :: !timeline)
+    trace.Trace.events;
+  let final = !overlay in
+  let final_rate = Overlay.verified_rate final in
+  let final_optimal =
+    match !timeline with
+    | r :: _ when r.action <> Skipped -> r.optimal
+    | _ -> final_rate
+  in
+  {
+    overlay = final;
+    timeline = List.rev !timeline;
+    summary =
+      {
+        events = Trace.length trace;
+        applied = !applied;
+        skipped = !skipped;
+        rebuilds = !rebuilds;
+        total_churn = !churn;
+        min_ratio = !min_ratio;
+        mean_ratio =
+          (if !applied = 0 then 1. else !sum_ratio /. float_of_int !applied);
+        final_size = Scheme.size (Overlay.scheme final);
+        final_rate;
+        final_optimal;
+      };
+  }

@@ -1,0 +1,78 @@
+(** Discrete-event fault injection over live overlays.
+
+    [run] replays a {!Trace.t} against an {!Overlay.t}: each event is
+    applied through the corresponding {!Broadcast.Repair} operation, the
+    configured {!Policy} decides whether to follow the local patch with a
+    full rebuild, the {!Audit} level re-checks every invariant, and a
+    per-event timeline plus a summary come back for reporting. The whole
+    run is deterministic: same overlay, trace, policy and audit level —
+    same result, byte for byte.
+
+    Event semantics:
+
+    - node-targeting events resolve their abstract [pick] against the
+      current population as [1 + pick mod (size - 1)] (never the source);
+    - a [Leave] is skipped when the overlay has 3 or fewer nodes, and a
+      [Fail_batch] keeps at most [size - 3] distinct casualties (dropping
+      the excess picks), so the overlay never shrinks below a source plus
+      two receivers mid-run;
+    - [Degrade] multiplies the picked node's bandwidth by its factor;
+      [Restore] divides by it (so a degrade/restore pair at equal factors
+      cancels);
+    - a [Flash_crowd] applies its arrivals as successive joins and
+      reports them as one timeline record. *)
+
+open Broadcast
+
+type action =
+  | Patched  (** local repair only *)
+  | Rebuilt  (** local repair followed by a policy-ordered rebuild *)
+  | Skipped  (** event could not apply (population too small) *)
+
+type record = {
+  index : int;  (** position of the event in the trace *)
+  event : Trace.event;
+  action : action;
+  size : int;  (** population after the event *)
+  rate : float;  (** measured throughput after the event *)
+  optimal : float;  (** optimal acyclic rate of the instance after *)
+  ratio : float;  (** [rate /. optimal], 1 when the optimum is 0 *)
+  churn_edges : int;  (** edges touched by this event (patch + rebuild) *)
+  cumulative_churn : int;
+  max_excess : int;  (** worst additive outdegree excess after the event *)
+  rebuilds : int;  (** cumulative rebuild count *)
+}
+
+type summary = {
+  events : int;  (** trace length *)
+  applied : int;
+  skipped : int;
+  rebuilds : int;
+  total_churn : int;  (** total edge churn (repair + rebuild cost) *)
+  min_ratio : float;  (** worst rate / optimal over applied events; 1 if none *)
+  mean_ratio : float;  (** mean over applied events; 1 if none *)
+  final_size : int;
+  final_rate : float;
+  final_optimal : float;
+}
+
+type result = { overlay : Overlay.t; timeline : record list; summary : summary }
+
+val run :
+  ?policy:Policy.t ->
+  ?audit:Audit.level ->
+  ?rebuild_headroom:float ->
+  ?on_event:(record -> unit) ->
+  Overlay.t ->
+  Trace.t ->
+  result
+(** [run o trace] replays the whole trace. [policy] defaults to
+    [Policy.Always_patch]; [audit] to [Audit.Off]. [rebuild_headroom]
+    is forwarded to {!Broadcast.Repair.rebuild}: without it a rebuild
+    targets the exact optimum and leaves no spare upload capacity, so on
+    a growing population every post-rebuild join collapses the rate to 0
+    and (under an adaptive policy) triggers a rebuild storm; a headroom
+    below 1 is how an operator breaks that cycle. [on_event] streams
+    each record as it is produced (the CLI's [--timeline]). Raises
+    {!Audit.Violation} on the first audit failure, with the event
+    index. *)

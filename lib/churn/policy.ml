@@ -1,0 +1,54 @@
+open Broadcast
+
+type t =
+  | Always_patch
+  | Always_rebuild
+  | Adaptive of { min_ratio : float; degree_slack : int }
+
+let adaptive_default = Adaptive { min_ratio = 0.8; degree_slack = 2 }
+
+let name = function
+  | Always_patch -> "patch"
+  | Always_rebuild -> "rebuild"
+  | Adaptive { min_ratio; degree_slack } ->
+    Printf.sprintf "adaptive(r=%g,d=%d)" min_ratio degree_slack
+
+type observation = { rate : float; optimal : float; max_excess : int }
+
+type state = {
+  policy : t;
+  mutable promised : int;  (** degree bound captured at the last build *)
+  mutable drift : int;  (** running max of (max_excess - promised) since *)
+}
+
+(* Theorem 4.1's worst-class additive bound — the promise to fall back on
+   when provenance carries none (repaired/imported schemes). *)
+let default_promise = 3
+
+let promise_of o =
+  match (Scheme.provenance (Overlay.scheme o)).Scheme.degree_bound with
+  | Some b -> b
+  | None -> default_promise
+
+let init policy o = { policy; promised = promise_of o; drift = 0 }
+
+let decide st obs =
+  match st.policy with
+  | Always_patch -> false
+  | Always_rebuild -> true
+  | Adaptive { min_ratio; degree_slack } ->
+    if not (min_ratio >= 0. && min_ratio <= 1.) then
+      invalid_arg "Policy.decide: min_ratio must lie in [0, 1]";
+    if degree_slack < 0 then
+      invalid_arg "Policy.decide: degree_slack must be non-negative";
+    st.drift <- max st.drift (obs.max_excess - st.promised);
+    let ratio =
+      if obs.optimal > 0. && Float.is_finite obs.optimal then
+        obs.rate /. obs.optimal
+      else 1.
+    in
+    ratio < min_ratio || st.drift > degree_slack
+
+let note_rebuild st o =
+  st.promised <- promise_of o;
+  st.drift <- 0

@@ -1,0 +1,53 @@
+(** Pluggable self-healing policies.
+
+    After every churn event the {!Engine} patches the overlay locally
+    ({!Broadcast.Repair}) and then asks a policy whether to pay for a
+    full rebuild (the Theorem 4.1 pipeline on the new instance). The two
+    extremes bracket the design space; {!Adaptive} is the interesting
+    middle ground the churn experiments compare against them:
+
+    - {!Always_patch} never rebuilds — minimal churn, throughput decays;
+    - {!Always_rebuild} rebuilds after every event — optimal throughput,
+      maximal churn;
+    - {!Adaptive} rebuilds only when the patched overlay's measured rate
+      falls below [min_ratio] of the recomputed optimum, or when degree
+      drift (the running maximum of the actual additive outdegree excess
+      over the bound promised at the last build) exceeds the promised
+      bound by more than [degree_slack]. A rebuild resets the drift
+      tracker and re-captures the promise — hysteresis, so one bad event
+      does not trigger a rebuild storm. *)
+
+open Broadcast
+
+type t =
+  | Always_patch
+  | Always_rebuild
+  | Adaptive of { min_ratio : float; degree_slack : int }
+
+val adaptive_default : t
+(** [Adaptive { min_ratio = 0.8; degree_slack = 2 }]. *)
+
+val name : t -> string
+(** ["patch"], ["rebuild"], or ["adaptive(r=<min_ratio>,d=<slack>)"]. *)
+
+type observation = {
+  rate : float;  (** measured throughput of the patched overlay *)
+  optimal : float;  (** optimal acyclic rate of the current instance *)
+  max_excess : int;  (** worst additive outdegree excess right now *)
+}
+
+type state
+(** Mutable per-run policy state (the drift tracker). *)
+
+val init : t -> Overlay.t -> state
+(** Capture the overlay's promised degree bound (3 — the Theorem 4.1
+    worst-class bound — when its provenance promises none). *)
+
+val decide : state -> observation -> bool
+(** [true] means rebuild now. Updates the drift tracker as a side
+    effect. Raises [Invalid_argument] if an {!Adaptive} policy has
+    [min_ratio] outside [0, 1] or negative [degree_slack]. *)
+
+val note_rebuild : state -> Overlay.t -> unit
+(** Inform the state that a rebuild happened: resets degree drift and
+    re-captures the promised bound from the fresh overlay. *)

@@ -1,0 +1,291 @@
+module Json = Flowgraph.Json
+
+type event =
+  | Leave of { pick : int }
+  | Join of { bandwidth : float; guarded : bool }
+  | Degrade of { pick : int; factor : float }
+  | Restore of { pick : int; factor : float }
+  | Fail_batch of { picks : int list }
+  | Flash_crowd of { arrivals : (float * bool) list }
+
+type t = { events : event array }
+
+let length t = Array.length t.events
+
+let label = function
+  | Leave _ -> "leave"
+  | Join _ -> "join"
+  | Degrade _ -> "degrade"
+  | Restore _ -> "restore"
+  | Fail_batch _ -> "fail-batch"
+  | Flash_crowd _ -> "flash-crowd"
+
+(* Seeded generation *)
+
+type mix = {
+  w_leave : float;
+  w_join : float;
+  w_degrade : float;
+  w_restore : float;
+  w_fail_batch : float;
+  w_flash_crowd : float;
+  max_batch : int;
+  max_flash : int;
+  p_guarded : float;
+  dist : Prng.Dist.t;
+}
+
+let default_mix =
+  {
+    w_leave = 0.30;
+    w_join = 0.30;
+    w_degrade = 0.15;
+    w_restore = 0.10;
+    w_fail_batch = 0.10;
+    w_flash_crowd = 0.05;
+    max_batch = 5;
+    max_flash = 8;
+    p_guarded = 0.3;
+    dist = Prng.Dist.unif100;
+  }
+
+(* Picks are raw non-negative integers; the engine folds them into the
+   live population with a modulus, so any bound wide enough to avoid
+   aliasing artifacts works. *)
+let pick_space = 1_000_000
+
+let check_mix m =
+  let w =
+    [ m.w_leave; m.w_join; m.w_degrade; m.w_restore; m.w_fail_batch; m.w_flash_crowd ]
+  in
+  if List.exists (fun x -> not (Float.is_finite x) || x < 0.) w then
+    invalid_arg "Trace.gen: mix weights must be finite and non-negative";
+  if List.fold_left ( +. ) 0. w <= 0. then
+    invalid_arg "Trace.gen: mix weights must not all be zero";
+  if m.max_batch < 1 then invalid_arg "Trace.gen: max_batch must be >= 1";
+  if m.max_flash < 1 then invalid_arg "Trace.gen: max_flash must be >= 1";
+  if not (m.p_guarded >= 0. && m.p_guarded <= 1.) then
+    invalid_arg "Trace.gen: p_guarded must lie in [0, 1]"
+
+let gen ?(mix = default_mix) ~events rng =
+  if events < 0 then invalid_arg "Trace.gen: negative event count";
+  check_mix mix;
+  let total =
+    mix.w_leave +. mix.w_join +. mix.w_degrade +. mix.w_restore
+    +. mix.w_fail_batch +. mix.w_flash_crowd
+  in
+  let draw = Prng.Dist.sampler mix.dist in
+  let pick () = Prng.Splitmix.next_below rng pick_space in
+  let factor () = 0.1 +. (0.8 *. Prng.Splitmix.next_float rng) in
+  let arrival () =
+    let bandwidth = draw rng in
+    let guarded = Prng.Splitmix.next_float rng < mix.p_guarded in
+    (bandwidth, guarded)
+  in
+  let one () =
+    let x = Prng.Splitmix.next_float rng *. total in
+    if x < mix.w_leave then Leave { pick = pick () }
+    else if x < mix.w_leave +. mix.w_join then
+      let bandwidth, guarded = arrival () in
+      Join { bandwidth; guarded }
+    else if x < mix.w_leave +. mix.w_join +. mix.w_degrade then
+      Degrade { pick = pick (); factor = factor () }
+    else if x < mix.w_leave +. mix.w_join +. mix.w_degrade +. mix.w_restore then
+      Restore { pick = pick (); factor = factor () }
+    else if
+      x
+      < mix.w_leave +. mix.w_join +. mix.w_degrade +. mix.w_restore
+        +. mix.w_fail_batch
+    then begin
+      let k = 1 + Prng.Splitmix.next_below rng mix.max_batch in
+      Fail_batch { picks = List.init k (fun _ -> pick ()) }
+    end
+    else begin
+      let k = 1 + Prng.Splitmix.next_below rng mix.max_flash in
+      Flash_crowd { arrivals = List.init k (fun _ -> arrival ()) }
+    end
+  in
+  { events = Array.init events (fun _ -> one ()) }
+
+(* Persistence — same canonical-bytes / strict-reader discipline as the
+   bmp-scheme artifact format. *)
+
+let format_version = 1
+
+let float_str v = Printf.sprintf "%.17g" v
+
+let event_to_json buf e =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match e with
+  | Leave { pick } -> p "{\"type\": \"leave\", \"pick\": %d}" pick
+  | Join { bandwidth; guarded } ->
+    p "{\"type\": \"join\", \"bandwidth\": %s, \"guarded\": %b}"
+      (float_str bandwidth) guarded
+  | Degrade { pick; factor } ->
+    p "{\"type\": \"degrade\", \"pick\": %d, \"factor\": %s}" pick
+      (float_str factor)
+  | Restore { pick; factor } ->
+    p "{\"type\": \"restore\", \"pick\": %d, \"factor\": %s}" pick
+      (float_str factor)
+  | Fail_batch { picks } ->
+    p "{\"type\": \"fail-batch\", \"picks\": [%s]}"
+      (String.concat ", " (List.map string_of_int picks))
+  | Flash_crowd { arrivals } ->
+    p "{\"type\": \"flash-crowd\", \"arrivals\": [%s]}"
+      (String.concat ", "
+         (List.map
+            (fun (bandwidth, guarded) ->
+              Printf.sprintf "{\"bandwidth\": %s, \"guarded\": %b}"
+                (float_str bandwidth) guarded)
+            arrivals))
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "{\"format\": \"bmp-trace\", \"version\": %d, \"events\": [" format_version;
+  Array.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ", ";
+      event_to_json buf e)
+    t.events;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let no_unknown_fields ctx allowed v =
+  match v with
+  | Json.Obj fields ->
+    (match List.find_opt (fun (k, _) -> not (List.mem k allowed)) fields with
+    | Some (k, _) -> Error (Printf.sprintf "%s: unknown field %S" ctx k)
+    | None -> Ok ())
+  | _ -> Error (Printf.sprintf "%s: expected an object" ctx)
+
+let field ctx k v =
+  match Json.member k v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "%s: missing field %S" ctx k)
+
+let int_field ctx k v =
+  let* x = field ctx k v in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s: %s" ctx k e) (Json.to_int x)
+
+let float_field ctx k v =
+  let* x = field ctx k v in
+  Result.map_error (fun e -> Printf.sprintf "%s: %s: %s" ctx k e) (Json.to_float x)
+
+let bool_field ctx k v =
+  let* x = field ctx k v in
+  match x with
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "%s: %s: expected a boolean" ctx k)
+
+let pick_ok ctx pick =
+  if pick >= 0 then Ok pick
+  else Error (Printf.sprintf "%s: pick must be non-negative" ctx)
+
+let factor_ok ctx factor =
+  if factor > 0. && factor <= 1. then Ok factor
+  else Error (Printf.sprintf "%s: factor must lie in (0, 1]" ctx)
+
+let bandwidth_ok ctx bandwidth =
+  if bandwidth >= 0. then Ok bandwidth
+  else Error (Printf.sprintf "%s: bandwidth must be non-negative" ctx)
+
+let arrival_of_json ctx v =
+  let* () = no_unknown_fields ctx [ "bandwidth"; "guarded" ] v in
+  let* bandwidth = float_field ctx "bandwidth" v in
+  let* bandwidth = bandwidth_ok ctx bandwidth in
+  let* guarded = bool_field ctx "guarded" v in
+  Ok (bandwidth, guarded)
+
+let list_of ctx parse = function
+  | Json.Arr l ->
+    let* rev =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          let* v = parse x in
+          Ok (v :: acc))
+        (Ok []) l
+    in
+    Ok (List.rev rev)
+  | _ -> Error (ctx ^ ": expected an array")
+
+let event_of_json i v =
+  let ctx = Printf.sprintf "event %d" i in
+  let* kind = field ctx "type" v in
+  let* kind =
+    Result.map_error (fun e -> ctx ^ ": type: " ^ e) (Json.to_string_exn kind)
+  in
+  match kind with
+  | "leave" ->
+    let* () = no_unknown_fields ctx [ "type"; "pick" ] v in
+    let* pick = int_field ctx "pick" v in
+    let* pick = pick_ok ctx pick in
+    Ok (Leave { pick })
+  | "join" ->
+    let* () = no_unknown_fields ctx [ "type"; "bandwidth"; "guarded" ] v in
+    let* bandwidth = float_field ctx "bandwidth" v in
+    let* bandwidth = bandwidth_ok ctx bandwidth in
+    let* guarded = bool_field ctx "guarded" v in
+    Ok (Join { bandwidth; guarded })
+  | "degrade" | "restore" ->
+    let* () = no_unknown_fields ctx [ "type"; "pick"; "factor" ] v in
+    let* pick = int_field ctx "pick" v in
+    let* pick = pick_ok ctx pick in
+    let* factor = float_field ctx "factor" v in
+    let* factor = factor_ok ctx factor in
+    Ok (if kind = "degrade" then Degrade { pick; factor } else Restore { pick; factor })
+  | "fail-batch" ->
+    let* () = no_unknown_fields ctx [ "type"; "picks" ] v in
+    let* picks = field ctx "picks" v in
+    let* picks =
+      list_of ctx
+        (fun x ->
+          let* p = Result.map_error (fun e -> ctx ^ ": picks: " ^ e) (Json.to_int x) in
+          pick_ok ctx p)
+        picks
+    in
+    if picks = [] then Error (ctx ^ ": picks must not be empty")
+    else Ok (Fail_batch { picks })
+  | "flash-crowd" ->
+    let* () = no_unknown_fields ctx [ "type"; "arrivals" ] v in
+    let* arrivals = field ctx "arrivals" v in
+    let* arrivals = list_of ctx (arrival_of_json (ctx ^ ": arrival")) arrivals in
+    if arrivals = [] then Error (ctx ^ ": arrivals must not be empty")
+    else Ok (Flash_crowd { arrivals })
+  | other -> Error (Printf.sprintf "%s: unknown event type %S" ctx other)
+
+let of_json text =
+  let* v = Json.parse text in
+  let ctx = "trace" in
+  let* () = no_unknown_fields ctx [ "format"; "version"; "events" ] v in
+  let* fmt = field ctx "format" v in
+  let* fmt = Result.map_error (fun e -> ctx ^ ": format: " ^ e) (Json.to_string_exn fmt) in
+  let* () =
+    if fmt = "bmp-trace" then Ok ()
+    else Error (Printf.sprintf "trace: not a bmp-trace file (format %S)" fmt)
+  in
+  let* version = int_field ctx "version" v in
+  let* () =
+    if version = format_version then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "trace: unsupported format version %d (this library reads version %d)"
+           version format_version)
+  in
+  let* events = field ctx "events" v in
+  match events with
+  | Json.Arr l ->
+    let* rev =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          let* e = event_of_json (List.length acc) x in
+          Ok (e :: acc))
+        (Ok []) l
+    in
+    Ok { events = Array.of_list (List.rev rev) }
+  | _ -> Error "trace: events: expected an array"

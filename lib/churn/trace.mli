@@ -1,0 +1,97 @@
+(** Deterministic fault-injection traces.
+
+    A trace is a finite sequence of churn events replayed against a live
+    overlay by {!Engine}. Traces are {e abstract}: node-targeting events
+    carry a raw non-negative [pick] that the engine resolves against the
+    overlay's population at application time ([1 + pick mod (size - 1)]),
+    so one trace applies to any overlay and stays meaningful while the
+    population grows and shrinks. This is what makes traces portable
+    artifacts — the same file drives an n = 10 smoke test and an
+    n = 5000 benchmark.
+
+    Traces come from two equally deterministic sources:
+
+    - {!gen}: seeded generation from a {!Prng.Splitmix} stream under an
+      event {!mix} (the adversarial default mixes leaves, joins,
+      bandwidth degrades/restores, correlated batch failures and
+      flash-crowd join bursts);
+    - {!of_json}: a strict, versioned JSON file (format [bmp-trace],
+      version {!format_version}) following the [bmp-scheme] reader
+      discipline — unknown fields, unsupported versions, non-finite
+      numbers and out-of-domain parameters are rejected with an
+      explanatory message, never loaded.
+
+    {!to_json} is canonical and byte-deterministic (floats at 17
+    significant digits, one line), so [of_json (to_json t)] round-trips
+    exactly and golden files can pin the format. *)
+
+type event =
+  | Leave of { pick : int }  (** one node departs *)
+  | Join of { bandwidth : float; guarded : bool }  (** one node arrives *)
+  | Degrade of { pick : int; factor : float }
+      (** a node's upload capacity is multiplied by [factor], in (0, 1] *)
+  | Restore of { pick : int; factor : float }
+      (** a node's upload capacity is divided by [factor], in (0, 1] *)
+  | Fail_batch of { picks : int list }
+      (** correlated failure: the picked nodes vanish in one event *)
+  | Flash_crowd of { arrivals : (float * bool) list }
+      (** join burst: [(bandwidth, guarded)] newcomers in one event *)
+
+type t = { events : event array }
+
+val length : t -> int
+
+val label : event -> string
+(** Short human label ("leave", "join", "degrade", "restore",
+    "fail-batch", "flash-crowd") — the [type] tag of the JSON form. *)
+
+(** {2 Seeded generation} *)
+
+type mix = {
+  w_leave : float;
+  w_join : float;
+  w_degrade : float;
+  w_restore : float;
+  w_fail_batch : float;
+  w_flash_crowd : float;
+      (** relative (positive, not necessarily normalized) weights of the
+          six event kinds *)
+  max_batch : int;  (** largest correlated failure, [>= 1] *)
+  max_flash : int;  (** largest flash-crowd burst, [>= 1] *)
+  p_guarded : float;  (** probability a newcomer is guarded, in [0, 1] *)
+  dist : Prng.Dist.t;  (** newcomer bandwidth distribution *)
+}
+
+val default_mix : mix
+(** The adversarial default: leaves and joins dominate (weight 0.3 each),
+    degrades 0.15, restores 0.10, correlated failures 0.10 (up to 5
+    casualties), flash crowds 0.05 (up to 8 arrivals); newcomers are
+    guarded with probability 0.3 and draw from [Unif\[1,100\]]. *)
+
+val gen : ?mix:mix -> events:int -> Prng.Splitmix.t -> t
+(** [gen ~events rng] draws a trace of [events] events. Deterministic in
+    the stream state; generation consumes the stream sequentially, so a
+    trace is a pure function of its seed. Raises [Invalid_argument] on a
+    negative count or an invalid mix. *)
+
+(** {2 Persistence} *)
+
+val format_version : int
+(** Version number written into (and required from) trace files; this
+    library writes and reads version [1]. *)
+
+val to_json : t -> string
+(** Canonical one-line serialization:
+
+    {v
+{"format": "bmp-trace", "version": 1, "events": [{"type": "leave", "pick": 17}, ...]}
+    v}
+
+    Byte-deterministic: the same trace always serializes to the same
+    bytes. *)
+
+val of_json : string -> (t, string) result
+(** Strict inverse of {!to_json}: validates the format tag and version,
+    every event's field set and domains ([pick >= 0], [factor] in (0, 1],
+    finite non-negative bandwidths, non-empty batches). Unknown fields or
+    event types are errors, not warnings. *)

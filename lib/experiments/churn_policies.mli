@@ -1,0 +1,40 @@
+(** E14 (extension): self-healing policy comparison under adversarial
+    churn.
+
+    Runs the {!Churn.Engine} fault-injection engine over a set of seeded
+    platforms and traces, once per policy (always-patch, always-rebuild,
+    adaptive), with the invariant auditor on, and aggregates the
+    throughput / edge-churn trade-off. The seed streams are pre-split
+    before the worker pool, so the output is byte-identical for any
+    [--jobs]. *)
+
+type config = {
+  seeds : int;  (** number of independent platform/trace pairs *)
+  nodes : int;
+  p_open : float;
+  events : int;  (** trace length per seed *)
+  headroom : float;  (** initial build targets [headroom * optimum] *)
+  rebuild_headroom : float;  (** policy-ordered rebuilds target this fraction *)
+  adaptive : Churn.Policy.t;  (** the adaptive contender *)
+  seed : int64;
+}
+
+val default_config : config
+(** 5 seeds, n = 40, p_open 0.7, 150 events, headroom 0.9, rebuild
+    headroom 0.8, [Adaptive { min_ratio = 0.5; degree_slack = 4 }],
+    root seed 1407. *)
+
+type row = {
+  policy : Churn.Policy.t;
+  min_ratio : float;  (** worst rate/optimal over all seeds and events *)
+  mean_ratio : float;  (** mean of per-seed mean ratios *)
+  rebuilds : int;  (** total across seeds *)
+  total_churn : int;  (** total edge churn across seeds *)
+}
+
+val compare_policies : ?jobs:int -> ?config:config -> unit -> row list
+(** One row per policy, in [patch; rebuild; adaptive] order. Every run is
+    audited at {!Churn.Audit.Check} level — an invariant violation
+    escapes as {!Churn.Audit.Violation}. *)
+
+val print : ?jobs:int -> Format.formatter -> unit

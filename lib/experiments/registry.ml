@@ -78,6 +78,12 @@ let all =
       run = seq Churn_repair.print;
     };
     {
+      name = "churn-policies";
+      paper_artifact = "Conclusion (future work: churn)";
+      description = "fault-injection engine: patch vs rebuild vs adaptive healing";
+      run = (fun ?jobs fmt -> Churn_policies.print ?jobs fmt);
+    };
+    {
       name = "depth";
       paper_artifact = "Conclusion (future work: depth/delay)";
       description = "depth vs throughput vs degree ablation";

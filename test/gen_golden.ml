@@ -1,13 +1,20 @@
-(* Regenerates the golden scheme artifact pinned by test_scheme.ml:
+(* Regenerates the golden artifacts pinned by test_scheme.ml and
+   test_churn.ml:
 
      dune exec test/gen_golden.exe > test/golden/fig1_scheme.json
+     dune exec test/gen_golden.exe -- trace > test/golden/churn_trace.json
 
-   Only do this after an intentional format change (and bump
-   Scheme.format_version accordingly). *)
+   Only do this after an intentional format change (and bump the
+   corresponding format_version accordingly). *)
 
 let () =
-  let scheme =
-    Broadcast.Low_degree.build Platform.Instance.fig1 ~rate:4.
-      (Broadcast.Word.of_string "gogog")
-  in
-  print_string (Broadcast.Scheme.to_json scheme ^ "\n")
+  match Sys.argv with
+  | [| _; "trace" |] ->
+    let trace = Churn.Trace.gen ~events:12 (Prng.Splitmix.create 2024L) in
+    print_string (Churn.Trace.to_json trace ^ "\n")
+  | _ ->
+    let scheme =
+      Broadcast.Low_degree.build Platform.Instance.fig1 ~rate:4.
+        (Broadcast.Word.of_string "gogog")
+    in
+    print_string (Broadcast.Scheme.to_json scheme ^ "\n")

@@ -97,9 +97,39 @@ let achieves_verdicts =
           else true)
         rates)
 
+(* The repair path reports rate_after through the scheme's memoized
+   report — the CSR structured fast path on acyclic overlays. The plain
+   generic engine on the patched graph must agree. *)
+let repair_rate_agrees_with_plain_flow =
+  QCheck.Test.make ~count:40 ~name:"repair rate_after = plain max-flow"
+    (QCheck.pair
+       (Helpers.instance_arb ~max_open:10 ~max_guarded:6)
+       QCheck.(int_range 0 1000))
+    (fun (inst, pick) ->
+      let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+      QCheck.assume (t > 1e-6 && Platform.Instance.size inst > 2);
+      let o = Broadcast.Overlay.build ~rate:(t *. 0.7) inst in
+      let node = 1 + (pick mod (Platform.Instance.size inst - 1)) in
+      let leave, leave_stats = Broadcast.Repair.leave o ~node in
+      let join, join_stats =
+        Broadcast.Repair.join leave ~bandwidth:(float_of_int (1 + (pick mod 50)))
+          ~cls:Platform.Instance.Open
+      in
+      List.for_all
+        (fun (what, o', (stats : Broadcast.Repair.stats)) ->
+          let plain =
+            MF.min_broadcast_flow (Broadcast.Overlay.graph o') ~src:0
+          in
+          close (what ^ ": fast path vs plain Dinic")
+            stats.Broadcast.Repair.rate_after plain)
+        [ ("leave", leave, leave_stats); ("join", join, join_stats) ])
+
 let suites =
   [
     ( "csr-differential",
       List.map QCheck_alcotest.to_alcotest
-        [ dag_three_way; digraph_two_way; achieves_verdicts ] );
+        [
+          dag_three_way; digraph_two_way; achieves_verdicts;
+          repair_rate_agrees_with_plain_flow;
+        ] );
   ]

@@ -13,4 +13,4 @@ let () =
    @ Test_experiments.suites @ Test_verify_fast.suites
    @ Test_csr.suites @ Test_csr_differential.suites
    @ Test_parallel.suites @ Test_qcheck_properties.suites
-   @ Test_scheme.suites)
+   @ Test_scheme.suites @ Test_churn.suites)
