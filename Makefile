@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-full scheme-roundtrip churn-smoke clean
+.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-full scheme-roundtrip churn-smoke churn-incremental clean
 
 all:
 	dune build @runtest @all
@@ -26,7 +26,9 @@ bench-sweep:
 	dune exec -- bench/sweep_bench.exe
 
 # Fault-injection engine wall-clock (writes BENCH_churn.json; gates the
-# audited replay at <= 3x the unaudited one and identical outcomes).
+# audited replay at <= 3x the unaudited one, identical outcomes, and the
+# warm-start flow engine at >= 5x a from-scratch solve per single-node
+# event once n >= 10000).
 bench-churn:
 	dune exec -- bench/churn_bench.exe
 
@@ -56,6 +58,23 @@ churn-smoke:
 	dune exec -- bin/bmp.exe churn gen-trace --events 60 --seed 9 -o churn-smoke.trace.json
 	dune exec -- bin/bmp.exe churn run churn-smoke-0001.txt --trace churn-smoke.trace.json --policy adaptive --audit strict
 	rm -f churn-smoke-0001.txt churn-smoke.trace.json
+
+# Warm-start flow maintenance, end to end: the differential test suite
+# (incremental vs from-scratch Dinic after every event), the CLI knob —
+# --engine must be documented and a strict incremental replay must be
+# byte-identical to the stateless one modulo the engine banner — and the
+# benchmark's >= 5x single-node-event speedup gate.
+churn-incremental:
+	dune build bin/bmp.exe
+	dune exec -- test/test_main.exe test incremental-flow
+	dune exec -- bin/bmp.exe churn run --help=plain | grep -q -- --engine
+	dune exec -- bin/bmp.exe generate -n 30 --seed 7 -o churn-incr
+	dune exec -- bin/bmp.exe churn gen-trace --events 60 --seed 9 -o churn-incr.trace.json
+	dune exec -- bin/bmp.exe churn run churn-incr-0001.txt --trace churn-incr.trace.json --audit strict --engine full | grep -v engine > churn-incr-full.txt
+	dune exec -- bin/bmp.exe churn run churn-incr-0001.txt --trace churn-incr.trace.json --audit strict --engine incremental | grep -v engine > churn-incr-warm.txt
+	cmp churn-incr-full.txt churn-incr-warm.txt
+	rm -f churn-incr-0001.txt churn-incr.trace.json churn-incr-full.txt churn-incr-warm.txt
+	dune exec -- bench/churn_bench.exe
 
 clean:
 	dune clean

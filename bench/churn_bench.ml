@@ -6,11 +6,21 @@
    auditor is an observer, not an actor), and appends the timings to
    BENCH_churn.json.
 
-   The gate: auditing must not cost more than 3x the unaudited replay —
-   the auditor's per-event work is O(V + E) array scans against a repair
-   that already measures its own rate, so a larger multiple means an
-   accidental slow path (e.g. a max-flow call) leaked into Check level.
+   Two gates:
+
+   - auditing must not cost more than 3x the unaudited replay — the
+     auditor's per-event work is O(V + E) array scans against a repair
+     that already measures its own rate, so a larger multiple means an
+     accidental slow path (e.g. a max-flow call) leaked into Check level;
+   - warm-start flow maintenance (Maxflow.Incremental) must beat a
+     from-scratch min-over-sinks solve by at least 5x per single-node
+     event once n >= 10000 — below that the incremental machinery is not
+     paying for its bookkeeping.
+
    Run with `make bench-churn` or `dune exec -- bench/churn_bench.exe`. *)
+
+module MF = Flowgraph.Maxflow
+module MFI = Flowgraph.Maxflow.Incremental
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -25,6 +35,10 @@ type row = {
   events_per_s : float;
   overhead : float;
   identical : bool;
+  incremental_s : float;  (** warm-start solve per single-node event *)
+  full_recompute_s : float;  (** from-scratch solve on the same snapshots *)
+  speedup : float;  (** [full_recompute_s /. incremental_s] *)
+  agree : bool;  (** warm and from-scratch values matched on every event *)
 }
 
 let setup ~nodes ~events =
@@ -45,11 +59,67 @@ let fingerprint (r : Churn.Engine.result) =
     s.Churn.Engine.rebuilds s.Churn.Engine.total_churn s.Churn.Engine.final_size
     s.Churn.Engine.final_rate s.Churn.Engine.min_ratio
 
+(* The incremental micro-benchmark: a run of single-node degrade events
+   (each a bandwidth delta on one node, no renumbering churn beyond the
+   repair's own), solved warm against solved from scratch on identical
+   snapshots. Repairs happen outside the timed sections — both engines
+   time pure flow work. The initial warm solve (create) is also outside:
+   steady-state maintenance is what the column measures. *)
+let single_node_deltas = 8
+
+let microbench ~nodes =
+  let overlay, _ = setup ~nodes ~events:0 in
+  let size = Platform.Instance.size (Broadcast.Overlay.instance overlay) in
+  let steps = ref [] in
+  let o = ref overlay in
+  for i = 1 to single_node_deltas do
+    let node = 1 + (i * 7919 mod (size - 1)) in
+    let b = (Broadcast.Overlay.instance !o).Platform.Instance.bandwidth.(node) in
+    let factor = if i mod 2 = 0 then 0.6 else 0.85 in
+    let o', (stats : Broadcast.Repair.stats) =
+      Broadcast.Repair.degrade !o ~node ~bandwidth:(b *. factor)
+    in
+    o := o';
+    steps :=
+      (stats.Broadcast.Repair.node_map,
+       Broadcast.Scheme.snapshot (Broadcast.Overlay.scheme o'))
+      :: !steps
+  done;
+  let steps = List.rev !steps in
+  let inc =
+    MFI.create (Broadcast.Scheme.snapshot (Broadcast.Overlay.scheme overlay)) ~src:0
+  in
+  let warm = ref [] in
+  let incremental_s, () =
+    time (fun () ->
+        List.iter
+          (fun (map, snap) ->
+            MFI.apply inc ~map snap;
+            warm := MFI.value inc :: !warm)
+          steps)
+  in
+  let scratch = ref [] in
+  let full_recompute_s, () =
+    time (fun () ->
+        List.iter
+          (fun (_, snap) ->
+            scratch := MF.min_broadcast_flow_csr snap ~src:0 :: !scratch)
+          steps)
+  in
+  let agree =
+    List.for_all2
+      (fun w s -> Float.abs (w -. s) <= Broadcast.Verify.flow_slack s)
+      !warm !scratch
+  in
+  let per x = x /. float_of_int single_node_deltas in
+  (per incremental_s, per full_recompute_s, agree)
+
 let bench ~nodes ~events =
   let overlay, trace = setup ~nodes ~events in
   let run audit = Churn.Engine.run ~policy:Churn.Policy.Always_patch ~audit overlay trace in
   let unaudited_s, r_off = time (fun () -> run Churn.Audit.Off) in
   let audited_s, r_chk = time (fun () -> run Churn.Audit.Check) in
+  let incremental_s, full_recompute_s, agree = microbench ~nodes in
   {
     nodes;
     events;
@@ -58,6 +128,10 @@ let bench ~nodes ~events =
     events_per_s = float_of_int events /. unaudited_s;
     overhead = audited_s /. unaudited_s;
     identical = String.equal (fingerprint r_off) (fingerprint r_chk);
+    incremental_s;
+    full_recompute_s;
+    speedup = full_recompute_s /. incremental_s;
+    agree;
   }
 
 let emit_json rows path =
@@ -65,15 +139,19 @@ let emit_json rows path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n  \"benchmark\": \"churn\",\n  \"unit\": \"seconds_per_trace\",\n";
   p "  \"gate_overhead_max\": 3.0,\n";
+  p "  \"gate_incremental_speedup_min\": 5.0,\n";
+  p "  \"gate_incremental_speedup_nodes\": 10000,\n";
   p "  \"rows\": [\n";
   List.iteri
     (fun i r ->
       p
         "    {\"nodes\": %d, \"events\": %d, \"unaudited_s\": %.6e, \
          \"audited_s\": %.6e,\n\
-        \     \"events_per_s\": %.1f, \"overhead\": %.2f, \"identical\": %b}%s\n"
+        \     \"events_per_s\": %.1f, \"overhead\": %.2f, \"identical\": %b,\n\
+        \     \"incremental_s\": %.6e, \"full_recompute_s\": %.6e, \
+         \"speedup\": %.1f, \"agree\": %b}%s\n"
         r.nodes r.events r.unaudited_s r.audited_s r.events_per_s r.overhead
-        r.identical
+        r.identical r.incremental_s r.full_recompute_s r.speedup r.agree
         (if i = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n}\n";
@@ -85,14 +163,17 @@ let () =
       bench ~nodes:200 ~events:300;
       bench ~nodes:1000 ~events:150;
       bench ~nodes:5000 ~events:50;
+      bench ~nodes:10000 ~events:30;
     ]
   in
-  Printf.printf "%-7s %-7s %12s %12s %10s %9s %10s\n" "nodes" "events"
-    "unaudited/s" "audited/s" "events/s" "overhead" "identical";
+  Printf.printf "%-7s %-7s %12s %12s %10s %9s %10s %12s %12s %8s\n" "nodes"
+    "events" "unaudited/s" "audited/s" "events/s" "overhead" "identical"
+    "incr/ev" "full/ev" "speedup";
   List.iter
     (fun r ->
-      Printf.printf "%-7d %-7d %12.3f %12.3f %10.1f %9.2f %10b\n" r.nodes
-        r.events r.unaudited_s r.audited_s r.events_per_s r.overhead r.identical)
+      Printf.printf "%-7d %-7d %12.3f %12.3f %10.1f %9.2f %10b %12.6f %12.6f %8.1f\n"
+        r.nodes r.events r.unaudited_s r.audited_s r.events_per_s r.overhead
+        r.identical r.incremental_s r.full_recompute_s r.speedup)
     rows;
   emit_json rows "BENCH_churn.json";
   print_endline "wrote BENCH_churn.json";
@@ -103,6 +184,15 @@ let () =
       divergent;
     exit 1
   end;
+  let disagree = List.filter (fun r -> not r.agree) rows in
+  if disagree <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.printf "FAIL: warm value diverged from from-scratch at n=%d\n"
+          r.nodes)
+      disagree;
+    exit 1
+  end;
   let slow = List.filter (fun r -> r.overhead > 3.0) rows in
   if slow <> [] then begin
     List.iter
@@ -110,5 +200,17 @@ let () =
         Printf.printf "FAIL: audit overhead %.2fx > 3x at n=%d\n" r.overhead
           r.nodes)
       slow;
+    exit 1
+  end;
+  let lagging =
+    List.filter (fun r -> r.nodes >= 10000 && r.speedup < 5.0) rows
+  in
+  if lagging <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.printf
+          "FAIL: incremental speedup %.1fx < 5x for single-node events at n=%d\n"
+          r.speedup r.nodes)
+      lagging;
     exit 1
   end

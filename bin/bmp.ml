@@ -578,11 +578,29 @@ let churn_run_cmd =
          & info [ "audit" ] ~doc:"Invariant auditing: off, on (default) or strict \
                                   (adds the max-flow cross-check).")
   in
+  let engine_arg =
+    let parse s =
+      match Churn.Audit.engine_of_name s with
+      | Some e -> Ok e
+      | None -> Error (`Msg (Printf.sprintf "unknown engine %S (full|incremental)" s))
+    in
+    let engine_conv =
+      Arg.conv
+        (parse, fun ppf e -> Format.pp_print_string ppf (Churn.Audit.engine_name e))
+    in
+    Arg.(value & opt engine_conv Churn.Audit.Full
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Rate-maintenance engine: $(b,full) (stateless, default) or \
+                   $(b,incremental) (warm-start max-flow threaded across \
+                   events; with $(b,--audit strict) every event differentially \
+                   cross-checks it against a from-scratch solve). The knob \
+                   never changes the replay's results.")
+  in
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Print one line per event.")
   in
   let run path trace_file events seed policy min_ratio degree_slack headroom
-      rebuild_headroom audit timeline =
+      rebuild_headroom audit engine timeline =
     if not (headroom > 0. && headroom <= 1.) then die "--headroom must lie in (0, 1]";
     if not (rebuild_headroom > 0. && rebuild_headroom <= 1.) then
       die "--rebuild-headroom must lie in (0, 1]";
@@ -625,7 +643,8 @@ let churn_run_cmd =
           r.Churn.Engine.rebuilds
     in
     match
-      Churn.Engine.run ~policy ~audit ~rebuild_headroom ~on_event overlay trace
+      Churn.Engine.run ~policy ~audit ~engine ~rebuild_headroom ~on_event
+        overlay trace
     with
     | exception Churn.Audit.Violation { index; what } ->
       Printf.eprintf "audit violation at event %d: %s\n" index what;
@@ -634,6 +653,7 @@ let churn_run_cmd =
       let s = result.Churn.Engine.summary in
       Printf.printf "policy          : %s\n" (Churn.Policy.name policy);
       Printf.printf "audit           : %s\n" (Churn.Audit.level_name audit);
+      Printf.printf "engine          : %s\n" (Churn.Audit.engine_name engine);
       Printf.printf "events          : %d (%d applied, %d skipped)\n" s.Churn.Engine.events
         s.Churn.Engine.applied s.Churn.Engine.skipped;
       Printf.printf "rebuilds        : %d\n" s.Churn.Engine.rebuilds;
@@ -652,7 +672,7 @@ let churn_run_cmd =
   Cmd.v info
     Term.(const run $ instance_arg $ trace_file $ trace_events_arg $ trace_seed_arg
           $ policy_arg $ min_ratio_arg $ degree_slack_arg $ headroom_arg
-          $ rebuild_headroom_arg $ audit_arg $ timeline_arg)
+          $ rebuild_headroom_arg $ audit_arg $ engine_arg $ timeline_arg)
 
 let churn_cmd =
   let doc = "Fault injection: generate churn traces and replay them under self-healing policies." in

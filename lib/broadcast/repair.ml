@@ -8,6 +8,7 @@ type stats = {
   rate_after : float;
   optimal_after : float;
   starved : int list;
+  node_map : int array;
 }
 
 (* Provenance of a patched scheme: the original algorithm wrapped once in
@@ -91,7 +92,7 @@ let starved_of scheme =
   done;
   !starved
 
-let finish ~before_projected ~touched patched =
+let finish ~before_projected ~touched ~node_map patched =
   let patch_edges =
     touched + Overlay.edge_distance before_projected (Overlay.graph patched)
   in
@@ -113,6 +114,7 @@ let finish ~before_projected ~touched patched =
         rate_after;
         optimal_after = Overlay.rate rebuilt;
         starved;
+        node_map;
       }
     | exception Invalid_argument _ ->
       {
@@ -121,6 +123,7 @@ let finish ~before_projected ~touched patched =
         rate_after;
         optimal_after = 0.;
         starved;
+        node_map;
       }
   in
   (patched, stats)
@@ -178,7 +181,7 @@ let remove_nodes o ~nodes ~op =
   in
   let before_projected = G.copy graph in
   refill_all new_inst graph ~order ~rate:(Overlay.rate o);
-  finish ~before_projected ~touched:!touched
+  finish ~before_projected ~touched:!touched ~node_map:map
     (patched_overlay_of o ~inst:new_inst ~graph ~order)
 
 let leave o ~node = remove_nodes o ~nodes:[ node ] ~op:"Repair.leave"
@@ -224,7 +227,8 @@ let join o ~bandwidth ~cls =
   (* On a saturated overlay this fills nothing: the newcomer is admitted
      at rate 0 and lands in [stats.starved] — never an exception. *)
   ignore (refill new_inst graph ~pos ~r:p ~deficit:rate ~cut);
-  finish ~before_projected ~touched:0 (patched_overlay_of o ~inst:new_inst ~graph ~order)
+  finish ~before_projected ~touched:0 ~node_map:(Array.init size map)
+    (patched_overlay_of o ~inst:new_inst ~graph ~order)
 
 (* Bandwidth change without membership change: move the node to its sorted
    position within its class (a label permutation — the topology and the
@@ -282,7 +286,7 @@ let set_bandwidth o ~node ~bandwidth ~op =
     end;
   let order = Array.map (fun v -> map.(v)) (Overlay.order o) in
   refill_all new_inst graph ~order ~rate:(Overlay.rate o);
-  finish ~before_projected ~touched:0
+  finish ~before_projected ~touched:0 ~node_map:map
     (patched_overlay_of o ~inst:new_inst ~graph ~order)
 
 let degrade o ~node ~bandwidth =
@@ -320,4 +324,5 @@ let rebuild ?headroom o =
       rate_after = Overlay.verified_rate rebuilt;
       optimal_after;
       starved = starved_of (Overlay.scheme rebuilt);
+      node_map = Array.init (Instance.size inst) (fun v -> v);
     } )

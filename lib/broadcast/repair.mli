@@ -47,6 +47,14 @@ type stats = {
           target rate (beyond a [1e-6] relative slack) after the repair —
           empty on a nominal patch. A join on a saturated overlay reports
           the newcomer here instead of raising. *)
+  node_map : int array;
+      (** renumbering performed by the repair: [node_map.(v)] is the
+          index the pre-repair node [v] carries in the repaired overlay,
+          or [-1] if it departed. Every operation renumbers (instances
+          stay bandwidth-sorted within classes); warm consumers —
+          {!Flowgraph.Maxflow.Incremental} behind the churn engine's
+          incremental audit — use this map to carry state across the
+          event. Identity for {!rebuild}. *)
 }
 
 val leave : Overlay.t -> node:int -> Overlay.t * stats

@@ -63,15 +63,22 @@ let create ?(eps = Util.eps) ~provenance inst g =
 let instance s = s.instance
 
 let graph s =
-  match s.graph with
-  | Some g -> g
-  | None ->
-    (* Materialized from the frozen snapshot, so it carries the artifact's
-       edge set whatever happened to the graph passed to [create]. *)
-    let g = G.create (Csr.node_count s.snapshot) in
-    Csr.iter_edges (fun ~src ~dst w -> G.add_edge g ~src ~dst w) s.snapshot;
-    s.graph <- Some g;
-    g
+  (* Materialized from the frozen snapshot, so it carries the artifact's
+     edge set whatever happened to the graph passed to [create]. The
+     cached master is never handed out: callers get a fresh copy, so no
+     caller-side mutation (a repair experiment editing the graph it was
+     given, then re-reading the scheme) can ever desynchronize the
+     mutable view from the frozen snapshot the verifiers read. *)
+  let master =
+    match s.graph with
+    | Some g -> g
+    | None ->
+      let g = G.create (Csr.node_count s.snapshot) in
+      Csr.iter_edges (fun ~src ~dst w -> G.add_edge g ~src ~dst w) s.snapshot;
+      s.graph <- Some g;
+      g
+  in
+  G.copy master
 
 let provenance s = s.provenance
 let rate s = s.provenance.rate

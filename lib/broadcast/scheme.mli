@@ -80,8 +80,11 @@ val create :
 val instance : t -> Platform.Instance.t
 val graph : t -> Flowgraph.Graph.t
 (** The rated edge set as a mutable-API graph, materialized from the
-    frozen snapshot on first use and cached: treat it as read-only
-    (mutating it voids the artifact's guarantees). *)
+    frozen snapshot on first use and cached. Each call returns a fresh
+    copy of the cached master, so mutating the result cannot
+    desynchronize the mutable view from the frozen {!snapshot} every
+    verifier and auditor reads — the copy is O(V + E), the same order as
+    any useful traversal of it. *)
 
 val provenance : t -> provenance
 val rate : t -> float

@@ -11,6 +11,13 @@ type report = {
   fast_path : bool;
 }
 
+(* The library-wide tolerance for comparing flow values: max-flow values
+   are iterative float computations whose exact bits depend on
+   augmentation order, so every consumer (scheme targets, repair audits,
+   the incremental-vs-from-scratch cross-check) compares within the same
+   1e-6 relative slack. *)
+let flow_slack x = 1e-6 *. Float.max 1. (Float.abs x)
+
 (* Structural constraints only — no flow computation. All reads run on
    the frozen CSR snapshot: out/in weights are array lookups instead of
    hashtable folds. *)
@@ -91,8 +98,7 @@ let achieves ?eps inst g ~rate =
      (* Same slack as the historical [fge ~eps:1e-6 throughput rate]
         comparison, folded into the target so augmentation can stop as
         soon as the relaxed rate is certified. *)
-     let slack = 1e-6 *. Float.max 1. (Float.abs rate) in
-     let target = rate -. slack in
+     let target = rate -. flow_slack rate in
      if Csr.is_acyclic c then
        fst (Csr.min_incoming_cut c ~src:0) >= target
      else Flowgraph.Maxflow.achieves_rate_csr c ~src:0 ~rate:target)

@@ -38,6 +38,14 @@ type report = {
           computation rather than max-flow *)
 }
 
+val flow_slack : float -> float
+(** [flow_slack x] is the library-wide tolerance for comparing flow
+    values near magnitude [x]: [1e-6 *. Float.max 1. (Float.abs x)].
+    Max-flow values are iterative float computations whose bits depend
+    on augmentation order, so every value comparison — scheme targets,
+    churn audits, the incremental-vs-from-scratch cross-check — uses
+    this same relative slack. *)
+
 val check : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> report
 (** [check inst g] evaluates all properties. [eps] is the constraint
     tolerance (default {!Util.eps}), applied relatively. The graph must

@@ -8,10 +8,19 @@ type level = Off | Check | Strict
 
 let level_name = function Off -> "off" | Check -> "check" | Strict -> "strict"
 
+type engine = Full | Incremental
+
+let engine_name = function Full -> "full" | Incremental -> "incremental"
+
+let engine_of_name = function
+  | "full" -> Some Full
+  | "incremental" -> Some Incremental
+  | _ -> None
+
 let fail index fmt = Printf.ksprintf (fun what -> raise (Violation { index; what })) fmt
 
 (* Relative slack matching the library's flow-comparison tolerance. *)
-let slack x = 1e-6 *. Float.max 1. (Float.abs x)
+let slack = Verify.flow_slack
 
 let check_order index o =
   let order = Overlay.order o in
@@ -60,7 +69,7 @@ let check_structure index o =
     done);
   if not (Csr.is_acyclic csr) then fail index "overlay graph has a directed cycle"
 
-let check_rate level index ?stats o =
+let check_rate level index ?stats ?flow o =
   let scheme = Overlay.scheme o in
   let csr = Scheme.snapshot scheme in
   let cut, _ = Csr.min_incoming_cut csr ~src:0 in
@@ -83,16 +92,44 @@ let check_rate level index ?stats o =
     then
       fail index "rate %.12g exceeds the reported optimum %.12g" cut
         s.Repair.optimal_after);
+  (* Warm-engine agreement: the incremental solver tracks this overlay
+     (the engine applied the event's node map before auditing), so its
+     warm value must match the cut the snapshot carries — an O(1)
+     comparison at Check level. *)
+  (match flow with
+  | None -> ()
+  | Some inc ->
+    let warm = Flowgraph.Maxflow.Incremental.value inc in
+    if Flowgraph.Maxflow.Incremental.size inc <> Scheme.size scheme then
+      fail index "incremental state tracks %d nodes, overlay has %d"
+        (Flowgraph.Maxflow.Incremental.size inc)
+        (Scheme.size scheme);
+    if Float.is_finite cut || Float.is_finite warm then
+      if Float.abs (cut -. warm) > slack cut then
+        fail index "incremental warm value %.12g disagrees with the cut %.12g"
+          warm cut);
   if level = Strict && Float.is_finite cut then begin
-    let flow = Flowgraph.Maxflow.min_broadcast_flow_csr csr ~src:0 in
-    if Float.abs (cut -. flow) > slack cut then
-      fail index "fast-path rate %.12g disagrees with max-flow %.12g" cut flow
+    let full = Flowgraph.Maxflow.min_broadcast_flow_csr csr ~src:0 in
+    if Float.abs (cut -. full) > slack cut then
+      fail index "fast-path rate %.12g disagrees with max-flow %.12g" cut full;
+    (* Maximum paranoia: the warm-start value against the from-scratch
+       Dinic, every event — the differential harness the incremental
+       solver is gated on. *)
+    match flow with
+    | None -> ()
+    | Some inc ->
+      let warm = Flowgraph.Maxflow.Incremental.value inc in
+      if Float.abs (full -. warm) > slack full then
+        fail index
+          "incremental warm value %.12g disagrees with from-scratch Dinic \
+           %.12g"
+          warm full
   end
 
-let check level ~index ?stats o =
+let check level ~index ?stats ?flow o =
   match level with
   | Off -> ()
   | Check | Strict ->
     check_order index o;
     check_structure index o;
-    check_rate level index ?stats o
+    check_rate level index ?stats ?flow o

@@ -24,7 +24,16 @@
 
     {!Strict} additionally cross-checks the cut against a full max-flow
     computation ({!Flowgraph.Maxflow.min_broadcast_flow_csr}) — the
-    generic oracle the fast path is differentially tested against. *)
+    generic oracle the fast path is differentially tested against.
+
+    When the engine maintains warm flow state
+    ({!Flowgraph.Maxflow.Incremental}, the [--engine incremental] knob),
+    the auditor receives the handle and adds engine-agreement checks:
+    {!Check} compares the warm value against the snapshot's incoming cut
+    (O(1) — the value is already maintained), and {!Strict} additionally
+    compares it against the from-scratch Dinic value it computes anyway —
+    so a Strict incremental run is a per-event differential test of the
+    warm-start solver. *)
 
 open Broadcast
 
@@ -40,9 +49,29 @@ type level =
 val level_name : level -> string
 (** ["off"], ["check"], ["strict"]. *)
 
+type engine =
+  | Full  (** stateless: every rate is re-derived from the snapshot *)
+  | Incremental
+      (** warm-start: the engine threads a
+          {!Flowgraph.Maxflow.Incremental} state through the trace and
+          hands it to the auditor after every event *)
+
+val engine_name : engine -> string
+(** ["full"], ["incremental"]. *)
+
+val engine_of_name : string -> engine option
+(** Inverse of {!engine_name} (the CLI's [--engine] parser). *)
+
 val check :
-  level -> index:int -> ?stats:Repair.stats -> Overlay.t -> unit
-(** [check lvl ~index ?stats o] audits [o]; raises {!Violation} carrying
-    [index] and a description on the first broken invariant. [Off] checks
-    nothing. [stats] enables the agreement checks against the repair's
-    own numbers. *)
+  level ->
+  index:int ->
+  ?stats:Repair.stats ->
+  ?flow:Flowgraph.Maxflow.Incremental.t ->
+  Overlay.t ->
+  unit
+(** [check lvl ~index ?stats ?flow o] audits [o]; raises {!Violation}
+    carrying [index] and a description on the first broken invariant.
+    [Off] checks nothing. [stats] enables the agreement checks against
+    the repair's own numbers; [flow] — the warm incremental state, which
+    must already mirror [o] — enables the engine-agreement checks
+    described above. *)

@@ -81,21 +81,45 @@ let apply o (event : Trace.event) =
   | Flash_crowd { arrivals } ->
     let o, edges, last =
       List.fold_left
-        (fun (o, edges, _) (bandwidth, guarded) ->
+        (fun (o, edges, acc) (bandwidth, guarded) ->
           let o, (stats : Repair.stats) =
             Repair.join o ~bandwidth ~cls:(cls_of guarded)
           in
-          (o, edges + stats.patch_edges, Some stats))
+          (* The burst is one event to the caller, so its node map is the
+             composition of the per-join renumberings. *)
+          let map =
+            match acc with
+            | None -> stats.Repair.node_map
+            | Some (map, _) ->
+              Array.map
+                (fun v -> if v < 0 then -1 else stats.Repair.node_map.(v))
+                map
+          in
+          (o, edges + stats.patch_edges, Some (map, stats)))
         (o, 0, None) arrivals
     in
     (match last with
     | None -> None
-    | Some stats -> Some (o, { stats with Repair.patch_edges = edges }))
+    | Some (map, stats) ->
+      Some (o, { stats with Repair.patch_edges = edges; node_map = map }))
 
-let run ?(policy = Policy.Always_patch) ?(audit = Audit.Off) ?rebuild_headroom
-    ?on_event start trace =
+let run ?(policy = Policy.Always_patch) ?(audit = Audit.Off)
+    ?(engine = Audit.Full) ?rebuild_headroom ?on_event ?probe start trace =
   let state = Policy.init policy start in
   let overlay = ref start in
+  (* Warm flow state, threaded through the whole trace under the
+     incremental engine; the knob changes what is *maintained and
+     audited*, never what the run produces — timelines and summaries are
+     byte-identical across engines. *)
+  let flow =
+    match engine with
+    | Audit.Full -> None
+    | Audit.Incremental ->
+      Some
+        (Flowgraph.Maxflow.Incremental.create
+           (Scheme.snapshot (Overlay.scheme start))
+           ~src:0)
+  in
   let timeline = ref [] in
   let applied = ref 0 in
   let skipped = ref 0 in
@@ -157,7 +181,22 @@ let run ?(policy = Policy.Always_patch) ?(audit = Audit.Off) ?rebuild_headroom
           let ratio = ratio_of ~rate ~optimal in
           min_ratio := Float.min !min_ratio ratio;
           sum_ratio := !sum_ratio +. ratio;
-          Audit.check audit ~index ~stats:fstats o;
+          (match flow with
+          | None -> ()
+          | Some inc ->
+            let snap = Scheme.snapshot (Overlay.scheme o) in
+            (match action with
+            | Rebuilt ->
+              (* A rebuild rewires the whole overlay; warm state would
+                 refund nearly everything, so restart cold. *)
+              Flowgraph.Maxflow.Incremental.rebase inc snap
+            | Patched | Skipped ->
+              Flowgraph.Maxflow.Incremental.apply inc
+                ~map:fstats.Repair.node_map snap));
+          Audit.check audit ~index ~stats:fstats ?flow o;
+          (match probe with
+          | Some f -> f ~index o flow
+          | None -> ());
           {
             index;
             event;

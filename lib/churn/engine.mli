@@ -61,13 +61,36 @@ type result = { overlay : Overlay.t; timeline : record list; summary : summary }
 val run :
   ?policy:Policy.t ->
   ?audit:Audit.level ->
+  ?engine:Audit.engine ->
   ?rebuild_headroom:float ->
   ?on_event:(record -> unit) ->
+  ?probe:
+    (index:int ->
+    Overlay.t ->
+    Flowgraph.Maxflow.Incremental.t option ->
+    unit) ->
   Overlay.t ->
   Trace.t ->
   result
 (** [run o trace] replays the whole trace. [policy] defaults to
-    [Policy.Always_patch]; [audit] to [Audit.Off]. [rebuild_headroom]
+    [Policy.Always_patch]; [audit] to [Audit.Off].
+
+    [engine] (default [Audit.Full]) selects the rate-maintenance engine:
+    under [Audit.Incremental] a {!Flowgraph.Maxflow.Incremental} state is
+    created from the starting overlay and moved across every applied
+    event via the repair's [node_map] (a policy rebuild rebases it cold —
+    the rewiring invalidates most warm flow anyway), and the auditor
+    receives the handle, adding the warm-value agreement checks of
+    {!Audit.check}. The knob changes what is maintained and audited,
+    never the run's outputs: timeline, summary and final overlay are
+    byte-identical across engines.
+
+    [probe] is a test hook called after each applied event's audit with
+    the event index, the live overlay and the warm state (when the
+    incremental engine is on) — the differential harness uses it to
+    cross-check the warm value after {e every} event.
+
+    [rebuild_headroom]
     is forwarded to {!Broadcast.Repair.rebuild}: without it a rebuild
     targets the exact optimum and leaves no spare upload capacity, so on
     a growing population every post-rebuild join collapses the rate to 0

@@ -1,0 +1,611 @@
+(* Warm-start incremental max-flow under churn.
+
+   The churn engine rebuilds its platform instance on every repair and
+   renumbers every node (instances stay bandwidth-sorted within classes),
+   so arc-flow state keyed by external node ids would be invalidated at
+   each event. Instead the solver keeps its own *slot* space: a slot is a
+   stable internal node identity that survives renumbering; each event's
+   [map] (old external id -> new external id, [-1] = departed) only
+   updates the slot <-> external translation arrays. A departed node's
+   slot is tombstoned — its row stays allocated, its arcs drop to zero
+   capacity — and a newcomer claims a fresh slot appended to the arena.
+
+   Arcs live in an append-only arena of pairs: pair [k] is CSR-style
+   forward arc [2k] / backward arc [2k+1], with jagged per-slot adjacency
+   rows that grow as churn adds edges. Per event the solver
+
+   1. re-translates slots under [map] (tombstones + fresh slots);
+   2. diffs the new frozen snapshot against the arena in O(m): per-pair
+      capacities are updated in place, edges never seen before append a
+      pair, and a stamp sweep zeroes pairs that vanished (this covers
+      every arc incident to a tombstoned slot);
+   3. refunds exactly the flow that the delta invalidated: flows above
+      their new capacity are clamped, the resulting conservation
+      imbalances are drained by two topological sweeps (excess inflow is
+      pushed back towards the source in reverse order, outflow deficits
+      forward towards the sink), which touch only flow-carrying paths
+      through the affected arcs — the flow-decomposition walk of the
+      repaired region;
+   4. re-augments the remaining (feasible) flow to a maximum with Dinic
+      phases run on the warm residual, instead of solving from zero.
+
+   The warm state maintains a single flow, to the *critical sink* — the
+   node of minimal incoming weight. On the acyclic overlays every repair
+   produces, the broadcast throughput (min over all sinks of
+   [maxflow src v]) equals the minimal incoming cut, and the max-flow to
+   any argmin-in-weight sink meets that bound exactly (the DAG theorem
+   the CSR differential suite pins), so one warm flow certifies the whole
+   broadcast value. When the critical sink moves to a different node the
+   flow to the old sink is not reusable: the solver resets the residual
+   and re-solves that single sink cold — still one Dinic run against the
+   [n - 1] of a full recompute. If a snapshot ever comes back cyclic
+   (impossible through [Repair], which preserves acyclicity, but allowed
+   by this API), the solver falls back to a full from-scratch
+   min-over-sinks solve and says so in its stats — this is the one case
+   where the Strict auditor's incremental cross-check degenerates to two
+   full recomputes. *)
+
+type stats = {
+  refunded : float;
+  augmented : float;
+  appended_pairs : int;
+  rebased : bool;
+  cold : bool;
+  sink_moved : bool;
+}
+
+type t = {
+  eps : float;
+  mutable snap : Csr.t;  (* the snapshot the state currently mirrors *)
+  mutable src_ext : int;
+  mutable n_ext : int;
+  (* slot translation *)
+  mutable nslots : int;
+  mutable ext_of : int array;  (* slot -> external id, -1 = tombstone *)
+  mutable slot_of : int array;  (* external id -> slot *)
+  src_slot : int;
+  mutable sink_slot : int;  (* critical sink, -1 on single-node graphs *)
+  (* arc arena: pair k = forward arc 2k / backward arc 2k+1 *)
+  mutable npairs : int;
+  mutable tl : int array;  (* pair -> tail slot *)
+  mutable hd : int array;  (* pair -> head slot *)
+  mutable capn : float array;  (* pair -> current forward capacity *)
+  mutable resid : float array;  (* arc -> residual; flow on k = resid.(2k+1) *)
+  mutable stamp : int array;  (* pair -> diff tick it was last seen at *)
+  mutable tick : int;
+  pair_of : (int * int, int) Hashtbl.t;  (* (tail slot, head slot) -> pair *)
+  (* jagged adjacency: arcs (both directions) incident to a slot *)
+  mutable adj : int array array;
+  mutable adj_len : int array;
+  (* scratch, sized to nslots *)
+  mutable level : int array;
+  mutable cur : int array;
+  mutable queue : int array;
+  mutable path : int array;
+  mutable dev : float array;  (* conservation deviation during refunds *)
+  mutable warm : bool;  (* false = cyclic fallback, no flow state kept *)
+  mutable value_ : float;
+  mutable last_ : stats;
+}
+
+let no_stats =
+  {
+    refunded = 0.;
+    augmented = 0.;
+    appended_pairs = 0;
+    rebased = false;
+    cold = false;
+    sink_moved = false;
+  }
+
+(* ---- growable storage ------------------------------------------------- *)
+
+let grow_int a len fill =
+  let b = Array.make len fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_float a len fill =
+  let b = Array.make len fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_slots t want =
+  let have = Array.length t.ext_of in
+  if want > have then begin
+    let cap = max want (2 * have) in
+    t.ext_of <- grow_int t.ext_of cap (-1);
+    t.adj <- (let b = Array.make cap [||] in
+              Array.blit t.adj 0 b 0 have; b);
+    t.adj_len <- grow_int t.adj_len cap 0;
+    t.level <- Array.make cap (-1);
+    t.cur <- Array.make cap 0;
+    t.queue <- Array.make cap 0;
+    t.path <- Array.make cap 0;
+    t.dev <- Array.make cap 0.
+  end
+
+let ensure_pairs t want =
+  let have = Array.length t.tl in
+  if want > have then begin
+    let cap = max want (2 * have) in
+    t.tl <- grow_int t.tl cap 0;
+    t.hd <- grow_int t.hd cap 0;
+    t.capn <- grow_float t.capn cap 0.;
+    t.stamp <- grow_int t.stamp cap 0;
+    t.resid <- grow_float t.resid (2 * cap) 0.
+  end
+
+let adj_push t s arc =
+  let row = t.adj.(s) in
+  let len = t.adj_len.(s) in
+  if len = Array.length row then begin
+    let row' = Array.make (max 4 (2 * len)) 0 in
+    Array.blit row 0 row' 0 len;
+    t.adj.(s) <- row';
+    row'.(len) <- arc
+  end
+  else row.(len) <- arc;
+  t.adj_len.(s) <- len + 1
+
+(* Append a fresh zero-flow pair for slot edge [us -> vs]. *)
+let add_pair t ~us ~vs ~w =
+  let k = t.npairs in
+  ensure_pairs t (k + 1);
+  t.npairs <- k + 1;
+  t.tl.(k) <- us;
+  t.hd.(k) <- vs;
+  t.capn.(k) <- w;
+  t.resid.(2 * k) <- w;
+  t.resid.((2 * k) + 1) <- 0.;
+  t.stamp.(k) <- t.tick;
+  Hashtbl.replace t.pair_of (us, vs) k;
+  adj_push t us (2 * k);
+  adj_push t vs ((2 * k) + 1);
+  k
+
+(* ---- Dinic on the slot arena ------------------------------------------ *)
+
+(* Arc endpoints: forward arc 2k runs tail -> head, backward arc 2k+1
+   head -> tail. *)
+let arc_dst t a =
+  let k = a lsr 1 in
+  if a land 1 = 0 then t.hd.(k) else t.tl.(k)
+
+let bfs t ~dst =
+  Array.fill t.level 0 t.nslots (-1);
+  t.level.(t.src_slot) <- 0;
+  t.queue.(0) <- t.src_slot;
+  let qh = ref 0 and qt = ref 1 in
+  while !qh < !qt && t.level.(dst) < 0 do
+    let u = t.queue.(!qh) in
+    incr qh;
+    let lvl = t.level.(u) + 1 in
+    let row = t.adj.(u) and len = t.adj_len.(u) in
+    for p = 0 to len - 1 do
+      let arc = row.(p) in
+      let v = arc_dst t arc in
+      if t.resid.(arc) > t.eps && t.level.(v) < 0 then begin
+        t.level.(v) <- lvl;
+        t.queue.(!qt) <- v;
+        incr qt
+      end
+    done
+  done;
+  t.level.(dst) >= 0
+
+let blocking_flow t ~dst ~limit total =
+  Array.fill t.cur 0 t.nslots 0;
+  let depth = ref 0 in
+  let u = ref t.src_slot in
+  let running = ref true in
+  while !running do
+    if !u = dst then begin
+      let f = ref infinity in
+      for i = 0 to !depth - 1 do
+        let arc = t.path.(i) in
+        if t.resid.(arc) < !f then f := t.resid.(arc)
+      done;
+      let f = !f in
+      total := !total +. f;
+      let cut = ref 0 in
+      for i = !depth - 1 downto 0 do
+        let arc = t.path.(i) in
+        t.resid.(arc) <- t.resid.(arc) -. f;
+        t.resid.(arc lxor 1) <- t.resid.(arc lxor 1) +. f;
+        if t.resid.(arc) <= t.eps then cut := i
+      done;
+      depth := !cut;
+      u := (if !cut = 0 then t.src_slot else arc_dst t t.path.(!cut - 1));
+      if !total >= limit then running := false
+    end
+    else begin
+      let row = t.adj.(!u) and stop = t.adj_len.(!u) in
+      let lvl = t.level.(!u) + 1 in
+      let c = ref t.cur.(!u) in
+      let found = ref (-1) in
+      while !found < 0 && !c < stop do
+        let arc = row.(!c) in
+        if t.resid.(arc) > t.eps && t.level.(arc_dst t arc) = lvl then
+          found := arc
+        else incr c
+      done;
+      t.cur.(!u) <- !c;
+      if !found >= 0 then begin
+        t.path.(!depth) <- !found;
+        incr depth;
+        u := arc_dst t !found
+      end
+      else if !u = t.src_slot then running := false
+      else begin
+        t.level.(!u) <- -1;
+        decr depth;
+        let arc = t.path.(!depth) in
+        u := arc_dst t (arc lxor 1);
+        t.cur.(!u) <- t.cur.(!u) + 1
+      end
+    end
+  done
+
+(* Augment from the current residual up to [limit]; returns the flow
+   added. *)
+let augment t ~dst ~limit =
+  let total = ref 0. in
+  while !total < limit && bfs t ~dst do
+    blocking_flow t ~dst ~limit total
+  done;
+  !total
+
+(* Discard all flow: every forward arc back to full capacity. *)
+let reset_flow t =
+  for k = 0 to t.npairs - 1 do
+    t.resid.(2 * k) <- t.capn.(k);
+    t.resid.((2 * k) + 1) <- 0.
+  done
+
+(* ---- critical sink ---------------------------------------------------- *)
+
+(* argmin of incoming weight over external ids <> src, smallest id on
+   ties — the cut the broadcast value equals on acyclic snapshots. *)
+let critical_sink_ext (c : Csr.t) ~src =
+  let n = c.Csr.n in
+  if n <= 1 then -1
+  else begin
+    let best = ref (-1) and best_w = ref infinity in
+    for v = 0 to n - 1 do
+      if v <> src && c.Csr.in_wt.(v) < !best_w then begin
+        best := v;
+        best_w := c.Csr.in_wt.(v)
+      end
+    done;
+    !best
+  end
+
+(* Full from-scratch min-over-sinks solve on the arena, cheap sinks
+   first with early exit at the running minimum — the cyclic fallback,
+   equivalent to [Maxflow.min_broadcast_flow_csr]. *)
+let solve_full t =
+  let c = t.snap in
+  let n = c.Csr.n in
+  if n <= 1 then infinity
+  else begin
+    let sinks = Array.make (n - 1) 0 in
+    let j = ref 0 in
+    for v = 0 to n - 1 do
+      if v <> t.src_ext then begin
+        sinks.(!j) <- v;
+        incr j
+      end
+    done;
+    Array.sort
+      (fun u v ->
+        let cmp = Float.compare c.Csr.in_wt.(u) c.Csr.in_wt.(v) in
+        if cmp <> 0 then cmp else compare u v)
+      sinks;
+    Array.fold_left
+      (fun best v ->
+        reset_flow t;
+        let f = augment t ~dst:t.slot_of.(v) ~limit:best in
+        if f < best then f else best)
+      infinity sinks
+  end
+
+(* ---- (re)initialization ----------------------------------------------- *)
+
+(* Load [csr] into [t] from scratch: identity slot translation, one pair
+   per edge, no flow. *)
+let load t (c : Csr.t) ~src =
+  let n = c.Csr.n and m = c.Csr.m in
+  t.snap <- c;
+  t.src_ext <- src;
+  t.n_ext <- n;
+  t.nslots <- max (src + 1) n;
+  ensure_slots t t.nslots;
+  Hashtbl.reset t.pair_of;
+  t.npairs <- 0;
+  t.tick <- 0;
+  for s = 0 to Array.length t.ext_of - 1 do
+    t.ext_of.(s) <- (if s < n then s else -1)
+  done;
+  t.slot_of <- Array.init n (fun v -> v);
+  Array.fill t.adj_len 0 (Array.length t.adj_len) 0;
+  ensure_pairs t m;
+  for u = 0 to n - 1 do
+    for e = c.Csr.row_off.(u) to c.Csr.row_off.(u + 1) - 1 do
+      ignore (add_pair t ~us:u ~vs:c.Csr.col.(e) ~w:c.Csr.w.(e))
+    done
+  done;
+  t.value_ <- infinity;
+  t.sink_slot <- -1
+
+let cold_solve t =
+  let c = t.snap in
+  if c.Csr.n <= 1 then begin
+    t.warm <- true;
+    t.value_ <- infinity;
+    t.sink_slot <- -1
+  end
+  else if Csr.is_acyclic c then begin
+    t.warm <- true;
+    let v = critical_sink_ext c ~src:t.src_ext in
+    t.sink_slot <- t.slot_of.(v);
+    reset_flow t;
+    t.value_ <- augment t ~dst:t.sink_slot ~limit:infinity
+  end
+  else begin
+    t.warm <- false;
+    t.sink_slot <- -1;
+    t.value_ <- solve_full t
+  end
+
+let rebase t c =
+  load t c ~src:t.src_ext;
+  cold_solve t;
+  t.last_ <- { no_stats with rebased = true; cold = not t.warm }
+
+let create ?(eps = 1e-12) (c : Csr.t) ~src =
+  if src < 0 || src >= max 1 c.Csr.n then
+    invalid_arg "Incremental: source out of range";
+  let t =
+    {
+      eps;
+      snap = c;
+      src_ext = src;
+      n_ext = c.Csr.n;
+      nslots = 0;
+      ext_of = [||];
+      slot_of = [||];
+      src_slot = src;
+      sink_slot = -1;
+      npairs = 0;
+      tl = [||];
+      hd = [||];
+      capn = [||];
+      resid = [||];
+      stamp = [||];
+      tick = 0;
+      pair_of = Hashtbl.create 64;
+      adj = [||];
+      adj_len = [||];
+      level = [||];
+      cur = [||];
+      queue = [||];
+      path = [||];
+      dev = [||];
+      warm = true;
+      value_ = infinity;
+      last_ = no_stats;
+    }
+  in
+  load t c ~src;
+  cold_solve t;
+  t.last_ <- { no_stats with rebased = true; cold = not t.warm };
+  t
+
+(* ---- the incremental event path --------------------------------------- *)
+
+(* Clamp the flow on pair [k] down to [f'] and book the conservation
+   deviation at its endpoints. *)
+let cut_flow_to t k f' =
+  let f = t.resid.((2 * k) + 1) in
+  let d = f -. f' in
+  t.resid.((2 * k) + 1) <- f';
+  t.resid.(2 * k) <- t.capn.(k) -. f';
+  t.dev.(t.tl.(k)) <- t.dev.(t.tl.(k)) +. d;
+  t.dev.(t.hd.(k)) <- t.dev.(t.hd.(k)) -. d;
+  d
+
+(* Drain conservation deviations with two sweeps along the topological
+   order of the new snapshot. Reverse sweep: a node with excess inflow
+   cuts flow on incoming pairs, pushing the excess to predecessors
+   (visited later in the sweep) until it pools at the source. Forward
+   sweep: a node with excess outflow cuts outgoing pairs, pushing the
+   deficit to successors until it pools at the sink. Both invariants
+   hold throughout: a node with deviation d > 0 carries at least d
+   units of incoming flow, and symmetrically for deficits, so the cuts
+   never run dry. Only flow-carrying arcs are walked — exactly the flow
+   decomposition through the repaired region. Returns the flow refunded
+   at the sink (the drop in the warm value). *)
+let drain_deviations t order_slots =
+  let tol = 1e-9 in
+  let n = Array.length order_slots in
+  for i = n - 1 downto 0 do
+    let u = order_slots.(i) in
+    if u <> t.src_slot && u <> t.sink_slot && t.dev.(u) > tol then begin
+      let row = t.adj.(u) and len = t.adj_len.(u) in
+      let p = ref 0 in
+      while t.dev.(u) > tol && !p < len do
+        let arc = row.(!p) in
+        if arc land 1 = 1 then begin
+          let k = arc lsr 1 in
+          let f = t.resid.(arc) in
+          if f > 0. then
+            ignore (cut_flow_to t k (f -. Float.min f t.dev.(u)))
+        end;
+        incr p
+      done
+    end
+  done;
+  for i = 0 to n - 1 do
+    let u = order_slots.(i) in
+    if u <> t.src_slot && u <> t.sink_slot && t.dev.(u) < -.tol then begin
+      let row = t.adj.(u) and len = t.adj_len.(u) in
+      let p = ref 0 in
+      while t.dev.(u) < -.tol && !p < len do
+        let arc = row.(!p) in
+        if arc land 1 = 0 then begin
+          let k = arc lsr 1 in
+          let f = t.resid.(arc lor 1) in
+          if f > 0. then
+            ignore (cut_flow_to t k (f -. Float.min f (-.t.dev.(u))))
+        end;
+        incr p
+      done
+    end
+  done
+
+(* Net warm flow into the sink, read off its adjacency row. *)
+let sink_inflow t =
+  if t.sink_slot < 0 then infinity
+  else begin
+    let acc = ref 0. in
+    let row = t.adj.(t.sink_slot) and len = t.adj_len.(t.sink_slot) in
+    for p = 0 to len - 1 do
+      let arc = row.(p) in
+      let k = arc lsr 1 in
+      let f = t.resid.((2 * k) lor 1) in
+      if arc land 1 = 1 then acc := !acc +. f else acc := !acc -. f
+    done;
+    !acc
+  end
+
+let apply t ~map (c : Csr.t) =
+  if Array.length map <> t.n_ext then
+    invalid_arg "Incremental.apply: node map length does not match";
+  if map.(t.src_ext) < 0 then
+    invalid_arg "Incremental.apply: the source cannot depart";
+  (* 1. Re-translate slots under the event's renumbering. *)
+  let n' = c.Csr.n in
+  let slot_of' = Array.make (max 1 n') (-1) in
+  for s = 0 to t.nslots - 1 do
+    let e = t.ext_of.(s) in
+    if e >= 0 then begin
+      let e' = map.(e) in
+      t.ext_of.(s) <- e';
+      if e' >= 0 then slot_of'.(e') <- s
+    end
+  done;
+  for e' = 0 to n' - 1 do
+    if slot_of'.(e') < 0 then begin
+      let s = t.nslots in
+      ensure_slots t (s + 1);
+      t.nslots <- s + 1;
+      t.ext_of.(s) <- e';
+      t.adj_len.(s) <- 0;
+      slot_of'.(e') <- s
+    end
+  done;
+  t.slot_of <- slot_of';
+  t.src_ext <- map.(t.src_ext);
+  t.n_ext <- n';
+  t.snap <- c;
+  (* Arena hygiene: when tombstones or stale pairs dominate, rebuilding
+     from the snapshot is cheaper than dragging them through every
+     future diff. *)
+  if
+    (not t.warm)
+    || t.nslots > (2 * n') + 8
+    || t.npairs > (4 * c.Csr.m) + 8
+    || not (Csr.is_acyclic c)
+  then rebase t c
+  else begin
+    (* 2. O(m) capacity diff against the new snapshot. *)
+    t.tick <- t.tick + 1;
+    Array.fill t.dev 0 t.nslots 0.;
+    let refunded = ref 0. in
+    let appended = ref 0 in
+    for u = 0 to n' - 1 do
+      let us = t.slot_of.(u) in
+      for e = c.Csr.row_off.(u) to c.Csr.row_off.(u + 1) - 1 do
+        let vs = t.slot_of.(c.Csr.col.(e)) in
+        let w = c.Csr.w.(e) in
+        match Hashtbl.find_opt t.pair_of (us, vs) with
+        | None ->
+          ignore (add_pair t ~us ~vs ~w);
+          incr appended
+        | Some k ->
+          t.stamp.(k) <- t.tick;
+          if t.capn.(k) <> w then begin
+            t.capn.(k) <- w;
+            let f = t.resid.((2 * k) + 1) in
+            if f > w then refunded := !refunded +. cut_flow_to t k w
+            else t.resid.(2 * k) <- w -. f
+          end
+      done
+    done;
+    (* 3. Stamp sweep: pairs absent from the snapshot lose their
+       capacity — this retires every arc of a tombstoned slot too. *)
+    for k = 0 to t.npairs - 1 do
+      if t.stamp.(k) <> t.tick && t.capn.(k) > 0. then begin
+        t.capn.(k) <- 0.;
+        let f = t.resid.((2 * k) + 1) in
+        if f > 0. then refunded := !refunded +. cut_flow_to t k 0.
+        else t.resid.(2 * k) <- 0.
+      end
+    done;
+    if n' <= 1 then begin
+      t.sink_slot <- -1;
+      t.value_ <- infinity;
+      t.last_ <-
+        {
+          no_stats with
+          refunded = !refunded;
+          appended_pairs = !appended;
+        }
+    end
+    else begin
+      (* 4. Track the critical sink before draining, so deviations at
+         the *current* sink are treated as value changes, not repaired
+         away. A moved sink invalidates the warm flow entirely. *)
+      let sink_ext = critical_sink_ext c ~src:t.src_ext in
+      let sink_slot' = t.slot_of.(sink_ext) in
+      let sink_moved = sink_slot' <> t.sink_slot in
+      if sink_moved then begin
+        t.sink_slot <- sink_slot';
+        reset_flow t;
+        t.value_ <- 0.
+      end
+      else begin
+        (* Drain imbalances along the new snapshot's topological order
+           (the graph is acyclic here — checked above). *)
+        match Csr.topo_order c with
+        | None -> assert false
+        | Some order ->
+          let order_slots = Array.map (fun v -> t.slot_of.(v)) order in
+          drain_deviations t order_slots;
+          t.value_ <- sink_inflow t
+      end;
+      (* 5. Re-augment the warm residual back to a maximum. *)
+      let added = augment t ~dst:t.sink_slot ~limit:infinity in
+      t.value_ <- t.value_ +. added;
+      t.last_ <-
+        {
+          refunded = !refunded;
+          augmented = added;
+          appended_pairs = !appended;
+          rebased = false;
+          cold = false;
+          sink_moved;
+        }
+    end
+  end
+
+(* ---- queries ----------------------------------------------------------- *)
+
+let value t = t.value_
+let size t = t.n_ext
+let is_warm t = t.warm
+let last_stats t = t.last_
+let achieves_rate t ~rate = t.value_ >= rate
+
+let identity_map n = Array.init n (fun v -> v)

@@ -1,0 +1,92 @@
+(** Warm-start incremental max-flow under churn.
+
+    A churn event changes a broadcast overlay by a single-node delta
+    (leave, join, degrade/restore) but the repair layer rebuilds its
+    instance and renumbers every node, so a from-scratch
+    {!Maxflow.min_broadcast_flow_csr} per event is the only stateless
+    option — and the one the churn benchmarks show collapsing at scale.
+    This module keeps the arc-flow/residual state of a CSR-backed Dinic
+    solver alive across events instead:
+
+    - node identities live in a stable internal {e slot} space; the
+      event's renumbering map only updates the slot translation, a
+      departed node tombstones its slot (row kept, arcs zeroed) and a
+      newcomer appends a fresh one;
+    - arcs live in an append-only arena over the frozen base snapshot:
+      pairs never seen before are appended, vanished pairs are retired
+      by a stamp sweep, capacities are diffed in O(m) per event;
+    - only flow invalidated by the delta is cancelled: flows above their
+      new capacity are clamped and the conservation imbalances drained
+      along the flow decomposition through the affected arcs (two
+      topological sweeps), then the remaining feasible flow is
+      re-augmented to a maximum from the warm residual — never from
+      zero.
+
+    The state carries one warm flow, to the {e critical sink} (minimal
+    incoming weight). On acyclic snapshots — every overlay {!Repair}
+    produces — the broadcast throughput equals the minimal incoming cut
+    and the max-flow to an argmin sink meets it exactly (the DAG theorem
+    pinned by the CSR differential suite), so this single flow certifies
+    the broadcast value. When the critical sink moves, the solver
+    re-solves that one sink cold (one Dinic run versus [n - 1]); when a
+    snapshot is cyclic, it falls back to a full from-scratch
+    min-over-sinks solve and reports [cold = true]. *)
+
+type t
+(** Mutable warm-flow state. Not thread-safe; one instance per replayed
+    trace. *)
+
+type stats = {
+  refunded : float;  (** flow cancelled because the delta invalidated it *)
+  augmented : float;  (** flow re-added from the warm residual *)
+  appended_pairs : int;  (** arena arc pairs appended by this event *)
+  rebased : bool;  (** event rebuilt the arena from the snapshot *)
+  cold : bool;  (** value came from the cyclic full-scan fallback *)
+  sink_moved : bool;
+      (** the critical sink changed; the warm flow was reset and that
+          single sink re-solved cold *)
+}
+
+val create : ?eps:float -> Csr.t -> src:int -> t
+(** [create c ~src] loads the snapshot and solves the initial flow cold.
+    [eps] (default [1e-12]) is the smallest usable residual capacity, as
+    in {!Maxflow}. Raises [Invalid_argument] if [src] is out of
+    range. *)
+
+val apply : t -> map:int array -> Csr.t -> unit
+(** [apply t ~map c] moves the state to the post-event snapshot [c].
+    [map] translates the previous snapshot's node ids to [c]'s:
+    [map.(v)] is the new id of old node [v], or [-1] if it departed
+    (exactly [Repair.stats.node_map]). New ids not in the map's image
+    are newcomers. Raises [Invalid_argument] when the map length does
+    not match the previous node count or maps the source to [-1]. *)
+
+val rebase : t -> Csr.t -> unit
+(** [rebase t c] discards all warm state and reloads from [c] (identity
+    node numbering), solving cold — the right call after a policy
+    rebuild, whose rewiring invalidates most of the flow anyway. Also
+    performed automatically by {!apply} when tombstones or retired arcs
+    dominate the arena, and on cyclic snapshots. *)
+
+val value : t -> float
+(** Current broadcast flow value — equal (within the library's [1e-6]
+    relative flow slack) to
+    [Maxflow.min_broadcast_flow_csr snapshot ~src]; [infinity] on
+    single-node snapshots. *)
+
+val achieves_rate : t -> rate:float -> bool
+(** [value t >= rate], exact like {!Maxflow.achieves_rate}; apply any
+    tolerance by adjusting [rate]. *)
+
+val size : t -> int
+(** Node count of the snapshot the state currently mirrors. *)
+
+val is_warm : t -> bool
+(** [false] while in the cyclic full-recompute fallback. *)
+
+val last_stats : t -> stats
+(** Diagnostics of the most recent {!create}/{!apply}/{!rebase}. *)
+
+val identity_map : int -> int array
+(** [identity_map n] is [[|0; 1; ...; n - 1|]] — the map of an event
+    that renumbers nothing. *)

@@ -99,3 +99,10 @@ val flow_of_solver : solver -> dst:int -> float * Graph.t
 (** [flow_of_solver s ~dst] solves from the solver's source to [dst]
     (resetting the shared arena, no [limit]) and reads the witness back
     from the residual capacities — no arena rebuild. *)
+
+(** {1 Incremental solving under churn} *)
+
+module Incremental = Incremental
+(** Warm-start incremental variant: persists arc-flow/residual state
+    across churn events and re-augments from the residual instead of
+    solving from zero. See {!Incremental}. *)

@@ -253,6 +253,60 @@ let test_join_saturated_regression () =
   Alcotest.(check int) "event applied, not skipped" 1
     r.Churn.Engine.summary.Churn.Engine.applied
 
+(* Satellite regression: a join right after a batch failure drove the
+   population to the engine's floor must see the post-failure topology,
+   never a stale one. The repair path itself cannot go stale — every
+   repair materializes a fresh Scheme whose snapshot is frozen at
+   construction — so the one hazard is aliasing: [Scheme.graph] used to
+   hand out the memoized mutable view, and a caller scribbling on it
+   would silently diverge from the frozen snapshot that [join]'s
+   capacity scan and the auditor both read. [Scheme.graph] now returns a
+   copy; this pins both halves. *)
+let test_join_after_floor_batch_not_stale () =
+  let o, _ = small_overlay ~n:8 73L in
+  let size = Instance.size (Broadcast.Overlay.instance o) in
+  (* Fail everything down to the floor: source plus two survivors. *)
+  let nodes = List.init (size - 3) (fun i -> i + 1) in
+  let o1, _ = Broadcast.Repair.leave_batch o ~nodes in
+  Alcotest.(check int) "at the floor" 3
+    (Broadcast.Scheme.size (Broadcast.Overlay.scheme o1));
+  (* Scribble on the graph view of the floored overlay before joining:
+     with an aliased view this would corrupt the capacity scan below. *)
+  let view = Broadcast.Scheme.graph (Broadcast.Overlay.scheme o1) in
+  Flowgraph.Graph.set_edge view ~src:0 ~dst:1 0.;
+  Flowgraph.Graph.set_edge view ~src:0 ~dst:2 0.;
+  let snap = Broadcast.Scheme.snapshot (Broadcast.Overlay.scheme o1) in
+  Alcotest.(check bool) "snapshot untouched by view mutation" true
+    (Flowgraph.Csr.out_weight snap 0 > 0.);
+  let o2, stats = Broadcast.Repair.join o1 ~bandwidth:5. ~cls:Instance.Open in
+  Alcotest.(check bool) "well formed after floor join" true
+    (Broadcast.Overlay.well_formed o2);
+  Alcotest.(check int) "population grew off the floor" 4
+    (Broadcast.Scheme.size (Broadcast.Overlay.scheme o2));
+  (* The join's reported rate must agree with an independent re-check of
+     the post-join artifact — the two diverge if any cached state from
+     before the batch failure leaked into the join. *)
+  let report = Broadcast.Scheme.report (Broadcast.Overlay.scheme o2) in
+  Alcotest.(check bool) "reported rate matches fresh verification" true
+    (Float.abs
+       (stats.Broadcast.Repair.rate_after
+       -. report.Broadcast.Verify.throughput)
+    <= Broadcast.Verify.flow_slack report.Broadcast.Verify.throughput);
+  (* The engine rides the same cliff audited, with the warm flow state
+     crossing the floor event by event. *)
+  let events =
+    [|
+      Churn.Trace.Fail_batch { picks = List.init (size - 3) (fun i -> i) };
+      Churn.Trace.Join { bandwidth = 5.; guarded = false };
+    |]
+  in
+  let r =
+    Churn.Engine.run ~audit:Churn.Audit.Strict ~engine:Churn.Audit.Incremental
+      o { Churn.Trace.events }
+  in
+  Alcotest.(check int) "both events applied" 2
+    r.Churn.Engine.summary.Churn.Engine.applied
+
 (* Satellite property: random interleaved event sequences keep every
    invariant at every step — the strict auditor IS the assertion. *)
 let prop_engine_invariants =
@@ -322,6 +376,8 @@ let suites =
           test_degrade_restore_cancel;
         Alcotest.test_case "correlated batch failure" `Quick
           test_leave_batch_matches_engine;
+        Alcotest.test_case "join after floor batch sees fresh state" `Quick
+          test_join_after_floor_batch_not_stale;
         Alcotest.test_case "saturated join admits at rate 0" `Quick
           test_join_saturated_regression;
         Alcotest.test_case "policy comparison acceptance" `Slow

@@ -1,0 +1,169 @@
+(* The BENCH_churn.json contract and the CLI surface around the
+   incremental engine.
+
+   The golden file pins the benchmark's JSON schema — CI dashboards and
+   the gate checks in bench/churn_bench.ml parse these exact keys, so a
+   rename or type change must show up here as a deliberate golden
+   update, not as a silent drift. The CLI tests drive the real bmp
+   binary (a dune dependency of this test) to pin the [--engine] flag's
+   help text, its accepted values, and the engine's inertness on real
+   replays. *)
+
+module Json = Flowgraph.Json
+
+(* Anchor data and binary paths at the test executable, so the suite
+   works both under `dune runtest` (cwd = test dir) and `dune exec`
+   from the repo root. *)
+let at path = Filename.concat (Filename.dirname Sys.executable_name) path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let parse_golden () =
+  match Json.parse (read_file (at "golden/bench_churn_schema.json")) with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "golden bench schema unreadable: %s" msg
+
+let num what doc key =
+  match Option.map Json.to_float (Json.member key doc) with
+  | Some (Ok x) -> x
+  | _ -> Alcotest.failf "%s: missing or non-numeric %S" what key
+
+let bool_ what doc key =
+  match Json.member key doc with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "%s: missing or non-boolean %S" what key
+
+let test_bench_schema_golden () =
+  let doc = parse_golden () in
+  (match Json.member "benchmark" doc with
+  | Some (Json.Str "churn") -> ()
+  | _ -> Alcotest.fail "benchmark key must be \"churn\"");
+  Alcotest.(check (float 0.)) "overhead gate" 3.0 (num "top" doc "gate_overhead_max");
+  Alcotest.(check (float 0.)) "speedup gate" 5.0
+    (num "top" doc "gate_incremental_speedup_min");
+  Alcotest.(check (float 0.)) "speedup gate scope" 10000.
+    (num "top" doc "gate_incremental_speedup_nodes");
+  let rows =
+    match Json.member "rows" doc with
+    | Some (Json.Arr rows) -> rows
+    | _ -> Alcotest.fail "rows must be an array"
+  in
+  Alcotest.(check bool) "at least one row" true (rows <> []);
+  List.iteri
+    (fun i row ->
+      let what = Printf.sprintf "row %d" i in
+      List.iter
+        (fun key -> ignore (num what row key))
+        [
+          "nodes"; "events"; "unaudited_s"; "audited_s"; "events_per_s";
+          "overhead"; "incremental_s"; "full_recompute_s"; "speedup";
+        ];
+      ignore (bool_ what row "identical");
+      ignore (bool_ what row "agree");
+      if num what row "incremental_s" <= 0. then
+        Alcotest.failf "%s: incremental_s must be positive" what;
+      if
+        num what row "nodes" >= num "top" doc "gate_incremental_speedup_nodes"
+        && num what row "speedup" < num "top" doc "gate_incremental_speedup_min"
+      then Alcotest.failf "%s: golden sample itself fails the speedup gate" what)
+    rows
+
+let test_engine_names_roundtrip () =
+  List.iter
+    (fun e ->
+      match Churn.Audit.engine_of_name (Churn.Audit.engine_name e) with
+      | Some e' when e' = e -> ()
+      | _ -> Alcotest.fail "engine_name / engine_of_name do not round-trip")
+    [ Churn.Audit.Full; Churn.Audit.Incremental ];
+  Alcotest.(check bool) "unknown name rejected" true
+    (Churn.Audit.engine_of_name "warm" = None)
+
+(* {2 Driving the real binary} *)
+
+let bmp = at "../bin/bmp.exe"
+
+let run_capture cmd =
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let run_ok cmd =
+  match run_capture cmd with
+  | Unix.WEXITED 0, out -> out
+  | _, out -> Alcotest.failf "command failed: %s\n%s" cmd out
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_churn_run_help_covers_engine () =
+  let help = run_ok (bmp ^ " churn run --help=plain 2>/dev/null") in
+  List.iter
+    (fun needle ->
+      if not (contains help needle) then
+        Alcotest.failf "churn run --help does not mention %S" needle)
+    [ "--engine"; "full"; "incremental"; "warm-start"; "--audit"; "--policy" ]
+
+let test_churn_run_engine_flag () =
+  let with_instance k =
+    let dir = Filename.temp_file "bmp_cli" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Unix.rmdir dir)
+      (fun () ->
+        ignore
+          (run_ok
+             (Printf.sprintf "%s generate -n 16 --seed 3 -o %s 2>/dev/null" bmp
+                (Filename.quote (Filename.concat dir "cli"))));
+        k (Filename.concat dir "cli-0001.txt"))
+  in
+  with_instance (fun inst ->
+      let replay engine =
+        run_ok
+          (Printf.sprintf
+             "%s churn run %s --events 40 --seed 11 --audit strict --engine %s"
+             bmp (Filename.quote inst) engine)
+      in
+      let full = replay "full" and incr = replay "incremental" in
+      (* Identical replays modulo the one line naming the engine. *)
+      let strip s =
+        String.split_on_char '\n' s
+        |> List.filter (fun l -> not (contains l "engine"))
+        |> String.concat "\n"
+      in
+      Alcotest.(check string) "engine knob never changes replay output"
+        (strip full) (strip incr);
+      Alcotest.(check bool) "engine line reported" true
+        (contains incr "incremental");
+      match run_capture (Printf.sprintf "%s churn run %s --engine warm 2>&1" bmp (Filename.quote inst)) with
+      | Unix.WEXITED 0, _ -> Alcotest.fail "bogus --engine value accepted"
+      | _ -> ())
+
+let suites =
+  [
+    ( "bench-cli",
+      [
+        Alcotest.test_case "BENCH_churn.json schema golden" `Quick
+          test_bench_schema_golden;
+        Alcotest.test_case "engine names round-trip" `Quick
+          test_engine_names_roundtrip;
+        Alcotest.test_case "churn run --help covers --engine" `Quick
+          test_churn_run_help_covers_engine;
+        Alcotest.test_case "churn run --engine replays identically" `Quick
+          test_churn_run_engine_flag;
+      ] );
+  ]

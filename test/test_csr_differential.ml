@@ -34,12 +34,23 @@ let build_graph kind n density seed =
   done;
   g
 
+(* Shrink towards small sparse graphs: fewer nodes first (the dominant
+   simplification), then lower density, then a smaller seed — so a
+   failing case minimizes to a graph a human can draw. *)
+let case_shrink (kind, n, d, seed) yield =
+  QCheck.Shrink.int n (fun n -> if n >= 1 then yield (kind, n, d, seed));
+  List.iter
+    (fun d' -> if d' < d then yield (kind, n, d', seed))
+    [ 0.; 0.15; 0.3; 0.5 ];
+  QCheck.Shrink.int seed (fun seed -> yield (kind, n, d, seed))
+
 let case_arb kinds =
   QCheck.make
     ~print:(fun (kind, n, d, seed) ->
       Printf.sprintf "%s n=%d density=%g seed=%d"
         (match kind with `Dag -> "dag" | `Digraph -> "digraph")
         n d seed)
+    ~shrink:case_shrink
     QCheck.Gen.(
       oneofl kinds >>= fun kind ->
       int_range 1 24 >>= fun n ->

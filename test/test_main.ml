@@ -13,4 +13,5 @@ let () =
    @ Test_experiments.suites @ Test_verify_fast.suites
    @ Test_csr.suites @ Test_csr_differential.suites
    @ Test_parallel.suites @ Test_qcheck_properties.suites
-   @ Test_scheme.suites @ Test_churn.suites)
+   @ Test_scheme.suites @ Test_churn.suites @ Test_incremental_flow.suites
+   @ Test_cli_bench.suites)
