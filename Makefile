@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-full scheme-roundtrip churn-smoke churn-incremental clean
+.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-tracker bench-full scheme-roundtrip churn-smoke churn-incremental tracker-smoke clean
 
 all:
 	dune build @runtest @all
@@ -31,6 +31,12 @@ bench-sweep:
 # event once n >= 10000).
 bench-churn:
 	dune exec -- bench/churn_bench.exe
+
+# Tracker daemon throughput (writes BENCH_tracker.json; gates batched
+# admission at >= 2x the request rate of one-repair-per-request once
+# n >= 10000).
+bench-tracker:
+	dune exec -- bench/tracker_bench.exe
 
 # Full sweeps (Figure 7 grid, Figure 19 replication) — a few minutes.
 bench-full: bench-verify bench-sweep bench-churn
@@ -75,6 +81,28 @@ churn-incremental:
 	cmp churn-incr-full.txt churn-incr-warm.txt
 	rm -f churn-incr-0001.txt churn-incr.trace.json churn-incr-full.txt churn-incr-warm.txt
 	dune exec -- bench/churn_bench.exe
+
+# Tracker daemon, end to end through the real binary: replay the golden
+# NDJSON session (events, queries, a malformed line, shutdown) twice in
+# deterministic mode and require byte-identical responses that match the
+# committed golden; then replay the committed trace offline with
+# `churn run` and require its final scheme to be byte-identical to the
+# daemon's state snapshot — the served stream IS an Engine.run replay.
+tracker-smoke:
+	dune build bin/bmp.exe
+	dune exec -- bin/bmp.exe generate -n 20 --seed 5 -o tracker-smoke
+	dune exec -- bin/bmp.exe tracker serve tracker-smoke-0001.txt --deterministic --batch 1 \
+	  --trace-out tracker-smoke.trace.json --state-out tracker-smoke.state.json \
+	  < test/golden/tracker_session.ndjson > tracker-smoke-a.ndjson
+	dune exec -- bin/bmp.exe tracker serve tracker-smoke-0001.txt --deterministic --batch 1 \
+	  < test/golden/tracker_session.ndjson > tracker-smoke-b.ndjson
+	cmp tracker-smoke-a.ndjson tracker-smoke-b.ndjson
+	cmp tracker-smoke-a.ndjson test/golden/tracker_responses.ndjson
+	dune exec -- bin/bmp.exe churn run tracker-smoke-0001.txt --trace tracker-smoke.trace.json \
+	  --final-scheme tracker-smoke.replay.json > /dev/null
+	cmp tracker-smoke.state.json tracker-smoke.replay.json
+	rm -f tracker-smoke-0001.txt tracker-smoke.trace.json tracker-smoke.state.json \
+	  tracker-smoke-a.ndjson tracker-smoke-b.ndjson tracker-smoke.replay.json
 
 clean:
 	dune clean

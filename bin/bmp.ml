@@ -10,9 +10,17 @@
 
 open Cmdliner
 
+(* Exit-code contract: usage/parse errors (bad flags, unreadable or
+   malformed input files) exit 2 via [die]; domain failures on valid
+   input (infeasible rate, failed verification, audit violation) exit 1
+   via [fail]. *)
 let die msg =
   Printf.eprintf "error: %s\n" msg;
   exit 2
+
+let fail msg =
+  Printf.eprintf "error: %s\n" msg;
+  exit 1
 
 (* Turn I/O errors into clean CLI failures instead of "internal error"
    tracebacks. Deliberately does NOT catch [Invalid_argument]: that would
@@ -365,7 +373,7 @@ let scheme_build_cmd =
     let word_at rate =
       match Broadcast.Greedy.test inst ~rate with
       | Some word -> word
-      | None -> die (Printf.sprintf "rate %g is not feasible for this instance" rate)
+      | None -> fail (Printf.sprintf "rate %g is not feasible for this instance" rate)
     in
     let scheme =
       or_invalid @@ fun () ->
@@ -500,6 +508,76 @@ let trace_events_arg =
 let trace_seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for trace generation.")
 
+(* Self-healing options shared by `churn run` and `tracker serve`. *)
+
+let policy_arg =
+  Arg.(value
+       & opt (enum [ ("patch", `Patch); ("rebuild", `Rebuild); ("adaptive", `Adaptive) ])
+           `Adaptive
+       & info [ "policy" ] ~doc:"Self-healing policy: patch, rebuild or adaptive.")
+
+let min_ratio_arg =
+  Arg.(value & opt float 0.5
+       & info [ "min-ratio" ] ~docv:"R"
+           ~doc:"Adaptive: rebuild when rate/optimal falls below R.")
+
+let degree_slack_arg =
+  Arg.(value & opt int 4
+       & info [ "degree-slack" ] ~docv:"D"
+           ~doc:"Adaptive: rebuild when degree drift exceeds the promised \
+                 bound by more than D.")
+
+let headroom_arg =
+  Arg.(value & opt float 0.9
+       & info [ "headroom" ] ~docv:"H"
+           ~doc:"Build the initial overlay at H times the optimal rate.")
+
+let rebuild_headroom_arg =
+  Arg.(value & opt float 0.8
+       & info [ "rebuild-headroom" ] ~docv:"H"
+           ~doc:"Policy-ordered rebuilds target H times the optimum (spare \
+                 capacity for later patches).")
+
+let audit_arg =
+  Arg.(value
+       & opt (enum [ ("off", Churn.Audit.Off); ("on", Churn.Audit.Check);
+                     ("strict", Churn.Audit.Strict) ])
+           Churn.Audit.Check
+       & info [ "audit" ] ~doc:"Invariant auditing: off, on (default) or strict \
+                                (adds the max-flow cross-check).")
+
+let engine_conv =
+  let parse s =
+    match Churn.Audit.engine_of_name s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S (full|incremental)" s))
+  in
+  Arg.conv
+    (parse, fun ppf e -> Format.pp_print_string ppf (Churn.Audit.engine_name e))
+
+let engine_arg ~default ~doc =
+  Arg.(value & opt engine_conv default & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let check_healing_opts ~min_ratio ~degree_slack ~headroom ~rebuild_headroom =
+  if not (headroom > 0. && headroom <= 1.) then die "--headroom must lie in (0, 1]";
+  if not (rebuild_headroom > 0. && rebuild_headroom <= 1.) then
+    die "--rebuild-headroom must lie in (0, 1]";
+  if not (min_ratio >= 0. && min_ratio <= 1.) then
+    die "--min-ratio must lie in [0, 1]";
+  if degree_slack < 0 then die "--degree-slack must be >= 0"
+
+let policy_of ~min_ratio ~degree_slack = function
+  | `Patch -> Churn.Policy.Always_patch
+  | `Rebuild -> Churn.Policy.Always_rebuild
+  | `Adaptive -> Churn.Policy.Adaptive { min_ratio; degree_slack }
+
+(* The headroomed initial overlay both churn replays and the tracker
+   serve: built at [headroom] times the acyclic optimum. *)
+let healing_overlay inst ~headroom =
+  or_invalid @@ fun () ->
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  Broadcast.Overlay.build ~rate:(t *. headroom) inst
+
 let churn_gen_trace_cmd =
   let max_batch =
     Arg.(value & opt int 5
@@ -542,71 +620,18 @@ let churn_run_cmd =
              ~doc:"Replay this bmp-trace file instead of generating one from \
                    $(b,--events)/$(b,--seed).")
   in
-  let policy_arg =
-    Arg.(value
-         & opt (enum [ ("patch", `Patch); ("rebuild", `Rebuild); ("adaptive", `Adaptive) ])
-             `Adaptive
-         & info [ "policy" ] ~doc:"Self-healing policy: patch, rebuild or adaptive.")
-  in
-  let min_ratio_arg =
-    Arg.(value & opt float 0.5
-         & info [ "min-ratio" ] ~docv:"R"
-             ~doc:"Adaptive: rebuild when rate/optimal falls below R.")
-  in
-  let degree_slack_arg =
-    Arg.(value & opt int 4
-         & info [ "degree-slack" ] ~docv:"D"
-             ~doc:"Adaptive: rebuild when degree drift exceeds the promised \
-                   bound by more than D.")
-  in
-  let headroom_arg =
-    Arg.(value & opt float 0.9
-         & info [ "headroom" ] ~docv:"H"
-             ~doc:"Build the initial overlay at H times the optimal rate.")
-  in
-  let rebuild_headroom_arg =
-    Arg.(value & opt float 0.8
-         & info [ "rebuild-headroom" ] ~docv:"H"
-             ~doc:"Policy-ordered rebuilds target H times the optimum (spare \
-                   capacity for later patches).")
-  in
-  let audit_arg =
-    Arg.(value
-         & opt (enum [ ("off", Churn.Audit.Off); ("on", Churn.Audit.Check);
-                       ("strict", Churn.Audit.Strict) ])
-             Churn.Audit.Check
-         & info [ "audit" ] ~doc:"Invariant auditing: off, on (default) or strict \
-                                  (adds the max-flow cross-check).")
-  in
-  let engine_arg =
-    let parse s =
-      match Churn.Audit.engine_of_name s with
-      | Some e -> Ok e
-      | None -> Error (`Msg (Printf.sprintf "unknown engine %S (full|incremental)" s))
-    in
-    let engine_conv =
-      Arg.conv
-        (parse, fun ppf e -> Format.pp_print_string ppf (Churn.Audit.engine_name e))
-    in
-    Arg.(value & opt engine_conv Churn.Audit.Full
-         & info [ "engine" ] ~docv:"ENGINE"
-             ~doc:"Rate-maintenance engine: $(b,full) (stateless, default) or \
-                   $(b,incremental) (warm-start max-flow threaded across \
-                   events; with $(b,--audit strict) every event differentially \
-                   cross-checks it against a from-scratch solve). The knob \
-                   never changes the replay's results.")
-  in
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Print one line per event.")
   in
+  let final_scheme_arg =
+    Arg.(value & opt (some string) None
+         & info [ "final-scheme" ] ~docv:"FILE"
+             ~doc:"Write the post-replay scheme artifact (bmp-scheme JSON) to \
+                   $(docv) ('-' for stdout).")
+  in
   let run path trace_file events seed policy min_ratio degree_slack headroom
-      rebuild_headroom audit engine timeline =
-    if not (headroom > 0. && headroom <= 1.) then die "--headroom must lie in (0, 1]";
-    if not (rebuild_headroom > 0. && rebuild_headroom <= 1.) then
-      die "--rebuild-headroom must lie in (0, 1]";
-    if not (min_ratio >= 0. && min_ratio <= 1.) then
-      die "--min-ratio must lie in [0, 1]";
-    if degree_slack < 0 then die "--degree-slack must be >= 0";
+      rebuild_headroom audit engine timeline final_scheme =
+    check_healing_opts ~min_ratio ~degree_slack ~headroom ~rebuild_headroom;
     let inst = read_instance path in
     let trace =
       match trace_file with
@@ -615,17 +640,8 @@ let churn_run_cmd =
         if events < 0 then die "--events must be >= 0";
         Churn.Trace.gen ~events (Prng.Splitmix.create (Int64.of_int seed))
     in
-    let policy =
-      match policy with
-      | `Patch -> Churn.Policy.Always_patch
-      | `Rebuild -> Churn.Policy.Always_rebuild
-      | `Adaptive -> Churn.Policy.Adaptive { min_ratio; degree_slack }
-    in
-    let overlay =
-      or_invalid @@ fun () ->
-      let t, _ = Broadcast.Greedy.optimal_acyclic inst in
-      Broadcast.Overlay.build ~rate:(t *. headroom) inst
-    in
+    let policy = policy_of ~min_ratio ~degree_slack policy in
+    let overlay = healing_overlay inst ~headroom in
     let on_event (r : Churn.Engine.record) =
       if timeline then
         Printf.printf
@@ -662,27 +678,189 @@ let churn_run_cmd =
         s.Churn.Engine.mean_ratio;
       Printf.printf "final overlay   : %d nodes, rate %.6f (optimal %.6f)\n"
         s.Churn.Engine.final_size s.Churn.Engine.final_rate
-        s.Churn.Engine.final_optimal
+        s.Churn.Engine.final_optimal;
+      Option.iter
+        (fun out ->
+          write_scheme out
+            (Broadcast.Overlay.scheme result.Churn.Engine.overlay))
+        final_scheme
   in
   let info =
     Cmd.info "run"
       ~doc:"Replay a churn trace against an instance's overlay under a \
             self-healing policy, auditing every event."
   in
+  let engine =
+    engine_arg ~default:Churn.Audit.Full
+      ~doc:
+        "Rate-maintenance engine: $(b,full) (stateless, default) or \
+         $(b,incremental) (warm-start max-flow threaded across events; with \
+         $(b,--audit strict) every event differentially cross-checks it \
+         against a from-scratch solve). The knob never changes the replay's \
+         results."
+  in
   Cmd.v info
     Term.(const run $ instance_arg $ trace_file $ trace_events_arg $ trace_seed_arg
           $ policy_arg $ min_ratio_arg $ degree_slack_arg $ headroom_arg
-          $ rebuild_headroom_arg $ audit_arg $ engine_arg $ timeline_arg)
+          $ rebuild_headroom_arg $ audit_arg $ engine $ timeline_arg
+          $ final_scheme_arg)
 
 let churn_cmd =
   let doc = "Fault injection: generate churn traces and replay them under self-healing policies." in
   Cmd.group (Cmd.info "churn" ~doc) [ churn_gen_trace_cmd; churn_run_cmd ]
 
+(* tracker: long-running daemon serving NDJSON requests *)
+
+let tracker_serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix domain socket and serve one connection \
+                   instead of stdin/stdout.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Coalesce up to N queued mutations into one repair + one \
+                   audit (1 = serve every request immediately).")
+  in
+  let window_arg =
+    Arg.(value & opt float 50.
+         & info [ "window-ms" ] ~docv:"MS"
+             ~doc:"Admission window: flush a partial batch after MS \
+                   milliseconds without new input.")
+  in
+  let max_line_arg =
+    Arg.(value & opt int 65536
+         & info [ "max-line" ] ~docv:"BYTES"
+             ~doc:"Answer request lines longer than BYTES with an \
+                   'oversized' error response.")
+  in
+  let state_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "state-out" ] ~docv:"FILE"
+             ~doc:"On exit, write the final scheme artifact (bmp-scheme \
+                   JSON) to $(docv).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"On exit, write the committed (coalesced) event trace \
+                   (bmp-trace JSON) to $(docv) — replaying it offline with \
+                   'bmp churn run --trace' reproduces the served scheme.")
+  in
+  let deterministic_arg =
+    Arg.(value & flag
+         & info [ "deterministic" ]
+             ~doc:"Zero every latency_us field so the response stream is \
+                   byte-deterministic (golden tests).")
+  in
+  let run path socket batch window_ms max_line state_out trace_out
+      deterministic policy min_ratio degree_slack headroom rebuild_headroom
+      audit engine =
+    check_healing_opts ~min_ratio ~degree_slack ~headroom ~rebuild_headroom;
+    if batch < 1 then die "--batch must be >= 1";
+    if not (window_ms >= 0.) then die "--window-ms must be >= 0";
+    if max_line < 16 then die "--max-line must be >= 16";
+    let inst = read_instance path in
+    let overlay = healing_overlay inst ~headroom in
+    let config =
+      {
+        Tracker.Session.policy = policy_of ~min_ratio ~degree_slack policy;
+        audit;
+        engine;
+        rebuild_headroom = Some rebuild_headroom;
+        batch;
+        max_line;
+        clock =
+          (if deterministic then fun () -> 0. else Unix.gettimeofday);
+      }
+    in
+    let session = Tracker.Session.create config overlay in
+    let stopping = ref false in
+    let on_signal = Sys.Signal_handle (fun _ -> stopping := true) in
+    Sys.set_signal Sys.sigint on_signal;
+    Sys.set_signal Sys.sigterm on_signal;
+    let serve input output =
+      Tracker.Daemon.serve ~window_s:(window_ms /. 1000.)
+        ~stop:(fun () -> !stopping)
+        session ~input ~output
+    in
+    (match socket with
+    | None -> serve Unix.stdin stdout
+    | Some path ->
+      or_die @@ fun () ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 1;
+      Printf.eprintf "tracker: listening on %s\n%!" path;
+      (match Unix.accept sock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        () (* interrupted while waiting for a client: clean exit *)
+      | conn, _ ->
+        let out = Unix.out_channel_of_descr conn in
+        serve conn out;
+        (try flush out with Sys_error _ -> ());
+        (try Unix.close conn with Unix.Unix_error _ -> ()));
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ()));
+    (* Final snapshots; stdout stays pure NDJSON, reporting goes to
+       stderr. *)
+    Option.iter
+      (fun out ->
+        write_file out
+          (Broadcast.Scheme.to_json
+             (Broadcast.Overlay.scheme (Tracker.Session.live session))
+          ^ "\n");
+        Printf.eprintf "tracker: wrote %s\n" out)
+      state_out;
+    Option.iter
+      (fun out ->
+        write_file out
+          (Churn.Trace.to_json (Tracker.Session.executed session) ^ "\n");
+        Printf.eprintf "tracker: wrote %s\n" out)
+      trace_out;
+    let c = Tracker.Session.counters session in
+    Printf.eprintf
+      "tracker: served %d requests (%d events in %d batches, %d errors, %d \
+       rollbacks, %d queries)\n"
+      c.Tracker.Session.requests c.Tracker.Session.events
+      c.Tracker.Session.batches c.Tracker.Session.errors
+      c.Tracker.Session.rollbacks c.Tracker.Session.queries
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Own a live scheme and serve NDJSON join/leave/degrade/restore \
+            requests until EOF, shutdown or SIGINT; drains the queue and \
+            snapshots the final state on exit."
+  in
+  let engine =
+    engine_arg ~default:Churn.Audit.Incremental
+      ~doc:
+        "Rate-maintenance engine: $(b,incremental) (default — warm-start \
+         max-flow, steady-state cost is the per-request delta) or $(b,full) \
+         (stateless re-derivation)."
+  in
+  Cmd.v info
+    Term.(const run $ instance_arg $ socket_arg $ batch_arg $ window_arg
+          $ max_line_arg $ state_out_arg $ trace_out_arg $ deterministic_arg
+          $ policy_arg $ min_ratio_arg $ degree_slack_arg $ headroom_arg
+          $ rebuild_headroom_arg $ audit_arg $ engine)
+
+let tracker_cmd =
+  let doc = "Long-running tracker daemon: a live scheme served over NDJSON." in
+  Cmd.group (Cmd.info "tracker" ~doc) [ tracker_serve_cmd ]
+
 let () =
   let doc = "bounded multi-port broadcast: overlays, bounds and experiments" in
   let info = Cmd.info "bmp" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd; trees_cmd;
-            scheme_cmd; churn_cmd; selfcheck_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd; trees_cmd;
+           scheme_cmd; churn_cmd; tracker_cmd; selfcheck_cmd ])
+  in
+  (* cmdliner reports its own usage errors (unknown subcommand, bad flag
+     value) as 124; the bmp contract is exit 2 for those. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -103,11 +103,36 @@ let apply o (event : Trace.event) =
     | Some (map, stats) ->
       Some (o, { stats with Repair.patch_edges = edges; node_map = map }))
 
-let run ?(policy = Policy.Always_patch) ?(audit = Audit.Off)
-    ?(engine = Audit.Full) ?rebuild_headroom ?on_event ?probe start trace =
-  let state = Policy.init policy start in
-  let overlay = ref start in
-  (* Warm flow state, threaded through the whole trace under the
+(* Resumable engine state: [run] is now a fold of [step] over the trace,
+   and long-running consumers (the tracker daemon) drive [step] directly
+   so one engine survives an unbounded request stream. All counters and
+   the policy/warm-flow state live here; the stepping order of operations
+   is exactly the old [run] loop, so replays stay byte-identical. *)
+type state = {
+  pstate : Policy.state;
+  audit : Audit.level;
+  rebuild_headroom : float option;
+  probe :
+    (index:int -> Overlay.t -> Flowgraph.Maxflow.Incremental.t option -> unit)
+    option;
+  flow : Flowgraph.Maxflow.Incremental.t option;
+  mutable overlay : Overlay.t;
+  mutable steps : int;
+  mutable applied : int;
+  mutable skipped : int;
+  mutable rebuilds : int;
+  mutable churn : int;
+  mutable min_ratio : float;
+  mutable sum_ratio : float;
+  mutable last : record option;
+  (* Audit deferred by [step ~defer_audit:true], waiting for
+     [flush_audit]: index and repair stats of the latest applied event. *)
+  mutable pending_audit : (int * Repair.stats) option;
+}
+
+let start ?(policy = Policy.Always_patch) ?(audit = Audit.Off)
+    ?(engine = Audit.Full) ?rebuild_headroom ?probe overlay =
+  (* Warm flow state, threaded across every subsequent step under the
      incremental engine; the knob changes what is *maintained and
      audited*, never what the run produces — timelines and summaries are
      byte-identical across engines. *)
@@ -117,125 +142,154 @@ let run ?(policy = Policy.Always_patch) ?(audit = Audit.Off)
     | Audit.Incremental ->
       Some
         (Flowgraph.Maxflow.Incremental.create
-           (Scheme.snapshot (Overlay.scheme start))
+           (Scheme.snapshot (Overlay.scheme overlay))
            ~src:0)
   in
-  let timeline = ref [] in
-  let applied = ref 0 in
-  let skipped = ref 0 in
-  let rebuilds = ref 0 in
-  let churn = ref 0 in
-  let min_ratio = ref 1. in
-  let sum_ratio = ref 0. in
-  Array.iteri
-    (fun index event ->
-      let record =
-        match apply !overlay event with
-        | None ->
-          incr skipped;
-          let o = !overlay in
-          let rate = Overlay.verified_rate o in
-          {
-            index;
-            event;
-            action = Skipped;
-            size = Scheme.size (Overlay.scheme o);
-            rate;
-            optimal = rate;
-            ratio = 1.;
-            churn_edges = 0;
-            cumulative_churn = !churn;
-            max_excess = (Metrics.scheme_report (Overlay.scheme o)).max_excess;
-            rebuilds = !rebuilds;
-          }
-        | Some (patched, (stats : Repair.stats)) ->
-          incr applied;
-          let max_excess =
-            (Metrics.scheme_report (Overlay.scheme patched)).max_excess
-          in
-          let obs =
-            {
-              Policy.rate = stats.rate_after;
-              optimal = stats.optimal_after;
-              max_excess;
-            }
-          in
-          let o, action, churn_edges, (fstats : Repair.stats), max_excess =
-            if Policy.decide state obs then begin
-              let rebuilt, (rstats : Repair.stats) =
-                Repair.rebuild ?headroom:rebuild_headroom patched
-              in
-              incr rebuilds;
-              Policy.note_rebuild state rebuilt;
-              ( rebuilt,
-                Rebuilt,
-                stats.patch_edges + rstats.patch_edges,
-                rstats,
-                (Metrics.scheme_report (Overlay.scheme rebuilt)).max_excess )
-            end
-            else (patched, Patched, stats.patch_edges, stats, max_excess)
-          in
-          let rate = fstats.rate_after and optimal = fstats.optimal_after in
-          overlay := o;
-          churn := !churn + churn_edges;
-          let ratio = ratio_of ~rate ~optimal in
-          min_ratio := Float.min !min_ratio ratio;
-          sum_ratio := !sum_ratio +. ratio;
-          (match flow with
-          | None -> ()
-          | Some inc ->
-            let snap = Scheme.snapshot (Overlay.scheme o) in
-            (match action with
-            | Rebuilt ->
-              (* A rebuild rewires the whole overlay; warm state would
-                 refund nearly everything, so restart cold. *)
-              Flowgraph.Maxflow.Incremental.rebase inc snap
-            | Patched | Skipped ->
-              Flowgraph.Maxflow.Incremental.apply inc
-                ~map:fstats.Repair.node_map snap));
-          Audit.check audit ~index ~stats:fstats ?flow o;
-          (match probe with
-          | Some f -> f ~index o flow
-          | None -> ());
-          {
-            index;
-            event;
-            action;
-            size = Scheme.size (Overlay.scheme o);
-            rate;
-            optimal;
-            ratio;
-            churn_edges;
-            cumulative_churn = !churn;
-            max_excess;
-            rebuilds = !rebuilds;
-          }
+  {
+    pstate = Policy.init policy overlay;
+    audit;
+    rebuild_headroom;
+    probe;
+    flow;
+    overlay;
+    steps = 0;
+    applied = 0;
+    skipped = 0;
+    rebuilds = 0;
+    churn = 0;
+    min_ratio = 1.;
+    sum_ratio = 0.;
+    last = None;
+    pending_audit = None;
+  }
+
+let live st = st.overlay
+
+let flush_audit st =
+  match st.pending_audit with
+  | None -> ()
+  | Some (index, stats) ->
+    st.pending_audit <- None;
+    Audit.check st.audit ~index ~stats ?flow:st.flow st.overlay
+
+let step ?(defer_audit = false) st event =
+  let index = st.steps in
+  st.steps <- st.steps + 1;
+  let record =
+    match apply st.overlay event with
+    | None ->
+      st.skipped <- st.skipped + 1;
+      let o = st.overlay in
+      let rate = Overlay.verified_rate o in
+      {
+        index;
+        event;
+        action = Skipped;
+        size = Scheme.size (Overlay.scheme o);
+        rate;
+        optimal = rate;
+        ratio = 1.;
+        churn_edges = 0;
+        cumulative_churn = st.churn;
+        max_excess = (Metrics.scheme_report (Overlay.scheme o)).max_excess;
+        rebuilds = st.rebuilds;
+      }
+    | Some (patched, (stats : Repair.stats)) ->
+      st.applied <- st.applied + 1;
+      let max_excess =
+        (Metrics.scheme_report (Overlay.scheme patched)).max_excess
       in
-      (match on_event with Some f -> f record | None -> ());
-      timeline := record :: !timeline)
-    trace.Trace.events;
-  let final = !overlay in
+      let obs =
+        { Policy.rate = stats.rate_after; optimal = stats.optimal_after; max_excess }
+      in
+      let o, action, churn_edges, (fstats : Repair.stats), max_excess =
+        if Policy.decide st.pstate obs then begin
+          let rebuilt, (rstats : Repair.stats) =
+            Repair.rebuild ?headroom:st.rebuild_headroom patched
+          in
+          st.rebuilds <- st.rebuilds + 1;
+          Policy.note_rebuild st.pstate rebuilt;
+          ( rebuilt,
+            Rebuilt,
+            stats.patch_edges + rstats.patch_edges,
+            rstats,
+            (Metrics.scheme_report (Overlay.scheme rebuilt)).max_excess )
+        end
+        else (patched, Patched, stats.patch_edges, stats, max_excess)
+      in
+      let rate = fstats.rate_after and optimal = fstats.optimal_after in
+      st.overlay <- o;
+      st.churn <- st.churn + churn_edges;
+      let ratio = ratio_of ~rate ~optimal in
+      st.min_ratio <- Float.min st.min_ratio ratio;
+      st.sum_ratio <- st.sum_ratio +. ratio;
+      (match st.flow with
+      | None -> ()
+      | Some inc ->
+        let snap = Scheme.snapshot (Overlay.scheme o) in
+        (match action with
+        | Rebuilt ->
+          (* A rebuild rewires the whole overlay; warm state would
+             refund nearly everything, so restart cold. *)
+          Flowgraph.Maxflow.Incremental.rebase inc snap
+        | Patched | Skipped ->
+          Flowgraph.Maxflow.Incremental.apply inc
+            ~map:fstats.Repair.node_map snap));
+      if defer_audit then st.pending_audit <- Some (index, fstats)
+      else begin
+        (* An inline audit of the current state also covers whatever an
+           earlier deferred step left pending. *)
+        st.pending_audit <- None;
+        Audit.check st.audit ~index ~stats:fstats ?flow:st.flow o
+      end;
+      (match st.probe with Some f -> f ~index o st.flow | None -> ());
+      {
+        index;
+        event;
+        action;
+        size = Scheme.size (Overlay.scheme o);
+        rate;
+        optimal;
+        ratio;
+        churn_edges;
+        cumulative_churn = st.churn;
+        max_excess;
+        rebuilds = st.rebuilds;
+      }
+  in
+  st.last <- Some record;
+  record
+
+let progress st =
+  let final = st.overlay in
   let final_rate = Overlay.verified_rate final in
   let final_optimal =
-    match !timeline with
-    | r :: _ when r.action <> Skipped -> r.optimal
+    match st.last with
+    | Some r when r.action <> Skipped -> r.optimal
     | _ -> final_rate
   in
   {
-    overlay = final;
-    timeline = List.rev !timeline;
-    summary =
-      {
-        events = Trace.length trace;
-        applied = !applied;
-        skipped = !skipped;
-        rebuilds = !rebuilds;
-        total_churn = !churn;
-        min_ratio = !min_ratio;
-        mean_ratio =
-          (if !applied = 0 then 1. else !sum_ratio /. float_of_int !applied);
-        final_size = Scheme.size (Overlay.scheme final);
-        final_rate;
-        final_optimal;
-      };
+    events = st.steps;
+    applied = st.applied;
+    skipped = st.skipped;
+    rebuilds = st.rebuilds;
+    total_churn = st.churn;
+    min_ratio = st.min_ratio;
+    mean_ratio =
+      (if st.applied = 0 then 1. else st.sum_ratio /. float_of_int st.applied);
+    final_size = Scheme.size (Overlay.scheme final);
+    final_rate;
+    final_optimal;
   }
+
+let run ?policy ?audit ?engine ?rebuild_headroom ?on_event ?probe start_overlay
+    trace =
+  let st = start ?policy ?audit ?engine ?rebuild_headroom ?probe start_overlay in
+  let timeline = ref [] in
+  Array.iter
+    (fun event ->
+      let record = step st event in
+      (match on_event with Some f -> f record | None -> ());
+      timeline := record :: !timeline)
+    trace.Trace.events;
+  { overlay = st.overlay; timeline = List.rev !timeline; summary = progress st }

@@ -99,3 +99,60 @@ val run :
     each record as it is produced (the CLI's [--timeline]). Raises
     {!Audit.Violation} on the first audit failure, with the event
     index. *)
+
+(** {2 Stepwise driving}
+
+    [run] is a fold of {!step} over a trace. Long-running consumers — the
+    tracker daemon ({!Tracker}) above all — hold a {!state} and feed it
+    events one at a time as requests arrive, so a single engine (policy
+    drift state, warm flow, counters) survives an unbounded stream.
+    Driving [step] over the events of a trace in order reproduces [run]
+    on that trace byte for byte: same records, same summary, same final
+    overlay. *)
+
+type state
+(** A live engine: the current overlay plus every piece of cross-event
+    state ([run]'s loop variables — policy state, warm incremental flow,
+    counters, last record). Mutable; not thread-safe. *)
+
+val start :
+  ?policy:Policy.t ->
+  ?audit:Audit.level ->
+  ?engine:Audit.engine ->
+  ?rebuild_headroom:float ->
+  ?probe:
+    (index:int ->
+    Overlay.t ->
+    Flowgraph.Maxflow.Incremental.t option ->
+    unit) ->
+  Overlay.t ->
+  state
+(** [start o] opens a live engine on overlay [o]. The optional arguments
+    are exactly {!run}'s (defaults included); under [Audit.Incremental]
+    the warm flow state is created here, from [o]. *)
+
+val step : ?defer_audit:bool -> state -> Trace.event -> record
+(** [step st e] applies one event — repair, policy decision, optional
+    rebuild, warm-flow maintenance, audit, probe — and returns its
+    record. Event indices count from 0 in [start] order.
+
+    [defer_audit] (default [false]) postpones the audit of an applied
+    event until {!flush_audit} or the next non-deferred applied step,
+    letting a batch of steps pay for one audit of the final state instead
+    of one per event. Only the latest applied step's audit is pending at
+    any time — intermediate deferred audits are superseded, which is the
+    point. Skipped events never audit (deferred or not), exactly as in
+    {!run}. Raises {!Audit.Violation} on an inline audit failure; the
+    state should then be considered poisoned and discarded. *)
+
+val flush_audit : state -> unit
+(** Runs the audit left pending by [step ~defer_audit:true], if any,
+    against the current overlay. No-op when nothing is pending. Raises
+    {!Audit.Violation} on failure. *)
+
+val live : state -> Overlay.t
+(** The current overlay. *)
+
+val progress : state -> summary
+(** Summary over the steps taken so far — the same value [run] would
+    report for the trace consumed so far. *)

@@ -114,7 +114,7 @@ let format_version = 1
 
 let float_str v = Printf.sprintf "%.17g" v
 
-let event_to_json buf e =
+let add_event_json buf e =
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   match e with
   | Leave { pick } -> p "{\"type\": \"leave\", \"pick\": %d}" pick
@@ -146,7 +146,7 @@ let to_json t =
   Array.iteri
     (fun i e ->
       if i > 0 then Buffer.add_string buf ", ";
-      event_to_json buf e)
+      add_event_json buf e)
     t.events;
   Buffer.add_string buf "]}";
   Buffer.contents buf
@@ -212,8 +212,7 @@ let list_of ctx parse = function
     Ok (List.rev rev)
   | _ -> Error (ctx ^ ": expected an array")
 
-let event_of_json i v =
-  let ctx = Printf.sprintf "event %d" i in
+let event_of_json_ctx ctx v =
   let* kind = field ctx "type" v in
   let* kind =
     Result.map_error (fun e -> ctx ^ ": type: " ^ e) (Json.to_string_exn kind)
@@ -256,6 +255,18 @@ let event_of_json i v =
     if arrivals = [] then Error (ctx ^ ": arrivals must not be empty")
     else Ok (Flash_crowd { arrivals })
   | other -> Error (Printf.sprintf "%s: unknown event type %S" ctx other)
+
+let event_of_json i v = event_of_json_ctx (Printf.sprintf "event %d" i) v
+
+(* Single-event codecs, exposed for consumers that speak the trace
+   format one event at a time (the tracker daemon's NDJSON wire). *)
+
+let event_to_json e =
+  let buf = Buffer.create 64 in
+  add_event_json buf e;
+  Buffer.contents buf
+
+let event_of_json_value v = event_of_json_ctx "event" v
 
 let of_json text =
   let* v = Json.parse text in

@@ -95,3 +95,18 @@ val of_json : string -> (t, string) result
     every event's field set and domains ([pick >= 0], [factor] in (0, 1],
     finite non-negative bandwidths, non-empty batches). Unknown fields or
     event types are errors, not warnings. *)
+
+(** {2 Single-event codecs}
+
+    The event objects inside a trace file are also the wire format of the
+    tracker daemon ({!Tracker}): one NDJSON request line per event. These
+    expose the per-event halves of {!to_json}/{!of_json} so that layer
+    reuses the exact same bytes and the exact same strict validation. *)
+
+val event_to_json : event -> string
+(** Canonical one-line JSON object for one event — the same bytes
+    {!to_json} embeds in the [events] array. *)
+
+val event_of_json_value : Flowgraph.Json.t -> (event, string) result
+(** Strict single-event reader over an already-parsed JSON value, with
+    the same field-set and domain validation as {!of_json}. *)

@@ -1,0 +1,81 @@
+(* Transport: a select loop moving NDJSON lines between a file
+   descriptor and a Session. All protocol logic lives in Session; this
+   file only buffers, splits lines, enforces the admission window, and
+   keeps oversized garbage from growing the buffer without bound. *)
+
+let select_read fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    (* Interrupted by a signal (SIGINT sets the stop flag); report a
+       timeout so the caller re-checks [stop] before blocking again. *)
+    `Timeout
+  | [], _, _ -> `Timeout
+  | _ :: _, _, _ -> `Ready
+
+let serve ?(window_s = 0.05) ?(stop = fun () -> false) session ~input ~output
+    =
+  let max_line = (Session.config session).Session.max_line in
+  let chunk = Bytes.create 65536 in
+  let buffered = Buffer.create 4096 in
+  (* When a line outgrows [max_line] we answer the oversized error from
+     its first [max_line + 1] bytes immediately, then discard the rest of
+     the line as it streams in — bounded memory, one response. *)
+  let discarding = ref false in
+  let eof = ref false in
+  let respond lines =
+    List.iter
+      (fun line ->
+        output_string output line;
+        output_char output '\n')
+      lines;
+    if lines <> [] then flush output
+  in
+  let take_line () =
+    let s = Buffer.contents buffered in
+    match String.index_opt s '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear buffered;
+      Buffer.add_substring buffered s (i + 1) (String.length s - i - 1);
+      Some line
+    | None ->
+      if !discarding then Buffer.clear buffered
+      else if String.length s > max_line then begin
+        respond (Session.submit session (String.sub s 0 (max_line + 1)));
+        Buffer.clear buffered;
+        discarding := true
+      end;
+      None
+  in
+  let drain_lines () =
+    let continue = ref true in
+    while !continue do
+      match take_line () with
+      | None -> continue := false
+      | Some line ->
+        if !discarding then discarding := false
+        else respond (Session.submit session line)
+    done
+  in
+  let read_chunk () =
+    match Unix.read input chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | 0 -> eof := true
+    | n ->
+      Buffer.add_subbytes buffered chunk 0 n;
+      drain_lines ()
+  in
+  let running () =
+    (not (stop ())) && (not !eof) && not (Session.shutting_down session)
+  in
+  while running () do
+    let timeout = if Session.pending session > 0 then window_s else 0.25 in
+    match select_read input timeout with
+    | `Timeout -> if Session.pending session > 0 then respond (Session.flush session)
+    | `Ready -> read_chunk ()
+  done;
+  (* Drain: a trailing unterminated line still counts as a request, then
+     whatever is queued flushes so every admitted request is answered. *)
+  let tail = Buffer.contents buffered in
+  if tail <> "" && not !discarding then respond (Session.submit session tail);
+  respond (Session.flush session)

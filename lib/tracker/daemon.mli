@@ -1,0 +1,30 @@
+(** Transport loop: serve a {!Session} over a file descriptor.
+
+    [serve] reads NDJSON request lines from [input], feeds them to the
+    session, and writes every response line (newline-terminated, flushed
+    per batch) to [output]. It returns when the input reaches EOF, the
+    session answers a shutdown request, or [stop] turns true (the CLI's
+    SIGINT/SIGTERM flag) — in every case it first {e drains}: a trailing
+    unterminated line is still submitted, then the queued batch flushes,
+    so every admitted request is answered before the final state is
+    snapshotted by the caller.
+
+    Batch admission: while mutations are queued, the loop waits at most
+    [window_s] (default 0.05 s) for more input before flushing the
+    partial batch — the admission window of the spec. A queue that
+    reaches the session's [batch] size flushes immediately, without
+    waiting for the window.
+
+    Oversized lines (longer than the session's [max_line]) are answered
+    with one ["oversized"] error from their first bytes and the remainder
+    is discarded as it streams in, so a hostile writer cannot grow the
+    buffer without bound. The loop never raises on input content;
+    [EINTR] from signals is absorbed and re-checks [stop]. *)
+
+val serve :
+  ?window_s:float ->
+  ?stop:(unit -> bool) ->
+  Session.t ->
+  input:Unix.file_descr ->
+  output:out_channel ->
+  unit

@@ -1,0 +1,92 @@
+module Json = Flowgraph.Json
+
+type request = Event of Churn.Trace.event | Query | Shutdown
+
+let format_name = "bmp-tracker"
+let format_version = 1
+
+(* Error codes, fixed vocabulary (also documented in the README):
+   - "oversized": request line longer than the configured cap
+   - "parse":     not JSON (positioned lexer/parser message)
+   - "invalid":   JSON, but not a well-formed request object
+   - "audit":     the batch failed its audit and was rolled back
+   - "shutdown":  request arrived after a shutdown was served *)
+
+let only_type_field v =
+  match v with
+  | Json.Obj fields -> List.for_all (fun (k, _) -> k = "type") fields
+  | _ -> false
+
+let parse_request ~max_line line =
+  if String.length line > max_line then
+    Error
+      ( "oversized",
+        Printf.sprintf "request line exceeds %d bytes" max_line )
+  else
+    match Json.parse line with
+    | Error msg -> Error ("parse", msg)
+    | Ok v -> (
+      match Json.member "type" v with
+      | None -> (
+        match v with
+        | Json.Obj _ -> Error ("invalid", "request: missing field \"type\"")
+        | _ -> Error ("invalid", "request: expected an object"))
+      | Some kind -> (
+        match Json.to_string_exn kind with
+        | Error e -> Error ("invalid", "request: type: " ^ e)
+        | Ok "query" ->
+          if only_type_field v then Ok Query
+          else Error ("invalid", "request: query takes no other fields")
+        | Ok "shutdown" ->
+          if only_type_field v then Ok Shutdown
+          else Error ("invalid", "request: shutdown takes no other fields")
+        | Ok _ -> (
+          match Churn.Trace.event_of_json_value v with
+          | Ok e -> Ok (Event e)
+          | Error msg -> Error ("invalid", msg))))
+
+(* Responses — one canonical line each, same float discipline as the
+   bmp-scheme / bmp-trace artifacts (%.17g, byte-deterministic). *)
+
+let fstr v = Printf.sprintf "%.17g" v
+let qstr s = "\"" ^ Json.escape s ^ "\""
+
+let head ~seq ~status =
+  Printf.sprintf "{\"format\": \"%s\", \"version\": %d, \"seq\": %d, \"status\": \"%s\""
+    format_name format_version seq status
+
+let action_name (a : Churn.Engine.action) =
+  match a with
+  | Churn.Engine.Patched -> "patched"
+  | Churn.Engine.Rebuilt -> "rebuilt"
+  | Churn.Engine.Skipped -> "skipped"
+
+let event_response ~seq ~batch ~latency_us ~audit (r : Churn.Engine.record) =
+  Printf.sprintf
+    "%s, \"event\": %s, \"action\": \"%s\", \"size\": %d, \"rate\": %s, \
+     \"optimal\": %s, \"batch\": %d, \"audit\": %s, \"latency_us\": %d}"
+    (head ~seq ~status:"ok")
+    (qstr (Churn.Trace.label r.event))
+    (action_name r.action) r.size (fstr r.rate) (fstr r.optimal) batch
+    (qstr audit) latency_us
+
+let query_response ~seq ~latency_us ~size ~rate ~requests ~events ~batches
+    ~errors ~rollbacks ~queries =
+  Printf.sprintf
+    "%s, \"query\": {\"size\": %d, \"rate\": %s, \"requests\": %d, \
+     \"events\": %d, \"batches\": %d, \"errors\": %d, \"rollbacks\": %d, \
+     \"queries\": %d}, \"latency_us\": %d}"
+    (head ~seq ~status:"ok")
+    size (fstr rate) requests events batches errors rollbacks queries
+    latency_us
+
+let shutdown_response ~seq ~latency_us ~size ~rate =
+  Printf.sprintf
+    "%s, \"event\": \"shutdown\", \"size\": %d, \"rate\": %s, \"latency_us\": %d}"
+    (head ~seq ~status:"ok")
+    size (fstr rate) latency_us
+
+let error_response ~seq ~latency_us ~code ~message =
+  Printf.sprintf "%s, \"code\": %s, \"message\": %s, \"latency_us\": %d}"
+    (head ~seq ~status:"error")
+    (qstr code) (qstr message) latency_us

@@ -1,0 +1,77 @@
+(** Tracker wire protocol: NDJSON requests and responses.
+
+    Requests are single-line JSON objects, one per line. Mutation
+    requests are {e exactly} the event objects of the [bmp-trace] format
+    ({!Churn.Trace.event_of_json_value} — same fields, same strict
+    validation), so a request log concatenates into a trace file and vice
+    versa. Two control requests are added on top:
+
+    {v
+{"type": "query"}
+{"type": "shutdown"}
+    v}
+
+    Responses are single-line JSON objects tagged
+    [{"format": "bmp-tracker", "version": 1, "seq": N, "status": ...}]
+    where [seq] is the 1-based index of the request line being answered
+    (empty lines are skipped and numbered with no response). Floats use
+    the repository-wide canonical [%.17g] form, so a response stream is
+    byte-deterministic for a deterministic session. Every response
+    carries [latency_us], the request's queue-to-answer latency in
+    integer microseconds (0 under the deterministic clock). *)
+
+type request =
+  | Event of Churn.Trace.event  (** a mutation, queued for the next batch *)
+  | Query  (** report live state + session counters, flushing first *)
+  | Shutdown  (** flush, answer, refuse everything after *)
+
+val format_name : string
+(** ["bmp-tracker"]. *)
+
+val format_version : int
+(** [1]. *)
+
+val parse_request :
+  max_line:int -> string -> (request, string * string) result
+(** [parse_request ~max_line line] validates one request line. Errors are
+    [(code, message)] pairs ready for {!error_response}: ["oversized"]
+    (line longer than [max_line] bytes), ["parse"] (not JSON; positioned
+    message), or ["invalid"] (JSON but not a request — unknown type,
+    missing/unknown fields, out-of-domain values). *)
+
+val event_response :
+  seq:int ->
+  batch:int ->
+  latency_us:int ->
+  audit:string ->
+  Churn.Engine.record ->
+  string
+(** Acknowledges one mutation request with the outcome of the batch that
+    served it: the engine action ("patched" / "rebuilt" / "skipped"),
+    post-batch population and rate, the 1-based [batch] id, and the audit
+    verdict ("pass" when the session audits, "off" otherwise). Requests
+    coalesced into the same executed event share one record. *)
+
+val query_response :
+  seq:int ->
+  latency_us:int ->
+  size:int ->
+  rate:float ->
+  requests:int ->
+  events:int ->
+  batches:int ->
+  errors:int ->
+  rollbacks:int ->
+  queries:int ->
+  string
+(** Live population and verified rate plus session counters (counts
+    include the query request itself). *)
+
+val shutdown_response :
+  seq:int -> latency_us:int -> size:int -> rate:float -> string
+
+val error_response :
+  seq:int -> latency_us:int -> code:string -> message:string -> string
+(** [status "error"] response; [code] is one of "oversized", "parse",
+    "invalid", "audit" (batch rolled back), "shutdown" (request after
+    shutdown). The message is JSON-escaped verbatim. *)

@@ -1,0 +1,275 @@
+module Trace = Churn.Trace
+module Engine = Churn.Engine
+open Broadcast
+
+type config = {
+  policy : Churn.Policy.t;
+  audit : Churn.Audit.level;
+  engine : Churn.Audit.engine;
+  rebuild_headroom : float option;
+  batch : int;
+  max_line : int;
+  clock : unit -> float;
+}
+
+let default_config =
+  {
+    policy = Churn.Policy.Always_patch;
+    audit = Churn.Audit.Check;
+    engine = Churn.Audit.Incremental;
+    rebuild_headroom = None;
+    batch = 1;
+    max_line = 1 lsl 16;
+    clock = Unix.gettimeofday;
+  }
+
+type counters = {
+  requests : int;
+  events : int;
+  batches : int;
+  errors : int;
+  rollbacks : int;
+  queries : int;
+}
+
+type pending = { seq : int; event : Trace.event; arrival : float }
+
+type probe =
+  index:int -> Overlay.t -> Flowgraph.Maxflow.Incremental.t option -> unit
+
+type t = {
+  config : config;
+  probe : probe option;
+  mutable state : Engine.state;
+  mutable last_good : Overlay.t;
+  mutable committed : Trace.event list; (* newest first *)
+  mutable queue : pending list; (* newest first *)
+  mutable queued : int;
+  mutable seq : int;
+  mutable requests : int;
+  mutable events : int;
+  mutable batches : int;
+  mutable errors : int;
+  mutable rollbacks : int;
+  mutable queries : int;
+  mutable stopped : bool;
+}
+
+let fresh_engine ?probe config overlay =
+  Engine.start ~policy:config.policy ~audit:config.audit
+    ~engine:config.engine ?rebuild_headroom:config.rebuild_headroom ?probe
+    overlay
+
+let engine_of t = fresh_engine ?probe:t.probe t.config t.last_good
+
+let create ?probe config overlay =
+  if config.batch < 1 then
+    invalid_arg "Tracker.Session.create: batch must be >= 1";
+  if config.max_line < 16 then
+    invalid_arg "Tracker.Session.create: max_line must be >= 16";
+  let t =
+    {
+      config;
+      probe;
+      state = fresh_engine ?probe config overlay;
+      last_good = overlay;
+      committed = [];
+      queue = [];
+      queued = 0;
+      seq = 0;
+      requests = 0;
+      events = 0;
+      batches = 0;
+      errors = 0;
+      rollbacks = 0;
+      queries = 0;
+      stopped = false;
+    }
+  in
+  t
+
+let config t = t.config
+let live t = Engine.live t.state
+let pending t = t.queued
+let shutting_down t = t.stopped
+let summary t = Engine.progress t.state
+
+let counters t =
+  {
+    requests = t.requests;
+    events = t.events;
+    batches = t.batches;
+    errors = t.errors;
+    rollbacks = t.rollbacks;
+    queries = t.queries;
+  }
+
+let executed t = { Trace.events = Array.of_list (List.rev t.committed) }
+
+let latency_us t arrival =
+  let d = (t.config.clock () -. arrival) *. 1e6 in
+  if d <= 0. then 0 else int_of_float d
+
+(* Coalescing: inside one flush window, a run of >= 2 consecutive leaves
+   becomes one correlated [Fail_batch] and a run of >= 2 consecutive
+   joins one [Flash_crowd], so the window pays the per-event O(V + E)
+   repair/metrics/audit cost once per run instead of once per request.
+   The engine's batch semantics (pick dedup, population floor) are the
+   meaning of the coalesced event; the trace the session commits is the
+   coalesced one, which is what offline replays reproduce. Singleton runs
+   and all other event kinds pass through unchanged. *)
+let coalesce pendings =
+  let kind (e : Trace.event) =
+    match e with Trace.Leave _ -> `L | Trace.Join _ -> `J | _ -> `O
+  in
+  let close groups run =
+    match run with
+    | [] -> groups
+    | [ p ] -> ([ p ], p.event) :: groups
+    | _ ->
+      let ps = List.rev run in
+      let event =
+        match (List.hd ps).event with
+        | Trace.Leave _ ->
+          Trace.Fail_batch
+            {
+              picks =
+                List.map
+                  (fun p ->
+                    match p.event with
+                    | Trace.Leave { pick } -> pick
+                    | _ -> assert false)
+                  ps;
+            }
+        | Trace.Join _ ->
+          Trace.Flash_crowd
+            {
+              arrivals =
+                List.map
+                  (fun p ->
+                    match p.event with
+                    | Trace.Join { bandwidth; guarded } -> (bandwidth, guarded)
+                    | _ -> assert false)
+                  ps;
+            }
+        | _ -> assert false
+      in
+      (ps, event) :: groups
+  in
+  let groups, run =
+    List.fold_left
+      (fun (groups, run) p ->
+        match run with
+        | [] -> (groups, [ p ])
+        | q :: _ ->
+          let k = kind p.event and k' = kind q.event in
+          if k = k' && k <> `O then (groups, p :: run)
+          else (close groups run, [ p ]))
+      ([], []) pendings
+  in
+  List.rev (close groups run)
+
+let flush t =
+  match t.queue with
+  | [] -> []
+  | q ->
+    let pendings = List.rev q in
+    t.queue <- [];
+    t.queued <- 0;
+    t.batches <- t.batches + 1;
+    let batch = t.batches in
+    let groups = coalesce pendings in
+    (try
+       let applied =
+         List.map
+           (fun (members, event) ->
+             (members, event, Engine.step ~defer_audit:true t.state event))
+           groups
+       in
+       Engine.flush_audit t.state;
+       t.events <- t.events + List.length applied;
+       List.iter (fun (_, event, _) -> t.committed <- event :: t.committed)
+         applied;
+       t.last_good <- Engine.live t.state;
+       let audit =
+         match t.config.audit with Churn.Audit.Off -> "off" | _ -> "pass"
+       in
+       List.concat_map
+         (fun (members, _, record) ->
+           List.map
+             (fun (p : pending) ->
+               Protocol.event_response ~seq:p.seq ~batch
+                 ~latency_us:(latency_us t p.arrival) ~audit record)
+             members)
+         applied
+     with
+    | Churn.Audit.Violation { what; _ } | Invalid_argument what ->
+      (* The batch poisoned the engine (audit violation, or a repair
+         refused an out-of-domain state). Roll back: discard the whole
+         engine — overlay, warm flow, policy drift state — and restart
+         from the last good overlay. Nothing from this batch commits. *)
+      t.rollbacks <- t.rollbacks + 1;
+      t.errors <- t.errors + List.length pendings;
+      t.state <- engine_of t;
+      List.map
+        (fun (p : pending) ->
+          Protocol.error_response ~seq:p.seq
+            ~latency_us:(latency_us t p.arrival) ~code:"audit"
+            ~message:("batch rolled back: " ^ what))
+        pendings)
+
+let state_fields t =
+  let o = live t in
+  (Scheme.size (Overlay.scheme o), Overlay.verified_rate o)
+
+let submit t line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if line = "" then []
+  else begin
+    t.seq <- t.seq + 1;
+    t.requests <- t.requests + 1;
+    let seq = t.seq in
+    let arrival = t.config.clock () in
+    if t.stopped then begin
+      t.errors <- t.errors + 1;
+      [
+        Protocol.error_response ~seq ~latency_us:(latency_us t arrival)
+          ~code:"shutdown" ~message:"tracker is shutting down";
+      ]
+    end
+    else
+      match Protocol.parse_request ~max_line:t.config.max_line line with
+      | Error (code, message) ->
+        t.errors <- t.errors + 1;
+        [
+          Protocol.error_response ~seq ~latency_us:(latency_us t arrival)
+            ~code ~message;
+        ]
+      | Ok (Protocol.Event event) ->
+        t.queue <- { seq; event; arrival } :: t.queue;
+        t.queued <- t.queued + 1;
+        if t.queued >= t.config.batch then flush t else []
+      | Ok Protocol.Query ->
+        t.queries <- t.queries + 1;
+        let flushed = flush t in
+        let size, rate = state_fields t in
+        flushed
+        @ [
+            Protocol.query_response ~seq ~latency_us:(latency_us t arrival)
+              ~size ~rate ~requests:t.requests ~events:t.events
+              ~batches:t.batches ~errors:t.errors ~rollbacks:t.rollbacks
+              ~queries:t.queries;
+          ]
+      | Ok Protocol.Shutdown ->
+        let flushed = flush t in
+        t.stopped <- true;
+        let size, rate = state_fields t in
+        flushed
+        @ [
+            Protocol.shutdown_response ~seq
+              ~latency_us:(latency_us t arrival) ~size ~rate;
+          ]
+  end

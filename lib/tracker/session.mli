@@ -1,0 +1,105 @@
+(** A live tracker session: one engine, one request stream.
+
+    A session owns a stepwise {!Churn.Engine.state} (warm incremental
+    flow included, when configured) and turns request {e lines} into
+    response {e lines} — {!submit} takes one raw NDJSON line and returns
+    zero or more complete responses, so any transport (stdin, a Unix
+    socket, a bench loop) just moves lines. Nothing here performs IO
+    except the configured [clock].
+
+    {b Batching.} Mutation requests queue; the queue flushes into the
+    engine when it reaches [batch] requests, when a query/shutdown
+    arrives (both answer post-flush state), or when the transport decides
+    the admission window closed ({!flush}, called by
+    {!Daemon.serve} on a timeout). A flush coalesces runs of consecutive
+    leaves into one [Fail_batch] and runs of consecutive joins into one
+    [Flash_crowd] — one repair, one audit per run — and commits the
+    {e coalesced} events; {!executed} is that committed trace, and
+    replaying it offline with {!Churn.Engine.run} from the starting
+    overlay under the same configuration reproduces the served scheme
+    byte for byte (for sessions without rollbacks).
+
+    {b Rollback.} If a flush raises {!Churn.Audit.Violation} (or a repair
+    refuses with [Invalid_argument]), nothing from that batch commits:
+    the whole engine — overlay, warm flow, policy drift state — is
+    discarded and restarted from the overlay after the last good batch,
+    and every request in the batch gets an ["audit"] error response.
+    Restarting resets the policy's drift memory and warms the flow from
+    scratch; {!summary} therefore covers the steps since the last
+    rollback, while {!counters} spans the whole session. *)
+
+type config = {
+  policy : Churn.Policy.t;
+  audit : Churn.Audit.level;
+  engine : Churn.Audit.engine;
+  rebuild_headroom : float option;
+  batch : int;  (** flush the queue at this many mutations, [>= 1] *)
+  max_line : int;  (** longest accepted request line, bytes, [>= 16] *)
+  clock : unit -> float;
+      (** seconds; latencies are differences of this. Use [fun () -> 0.]
+          for byte-deterministic responses (the CLI's [--deterministic]). *)
+}
+
+val default_config : config
+(** [Always_patch] policy, [Check] audit, [Incremental] engine, no
+    rebuild headroom, [batch = 1] (every mutation flushes immediately),
+    [max_line = 65536], wall clock. *)
+
+type counters = {
+  requests : int;  (** non-empty request lines seen *)
+  events : int;  (** coalesced events committed to the engine *)
+  batches : int;  (** flushes that reached the engine *)
+  errors : int;  (** error responses sent (parse + audit + shutdown) *)
+  rollbacks : int;  (** batches rolled back *)
+  queries : int;
+}
+
+type t
+
+val create :
+  ?probe:
+    (index:int ->
+    Broadcast.Overlay.t ->
+    Flowgraph.Maxflow.Incremental.t option ->
+    unit) ->
+  config ->
+  Broadcast.Overlay.t ->
+  t
+(** [create config o] opens a session serving overlay [o]. [probe] is
+    forwarded to {!Churn.Engine.start} (tests use a raising probe to
+    force rollbacks). Raises [Invalid_argument] on a [batch < 1] or
+    [max_line < 16]. *)
+
+val submit : t -> string -> string list
+(** [submit t line] processes one request line and returns the complete
+    response lines it produced, in order (none while a mutation merely
+    queues; several when a flush answers a whole batch). A lone ["\r"]
+    suffix is stripped; an empty line is skipped entirely — no sequence
+    number, no response. Never raises on malformed input: bad lines get
+    error responses. *)
+
+val flush : t -> string list
+(** Force the queued mutations into the engine now (the transport's
+    admission-window timeout). Responses for all flushed requests, in
+    sequence order; [[]] if nothing is queued. *)
+
+val pending : t -> int
+(** Mutations queued and not yet flushed. *)
+
+val live : t -> Broadcast.Overlay.t
+(** The overlay after the last flush. *)
+
+val executed : t -> Churn.Trace.t
+(** The committed (coalesced) events, oldest first — a valid [bmp-trace]
+    for offline replay. Rolled-back batches leave no events here. *)
+
+val counters : t -> counters
+
+val summary : t -> Churn.Engine.summary
+(** Engine summary since the last rollback (whole session when none). *)
+
+val shutting_down : t -> bool
+(** True once a shutdown request has been answered; later requests get
+    ["shutdown"] error responses. *)
+
+val config : t -> config

@@ -307,6 +307,69 @@ let test_join_after_floor_batch_not_stale () =
   Alcotest.(check int) "both events applied" 2
     r.Churn.Engine.summary.Churn.Engine.applied
 
+(* Population-floor semantics, pinned as regressions. A trace that
+   would drain the platform completely must stall at the floor — the
+   source plus two receivers — with every surplus leave recorded as
+   [Skipped] and the strict auditor green throughout. *)
+let test_drain_trace_stalls_at_floor () =
+  let o, _ = small_overlay ~n:8 83L in
+  let size = Broadcast.Scheme.size (Broadcast.Overlay.scheme o) in
+  let events =
+    Array.init (2 * size) (fun i -> Churn.Trace.Leave { pick = 3 + (5 * i) })
+  in
+  let r =
+    Churn.Engine.run ~audit:Churn.Audit.Strict ~engine:Churn.Audit.Incremental o
+      { Churn.Trace.events }
+  in
+  Alcotest.(check int) "population stalls at the floor" 3
+    (Broadcast.Scheme.size (Broadcast.Overlay.scheme r.Churn.Engine.overlay));
+  Alcotest.(check int) "exactly size - 3 leaves applied" (size - 3)
+    r.Churn.Engine.summary.Churn.Engine.applied;
+  Alcotest.(check int) "the surplus is skipped, not dropped"
+    ((2 * size) - (size - 3))
+    r.Churn.Engine.summary.Churn.Engine.skipped;
+  List.iter
+    (fun (rec_ : Churn.Engine.record) ->
+      if rec_.Churn.Engine.size < 3 then
+        Alcotest.failf "event %d dipped below the floor" rec_.Churn.Engine.index;
+      if rec_.Churn.Engine.index >= size - 3 then
+        Alcotest.(check bool) "floored leave is skipped" true
+          (rec_.Churn.Engine.action = Churn.Engine.Skipped))
+    r.Churn.Engine.timeline;
+  Alcotest.(check bool) "well formed at the floor" true
+    (Broadcast.Overlay.well_formed r.Churn.Engine.overlay)
+
+(* A correlated failure whose casualty list straddles the floor is
+   trimmed, not refused: the engine applies exactly the picks that keep
+   three survivors and drops the rest of the batch on the ground. *)
+let test_fail_batch_straddles_floor () =
+  let o, _ = small_overlay ~n:8 97L in
+  let size = Broadcast.Scheme.size (Broadcast.Overlay.scheme o) in
+  (* Twice as many picks as the platform can afford to lose. *)
+  let events =
+    [| Churn.Trace.Fail_batch { picks = List.init (2 * size) (fun i -> i) } |]
+  in
+  let r =
+    Churn.Engine.run ~audit:Churn.Audit.Strict ~engine:Churn.Audit.Incremental o
+      { Churn.Trace.events }
+  in
+  Alcotest.(check int) "batch trimmed to the floor" 3
+    (Broadcast.Scheme.size (Broadcast.Overlay.scheme r.Churn.Engine.overlay));
+  Alcotest.(check int) "the trimmed batch still applies" 1
+    r.Churn.Engine.summary.Churn.Engine.applied;
+  Alcotest.(check bool) "well formed after the straddling batch" true
+    (Broadcast.Overlay.well_formed r.Churn.Engine.overlay);
+  (* At the floor a further batch has no casualty budget at all, so the
+     whole event is skipped rather than partially applied. *)
+  let r2 =
+    Churn.Engine.run ~audit:Churn.Audit.Strict r.Churn.Engine.overlay
+      { Churn.Trace.events = [| Churn.Trace.Fail_batch { picks = [ 1; 2; 3 ] } |] }
+  in
+  Alcotest.(check int) "batch at the floor is skipped" 1
+    r2.Churn.Engine.summary.Churn.Engine.skipped;
+  Alcotest.(check int) "population unchanged at the floor" 3
+    (Broadcast.Scheme.size (Broadcast.Overlay.scheme r2.Churn.Engine.overlay))
+
 (* Satellite property: random interleaved event sequences keep every
    invariant at every step — the strict auditor IS the assertion. *)
 let prop_engine_invariants =
@@ -378,6 +441,10 @@ let suites =
           test_leave_batch_matches_engine;
         Alcotest.test_case "join after floor batch sees fresh state" `Quick
           test_join_after_floor_batch_not_stale;
+        Alcotest.test_case "draining trace stalls at the floor" `Quick
+          test_drain_trace_stalls_at_floor;
+        Alcotest.test_case "fail batch straddling the floor is trimmed" `Quick
+          test_fail_batch_straddles_floor;
         Alcotest.test_case "saturated join admits at rate 0" `Quick
           test_join_saturated_regression;
         Alcotest.test_case "policy comparison acceptance" `Slow

@@ -107,6 +107,23 @@ let contains haystack needle =
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
+(* Generate a fresh 16-node instance in a throwaway directory and hand
+   its path (plus the directory, for scratch files) to [k]. *)
+let with_instance k =
+  let dir = Filename.temp_file "bmp_cli" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      ignore
+        (run_ok
+           (Printf.sprintf "%s generate -n 16 --seed 3 -o %s 2>/dev/null" bmp
+              (Filename.quote (Filename.concat dir "cli"))));
+      k ~dir (Filename.concat dir "cli-0001.txt"))
+
 let test_churn_run_help_covers_engine () =
   let help = run_ok (bmp ^ " churn run --help=plain 2>/dev/null") in
   List.iter
@@ -116,22 +133,7 @@ let test_churn_run_help_covers_engine () =
     [ "--engine"; "full"; "incremental"; "warm-start"; "--audit"; "--policy" ]
 
 let test_churn_run_engine_flag () =
-  let with_instance k =
-    let dir = Filename.temp_file "bmp_cli" "" in
-    Sys.remove dir;
-    Unix.mkdir dir 0o755;
-    Fun.protect
-      ~finally:(fun () ->
-        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-        Unix.rmdir dir)
-      (fun () ->
-        ignore
-          (run_ok
-             (Printf.sprintf "%s generate -n 16 --seed 3 -o %s 2>/dev/null" bmp
-                (Filename.quote (Filename.concat dir "cli"))));
-        k (Filename.concat dir "cli-0001.txt"))
-  in
-  with_instance (fun inst ->
+  with_instance (fun ~dir:_ inst ->
       let replay engine =
         run_ok
           (Printf.sprintf
@@ -150,8 +152,69 @@ let test_churn_run_engine_flag () =
       Alcotest.(check bool) "engine line reported" true
         (contains incr "incremental");
       match run_capture (Printf.sprintf "%s churn run %s --engine warm 2>&1" bmp (Filename.quote inst)) with
-      | Unix.WEXITED 0, _ -> Alcotest.fail "bogus --engine value accepted"
-      | _ -> ())
+      | Unix.WEXITED 2, _ -> ()
+      | Unix.WEXITED n, out ->
+        Alcotest.failf "bogus --engine value: expected exit 2, got %d\n%s" n out
+      | _, _ -> Alcotest.fail "bogus --engine value: killed by a signal")
+
+(* {2 Exit-code contract}
+
+   Usage and CLI parse errors exit 2; domain failures (infeasible rate,
+   a scheme that misses its recorded target) exit 1. Scripts and CI
+   lean on this split to tell "you called it wrong" from "the artifact
+   is bad", so pin both classes against the real binary. *)
+
+let check_exit what expected cmd =
+  match run_capture cmd with
+  | Unix.WEXITED n, out ->
+    if n <> expected then
+      Alcotest.failf "%s: expected exit %d, got %d\n%s" what expected n out
+  | _, out -> Alcotest.failf "%s: killed by a signal\n%s" what out
+
+let test_usage_errors_exit_2 () =
+  check_exit "unknown subcommand" 2 (bmp ^ " frobnicate 2>&1");
+  check_exit "unknown nested subcommand" 2 (bmp ^ " scheme frobnicate 2>&1");
+  check_exit "unknown flag" 2 (bmp ^ " generate --no-such-flag 2>&1");
+  check_exit "bad flag value" 2
+    (bmp ^ " churn run /nonexistent.txt --engine warm 2>&1")
+
+let test_domain_failures_exit_1 () =
+  with_instance (fun ~dir inst ->
+      let q = Filename.quote inst in
+      check_exit "infeasible rate" 1
+        (Printf.sprintf "%s scheme build %s --rate 1e9 2>&1" bmp q);
+      (* A scheme whose recorded target rate is tampered above anything
+         achievable must fail `scheme check` with exit 1 — that is the
+         "failed verification" leg of the contract. *)
+      let good = Filename.concat dir "good.json" in
+      let bad = Filename.concat dir "bad.json" in
+      ignore
+        (run_ok
+           (Printf.sprintf "%s scheme build %s -o %s 2>/dev/null" bmp q
+              (Filename.quote good)));
+      check_exit "intact scheme passes check" 0
+        (Printf.sprintf "%s scheme check %s >/dev/null 2>&1" bmp
+           (Filename.quote good));
+      let doc = read_file good in
+      let needle = "\"rate\": " in
+      let start =
+        let n = String.length doc and nn = String.length needle in
+        let rec go i =
+          if i + nn > n then Alcotest.fail "scheme JSON lacks a rate field"
+          else if String.sub doc i nn = needle then i + nn
+          else go (i + 1)
+        in
+        go 0
+      in
+      let stop = String.index_from doc start ',' in
+      let oc = open_out_bin bad in
+      output_string oc (String.sub doc 0 start);
+      output_string oc "1000000";
+      output_string oc (String.sub doc stop (String.length doc - stop));
+      close_out oc;
+      check_exit "failed verification" 1
+        (Printf.sprintf "%s scheme check %s >/dev/null 2>&1" bmp
+           (Filename.quote bad)))
 
 let suites =
   [
@@ -165,5 +228,8 @@ let suites =
           test_churn_run_help_covers_engine;
         Alcotest.test_case "churn run --engine replays identically" `Quick
           test_churn_run_engine_flag;
+        Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_2;
+        Alcotest.test_case "domain failures exit 1" `Quick
+          test_domain_failures_exit_1;
       ] );
   ]

@@ -7,6 +7,39 @@ let close ?(tol = 1e-9) what a b =
   if Float.abs (a -. b) > tol *. Float.max 1. (Float.abs b) then
     Alcotest.failf "%s: %g vs %g" what a b
 
+(* JSON lexer: the number path must reject literals that only overflow
+   to non-finite floats (1e999 parses to infinity under a bare
+   float_of_string) with a positioned error, while plain underflow to
+   0.0 stays legal — it IS a finite float. *)
+
+let test_json_rejects_non_finite_numbers () =
+  let rejected text =
+    match Flowgraph.Json.parse text with
+    | Ok _ -> Alcotest.failf "accepted %s" text
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s error is positioned (%s)" text msg)
+        true
+        (String.length msg >= 13 && String.sub msg 0 13 = "JSON error at")
+  in
+  rejected "1e999";
+  rejected "-1e999";
+  rejected "1e99999999";
+  rejected "[1, 2, 1e999]";
+  rejected "{\"bandwidth\": -1e999}";
+  let accepted text expected =
+    match Flowgraph.Json.parse text with
+    | Ok (Flowgraph.Json.Num v) ->
+      Alcotest.(check (float 0.)) (text ^ " parses finite") expected v
+    | Ok _ -> Alcotest.failf "%s parsed to a non-number" text
+    | Error msg -> Alcotest.failf "rejected %s: %s" text msg
+  in
+  (* Huge negative exponents underflow to 0.0 — finite, accepted. *)
+  accepted "1e-999" 0.;
+  accepted "-1e-999" (-0.);
+  accepted "1e-99999999" 0.;
+  accepted "1.7976931348623157e308" Float.max_float
+
 let test_edges_basic () =
   let g = G.create 4 in
   Alcotest.(check int) "empty" 0 (G.edge_count g);
@@ -292,6 +325,11 @@ let test_decompose_empty () =
 
 let suites =
   [
+    ( "json",
+      [
+        Alcotest.test_case "non-finite number literals rejected" `Quick
+          test_json_rejects_non_finite_numbers;
+      ] );
     ( "graph",
       [
         Alcotest.test_case "edge bookkeeping" `Quick test_edges_basic;

@@ -90,6 +90,81 @@ let test_algorithm_names_roundtrip () =
   | Ok _ -> Alcotest.fail "unknown algorithm accepted"
   | Error _ -> ()
 
+(* Provenance name parsing recognizes repaired(<alg>) by prefix/suffix
+   and recursion; pin that arbitrarily nested provenance survives both
+   the name codec and the full artifact JSON round-trip. *)
+
+let algorithm_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 6)
+    @@ fix (fun self n ->
+           let base =
+             oneofl
+               [
+                 Scheme.Algorithm1;
+                 Scheme.Theorem41;
+                 Scheme.Min_depth;
+                 Scheme.Theorem52;
+                 Scheme.Imported;
+               ]
+           in
+           if n <= 0 then base
+           else
+             frequency
+               [ (1, base); (3, map (fun a -> Scheme.Repaired a) (self (n - 1))) ]))
+
+let prop_provenance_name_roundtrip =
+  QCheck.Test.make ~name:"provenance names round-trip (nested repaired)"
+    ~count:300
+    (QCheck.make ~print:Scheme.algorithm_name algorithm_gen)
+    (fun a -> Scheme.algorithm_of_name (Scheme.algorithm_name a) = Ok a)
+
+let test_nested_repaired_json_roundtrip () =
+  let inst = Instance.create ~bandwidth:[| 4.; 2. |] ~n:1 ~m:0 () in
+  let g = G.create 2 in
+  G.add_edge g ~src:0 ~dst:1 1.;
+  List.iter
+    (fun algorithm ->
+      let s =
+        Scheme.create
+          ~provenance:{ Scheme.algorithm; rate = 1.; degree_bound = Some 2 }
+          inst g
+      in
+      let text = Scheme.to_json s in
+      match Scheme.of_json text with
+      | Error e ->
+        Alcotest.failf "%s does not reload: %s"
+          (Scheme.algorithm_name algorithm) e
+      | Ok s' ->
+        Alcotest.(check bool)
+          (Scheme.algorithm_name algorithm ^ " provenance survives")
+          true
+          ((Scheme.provenance s').Scheme.algorithm = algorithm);
+        Alcotest.(check string) "canonical bytes are stable" text
+          (Scheme.to_json s'))
+    [
+      Scheme.Repaired Scheme.Algorithm1;
+      Scheme.Repaired (Scheme.Repaired Scheme.Algorithm1);
+      Scheme.Repaired (Scheme.Repaired (Scheme.Repaired Scheme.Imported));
+    ]
+
+let test_malformed_repaired_names_rejected () =
+  List.iter
+    (fun name ->
+      match Scheme.algorithm_of_name name with
+      | Ok _ -> Alcotest.failf "accepted %S" name
+      | Error _ -> ())
+    [
+      "repaired(";
+      "repaired()";
+      "repaired";
+      "repaired(algorithm1";
+      "repaired(frobnicate)";
+      "repaired(repaired())";
+      "REPAIRED(algorithm1)";
+      "repaired(algorithm1))";
+    ]
+
 let same_report (a : Broadcast.Verify.report) (b : Broadcast.Verify.report) =
   a.Broadcast.Verify.bandwidth_ok = b.Broadcast.Verify.bandwidth_ok
   && a.Broadcast.Verify.firewall_ok = b.Broadcast.Verify.firewall_ok
@@ -215,5 +290,10 @@ let suites =
           test_json_deterministic_across_domains;
         Alcotest.test_case "of_json rejects" `Quick test_of_json_rejects;
         Alcotest.test_case "pp" `Quick test_pp;
+        Alcotest.test_case "nested repaired provenance round-trips" `Quick
+          test_nested_repaired_json_roundtrip;
+        Alcotest.test_case "malformed repaired names rejected" `Quick
+          test_malformed_repaired_names_rejected;
+        QCheck_alcotest.to_alcotest prop_provenance_name_roundtrip;
       ] );
   ]

@@ -1,0 +1,409 @@
+(* Tests for the tracker daemon layer (lib/tracker): request parsing,
+   scripted sessions with the deterministic clock, batch coalescing,
+   audit rollback, the served-stream == offline-replay byte identity,
+   and the transport loop over a real pipe. *)
+
+module Session = Tracker.Session
+module Protocol = Tracker.Protocol
+module Trace = Churn.Trace
+
+let small_overlay ?(n = 25) ?(headroom = 0.9) seed =
+  let rng = Prng.Splitmix.create seed in
+  let inst =
+    Platform.Generator.generate
+      { Platform.Generator.total = n; p_open = 0.7; dist = Prng.Dist.unif100 }
+      rng
+  in
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  Broadcast.Overlay.build ~rate:(t *. headroom) inst
+
+(* Deterministic sessions: zeroed clock, everything else the daemon's
+   defaults (Check audit, incremental engine). *)
+let config ?(batch = 1) ?(max_line = 4096) () =
+  { Session.default_config with Session.batch; max_line; clock = (fun () -> 0.) }
+
+let scheme_bytes o = Broadcast.Scheme.to_json (Broadcast.Overlay.scheme o)
+
+let submit_all session lines =
+  List.concat_map (fun line -> Session.submit session line) lines
+
+let field response key =
+  (* Responses are flat-ish JSON; pull a member out with the strict
+     parser so tests also exercise response well-formedness. *)
+  match Flowgraph.Json.parse response with
+  | Error msg -> Alcotest.failf "unparseable response %s: %s" response msg
+  | Ok v -> Flowgraph.Json.member key v
+
+let str_field response key =
+  match field response key with
+  | Some (Flowgraph.Json.Str s) -> s
+  | _ -> Alcotest.failf "response lacks string %S: %s" key response
+
+let int_field response key =
+  match field response key with
+  | Some (Flowgraph.Json.Num x) -> int_of_float x
+  | _ -> Alcotest.failf "response lacks number %S: %s" key response
+
+(* Request parsing *)
+
+let test_parse_requests () =
+  let p line = Protocol.parse_request ~max_line:4096 line in
+  (match p "{\"type\": \"query\"}" with
+  | Ok Protocol.Query -> ()
+  | _ -> Alcotest.fail "query not parsed");
+  (match p "{\"type\": \"shutdown\"}" with
+  | Ok Protocol.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown not parsed");
+  (match p "{\"type\": \"leave\", \"pick\": 7}" with
+  | Ok (Protocol.Event (Trace.Leave { pick = 7 })) -> ()
+  | _ -> Alcotest.fail "leave not parsed");
+  let code line =
+    match p line with
+    | Error (code, _) -> code
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  Alcotest.(check string) "not json" "parse" (code "nope");
+  Alcotest.(check string) "not an object" "invalid" (code "[1, 2]");
+  Alcotest.(check string) "missing type" "invalid" (code "{\"pick\": 1}");
+  Alcotest.(check string) "unknown type" "invalid" (code "{\"type\": \"x\"}");
+  Alcotest.(check string) "query with extras" "invalid"
+    (code "{\"type\": \"query\", \"x\": 1}");
+  Alcotest.(check string) "bad domain" "invalid"
+    (code "{\"type\": \"leave\", \"pick\": -1}");
+  Alcotest.(check string) "non-finite bandwidth" "parse"
+    (code "{\"type\": \"join\", \"bandwidth\": 1e999, \"guarded\": false}");
+  match Protocol.parse_request ~max_line:8 "{\"type\": \"query\"}" with
+  | Error ("oversized", _) -> ()
+  | _ -> Alcotest.fail "oversized line accepted"
+
+(* Scripted session *)
+
+let script =
+  [
+    "{\"type\": \"join\", \"bandwidth\": 25, \"guarded\": false}";
+    "{\"type\": \"join\", \"bandwidth\": 12, \"guarded\": true}";
+    "{\"type\": \"leave\", \"pick\": 3}";
+    "{\"type\": \"query\"}";
+    "not json";
+    "{\"type\": \"degrade\", \"pick\": 2, \"factor\": 0.5}";
+    "{\"type\": \"shutdown\"}";
+  ]
+
+let run_script () =
+  let session = Session.create (config ()) (small_overlay 42L) in
+  (submit_all session script, session)
+
+let test_scripted_session () =
+  let responses, session = run_script () in
+  Alcotest.(check int) "one response per request" (List.length script)
+    (List.length responses);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) "seq numbers request lines" (i + 1) (int_field r "seq");
+      Alcotest.(check int) "latency zeroed by the deterministic clock" 0
+        (int_field r "latency_us");
+      Alcotest.(check string) "format tag" "bmp-tracker" (str_field r "format"))
+    responses;
+  let statuses = List.map (fun r -> str_field r "status") responses in
+  Alcotest.(check (list string)) "statuses"
+    [ "ok"; "ok"; "ok"; "ok"; "error"; "ok"; "ok" ]
+    statuses;
+  Alcotest.(check string) "bad line gets a parse error" "parse"
+    (str_field (List.nth responses 4) "code");
+  let c = Session.counters session in
+  Alcotest.(check int) "events committed" 4 c.Session.events;
+  Alcotest.(check int) "one error" 1 c.Session.errors;
+  Alcotest.(check bool) "session stopped" true (Session.shutting_down session);
+  (* Requests after shutdown are refused, with a response. *)
+  match Session.submit session "{\"type\": \"query\"}" with
+  | [ r ] -> Alcotest.(check string) "refused" "shutdown" (str_field r "code")
+  | _ -> Alcotest.fail "post-shutdown request not answered"
+
+let test_scripted_session_deterministic () =
+  let r1, _ = run_script () and r2, _ = run_script () in
+  Alcotest.(check (list string)) "same script, same bytes" r1 r2
+
+let test_empty_lines_skipped () =
+  let session = Session.create (config ()) (small_overlay 42L) in
+  Alcotest.(check (list string)) "empty line: no response" []
+    (Session.submit session "");
+  Alcotest.(check (list string)) "CR-only line: no response" []
+    (Session.submit session "\r");
+  let rs = Session.submit session "{\"type\": \"query\"}" in
+  Alcotest.(check int) "empty lines consumed no seq" 1
+    (int_field (List.hd rs) "seq")
+
+(* Batching *)
+
+let test_batch_coalesces_leaves () =
+  let session = Session.create (config ~batch:4 ()) (small_overlay 42L) in
+  let leaves =
+    List.init 4 (fun i ->
+        Trace.event_to_json (Trace.Leave { pick = 10 + i }))
+  in
+  let responses = submit_all session leaves in
+  Alcotest.(check int) "all four answered at the flush" 4
+    (List.length responses);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "served as one correlated failure" "fail-batch"
+        (str_field r "event");
+      Alcotest.(check int) "same batch id" 1 (int_field r "batch"))
+    responses;
+  let c = Session.counters session in
+  Alcotest.(check int) "one engine event" 1 c.Session.events;
+  Alcotest.(check int) "one batch" 1 c.Session.batches;
+  match (Session.executed session).Trace.events with
+  | [| Trace.Fail_batch { picks = [ 10; 11; 12; 13 ] } |] -> ()
+  | _ -> Alcotest.fail "committed trace is not the coalesced Fail_batch"
+
+let test_batch_coalesces_joins () =
+  let session = Session.create (config ~batch:3 ()) (small_overlay 42L) in
+  let joins =
+    List.init 3 (fun i ->
+        Trace.event_to_json
+          (Trace.Join { bandwidth = 10. +. float_of_int i; guarded = i = 1 }))
+  in
+  let responses = submit_all session joins in
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "served as one flash crowd" "flash-crowd"
+        (str_field r "event"))
+    responses;
+  match (Session.executed session).Trace.events with
+  | [| Trace.Flash_crowd { arrivals = [ (10., false); (11., true); (12., false) ] } |]
+    -> ()
+  | _ -> Alcotest.fail "committed trace is not the coalesced Flash_crowd"
+
+let test_mixed_batch_passes_singletons_through () =
+  let session = Session.create (config ~batch:4 ()) (small_overlay 42L) in
+  let lines =
+    List.map Trace.event_to_json
+      [
+        Trace.Leave { pick = 1 };
+        Trace.Degrade { pick = 2; factor = 0.5 };
+        Trace.Leave { pick = 3 };
+        Trace.Leave { pick = 4 };
+      ]
+  in
+  let responses = submit_all session lines in
+  Alcotest.(check (list string)) "degrade breaks the leave run"
+    [ "leave"; "degrade"; "fail-batch"; "fail-batch" ]
+    (List.map (fun r -> str_field r "event") responses);
+  Alcotest.(check int) "three engine events" 3
+    (Session.counters session).Session.events
+
+let test_query_flushes_partial_batch () =
+  let session = Session.create (config ~batch:8 ()) (small_overlay 42L) in
+  Alcotest.(check (list string)) "mutations queue silently" []
+    (submit_all session
+       [
+         Trace.event_to_json (Trace.Join { bandwidth = 5.; guarded = false });
+         Trace.event_to_json (Trace.Join { bandwidth = 6.; guarded = false });
+       ]);
+  Alcotest.(check int) "two pending" 2 (Session.pending session);
+  let rs = Session.submit session "{\"type\": \"query\"}" in
+  Alcotest.(check int) "flush responses + query answer" 3 (List.length rs);
+  Alcotest.(check int) "queue empty after query" 0 (Session.pending session);
+  let query = List.nth rs 2 in
+  match field query "query" with
+  | Some q ->
+    (match Flowgraph.Json.member "events" q with
+    | Some (Flowgraph.Json.Num n) ->
+      Alcotest.(check int) "query reports the flushed event" 1 (int_of_float n)
+    | _ -> Alcotest.fail "query body lacks events")
+  | None -> Alcotest.fail "no query body"
+
+(* Population floor, as served *)
+
+let test_floor_skips_leave () =
+  (* source + 2 receivers: the engine's floor — leaves cannot apply. *)
+  let inst =
+    match Platform.Instance.of_string "source 10\nopen 5\nopen 3\n" with
+    | Ok i -> fst (Platform.Instance.normalize i)
+    | Error e -> Alcotest.fail e
+  in
+  let t, _ = Broadcast.Greedy.optimal_acyclic inst in
+  let overlay = Broadcast.Overlay.build ~rate:(t *. 0.9) inst in
+  let session = Session.create (config ()) overlay in
+  let rs = Session.submit session (Trace.event_to_json (Trace.Leave { pick = 0 })) in
+  Alcotest.(check string) "floor leave answered as skipped" "skipped"
+    (str_field (List.hd rs) "action");
+  Alcotest.(check int) "population unchanged" 3
+    (int_field (List.hd rs) "size")
+
+(* Rollback *)
+
+let test_rollback_on_violation () =
+  let overlay = small_overlay 42L in
+  let before = scheme_bytes overlay in
+  let arm = ref true in
+  let probe ~index:_ _ _ =
+    if !arm then begin
+      arm := false;
+      raise (Churn.Audit.Violation { index = 0; what = "probe forced" })
+    end
+  in
+  let session = Session.create ~probe (config ~batch:2 ()) overlay in
+  let rs =
+    submit_all session
+      [
+        Trace.event_to_json (Trace.Join { bandwidth = 9.; guarded = false });
+        Trace.event_to_json (Trace.Join { bandwidth = 8.; guarded = false });
+      ]
+  in
+  Alcotest.(check int) "both requests answered" 2 (List.length rs);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "audit error" "audit" (str_field r "code");
+      Alcotest.(check string) "error status" "error" (str_field r "status"))
+    rs;
+  let c = Session.counters session in
+  Alcotest.(check int) "one rollback" 1 c.Session.rollbacks;
+  Alcotest.(check int) "nothing committed" 0 c.Session.events;
+  Alcotest.(check int) "no committed trace" 0
+    (Trace.length (Session.executed session));
+  Alcotest.(check string) "overlay rolled back to the last good state"
+    before
+    (scheme_bytes (Session.live session));
+  (* The restarted engine keeps serving. *)
+  let rs =
+    submit_all session
+      [
+        Trace.event_to_json (Trace.Join { bandwidth = 7.; guarded = false });
+        Trace.event_to_json (Trace.Join { bandwidth = 6.; guarded = false });
+      ]
+  in
+  Alcotest.(check (list string)) "post-rollback batch serves"
+    [ "ok"; "ok" ]
+    (List.map (fun r -> str_field r "status") rs);
+  Alcotest.(check int) "post-rollback commit" 1
+    (Session.counters session).Session.events
+
+(* Served stream == offline replay *)
+
+let test_served_matches_offline_replay () =
+  let overlay = small_overlay 77L in
+  let session = Session.create (config ~batch:3 ()) overlay in
+  let lines =
+    List.map Trace.event_to_json
+      [
+        Trace.Join { bandwidth = 20.; guarded = false };
+        Trace.Join { bandwidth = 15.; guarded = true };
+        Trace.Leave { pick = 4 };
+        Trace.Leave { pick = 9 };
+        Trace.Degrade { pick = 2; factor = 0.5 };
+        Trace.Join { bandwidth = 30.; guarded = false };
+        Trace.Restore { pick = 2; factor = 0.5 };
+        Trace.Leave { pick = 1 };
+      ]
+  in
+  ignore (submit_all session lines);
+  ignore (Session.flush session);
+  let executed = Session.executed session in
+  Alcotest.(check bool) "coalescing shrank the stream" true
+    (Trace.length executed < List.length lines);
+  let cfg = Session.config session in
+  let replay =
+    Churn.Engine.run ~policy:cfg.Session.policy ~audit:cfg.Session.audit
+      ~engine:cfg.Session.engine
+      ?rebuild_headroom:cfg.Session.rebuild_headroom overlay executed
+  in
+  Alcotest.(check string) "served scheme == offline replay, byte for byte"
+    (scheme_bytes replay.Churn.Engine.overlay)
+    (scheme_bytes (Session.live session));
+  (* And the trace itself survives its own wire format. *)
+  match Trace.of_json (Trace.to_json executed) with
+  | Ok t ->
+    Alcotest.(check string) "executed trace round-trips" (Trace.to_json executed)
+      (Trace.to_json t)
+  | Error e -> Alcotest.failf "executed trace does not parse: %s" e
+
+(* Transport loop over a real pipe *)
+
+let serve_through_pipe ?(config = config ()) script =
+  let overlay = small_overlay 42L in
+  let session = Session.create config overlay in
+  let r, w = Unix.pipe () in
+  let payload = Bytes.of_string script in
+  let n = Unix.write w payload 0 (Bytes.length payload) in
+  Alcotest.(check int) "script written whole" (Bytes.length payload) n;
+  Unix.close w;
+  let out_path = Filename.temp_file "tracker_test" ".ndjson" in
+  let out = open_out out_path in
+  Tracker.Daemon.serve ~window_s:0.005 session ~input:r ~output:out;
+  close_out out;
+  Unix.close r;
+  let ic = open_in out_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove out_path;
+  (List.rev !lines, session)
+
+let test_daemon_pipe_matches_direct_session () =
+  let script = String.concat "\n" script ^ "\n" in
+  let piped, _ = serve_through_pipe script in
+  let direct, _ = run_script () in
+  Alcotest.(check (list string)) "daemon == direct session" direct piped
+
+let test_daemon_trailing_line_and_eof () =
+  (* No trailing newline and no shutdown: EOF must still drain. *)
+  let piped, session =
+    serve_through_pipe "{\"type\": \"join\", \"bandwidth\": 5, \"guarded\": false}"
+  in
+  Alcotest.(check int) "unterminated request answered at EOF" 1
+    (List.length piped);
+  Alcotest.(check string) "and applied" "join" (str_field (List.hd piped) "event");
+  Alcotest.(check int) "committed" 1 (Session.counters session).Session.events
+
+let test_daemon_oversized_line () =
+  let cfg = config ~max_line:64 () in
+  let big = String.make 4096 'x' in
+  let script =
+    big ^ "\n{\"type\": \"join\", \"bandwidth\": 5, \"guarded\": false}\n"
+  in
+  let piped, session = serve_through_pipe ~config:cfg script in
+  Alcotest.(check int) "both lines answered" 2 (List.length piped);
+  Alcotest.(check string) "oversized error first" "oversized"
+    (str_field (List.nth piped 0) "code");
+  Alcotest.(check string) "stream recovers after the discard" "join"
+    (str_field (List.nth piped 1) "event");
+  Alcotest.(check int) "only the join committed" 1
+    (Session.counters session).Session.events
+
+let suites =
+  [
+    ( "tracker",
+      [
+        Alcotest.test_case "parse requests" `Quick test_parse_requests;
+        Alcotest.test_case "scripted session" `Quick test_scripted_session;
+        Alcotest.test_case "scripted session deterministic" `Quick
+          test_scripted_session_deterministic;
+        Alcotest.test_case "empty lines skipped" `Quick test_empty_lines_skipped;
+        Alcotest.test_case "batch coalesces leaves" `Quick
+          test_batch_coalesces_leaves;
+        Alcotest.test_case "batch coalesces joins" `Quick
+          test_batch_coalesces_joins;
+        Alcotest.test_case "mixed batch keeps singletons" `Quick
+          test_mixed_batch_passes_singletons_through;
+        Alcotest.test_case "query flushes partial batch" `Quick
+          test_query_flushes_partial_batch;
+        Alcotest.test_case "population floor served as skip" `Quick
+          test_floor_skips_leave;
+        Alcotest.test_case "audit violation rolls back" `Quick
+          test_rollback_on_violation;
+        Alcotest.test_case "served == offline replay" `Quick
+          test_served_matches_offline_replay;
+        Alcotest.test_case "daemon over a pipe" `Quick
+          test_daemon_pipe_matches_direct_session;
+        Alcotest.test_case "daemon drains at EOF" `Quick
+          test_daemon_trailing_line_and_eof;
+        Alcotest.test_case "daemon bounds oversized lines" `Quick
+          test_daemon_oversized_line;
+      ] );
+  ]
