@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-tracker bench-full scheme-roundtrip churn-smoke churn-incremental tracker-smoke clean
+.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-tracker bench-stream bench-stream-full bench-full scheme-roundtrip churn-smoke churn-incremental tracker-smoke stream-smoke clean
 
 all:
 	dune build @runtest @all
@@ -38,8 +38,20 @@ bench-churn:
 bench-tracker:
 	dune exec -- bench/tracker_bench.exe
 
+# Streaming dataplane throughput, CI cell only: the n = 10^4 paper
+# overlay simulated by both engines over the same truncated trajectory
+# (writes BENCH_stream.json; gates the flat dataplane at >= 20x the
+# legacy Massoulie.Sim events/s and <= 16 minor words/event).
+bench-stream:
+	dune exec -- bench/stream_bench.exe
+
+# Adds the synthetic n = 10^5 (>= 10^6 events/s gate) and n = 10^6
+# (peak-RSS report) rows — about a minute.
+bench-stream-full:
+	dune exec -- bench/stream_bench.exe --full
+
 # Full sweeps (Figure 7 grid, Figure 19 replication) — a few minutes.
-bench-full: bench-verify bench-sweep bench-churn
+bench-full: bench-verify bench-sweep bench-churn bench-stream-full
 	dune exec -- bench/main.exe
 
 # Scheme-artifact lifecycle, end to end through the CLI: build Figure 1's
@@ -103,6 +115,19 @@ tracker-smoke:
 	cmp tracker-smoke.state.json tracker-smoke.replay.json
 	rm -f tracker-smoke-0001.txt tracker-smoke.trace.json tracker-smoke.state.json \
 	  tracker-smoke-a.ndjson tracker-smoke-b.ndjson tracker-smoke.replay.json
+
+# Streaming dataplane, end to end through the real binary: simulate a
+# small generated overlay in streaming mode and require the metrics
+# JSON to be byte-identical to the committed golden — the canonical
+# format (17-significant-digit floats) makes the whole pipeline
+# (generator -> solver -> snapshot -> dataplane -> metrics) replayable.
+stream-smoke:
+	dune build bin/bmp.exe
+	dune exec -- bin/bmp.exe generate -n 20 --seed 5 -o stream-smoke
+	dune exec -- bin/bmp.exe stream run stream-smoke-0001.txt --chunks 150 \
+	  --streaming --metrics-out stream-smoke.metrics.json
+	cmp stream-smoke.metrics.json test/golden/stream_metrics.json
+	rm -f stream-smoke-0001.txt stream-smoke.metrics.json
 
 clean:
 	dune clean

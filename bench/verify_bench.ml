@@ -27,22 +27,10 @@
    PRs. Run with `make bench-verify` or
    `dune exec -- bench/verify_bench.exe`. *)
 
-(* Times [f], returning its value and the per-call seconds. Slow calls
-   (> 0.5 s — the n = 5000 / 10000 legacy runs) are measured exactly once
-   so the large cases stay affordable; fast calls are averaged. *)
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let value = f () in
-  let first = Unix.gettimeofday () -. t0 in
-  if first > 0.5 then (value, first)
-  else begin
-    let reps = max 3 (int_of_float (0.3 /. Float.max 1e-7 first)) in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to reps do
-      ignore (Sys.opaque_identity (f ()))
-    done;
-    (value, (Unix.gettimeofday () -. t0) /. float_of_int reps)
-  end
+(* Wall-clock and GC probes shared with the other bench executables
+   (slow calls measured once, fast calls averaged — see
+   bench/bench_util.mli). *)
+let time = Bench_util.time
 
 let mixed_instance ?(p_open = 0.7) ~seed n =
   let rng = Prng.Splitmix.create seed in
@@ -70,6 +58,11 @@ type row = {
   structured_s : float;
   split_s : float;
   artifact_s : float;
+  (* GC profile of the structured fast path — the ROADMAP's
+     "zero-allocation hot paths" target, so allocation regressions show
+     up in BENCH_verify.json next to the latency columns. *)
+  minor_words_per_call : float;
+  major_collections : int;
   agree : bool;
 }
 
@@ -86,9 +79,10 @@ let case name (inst, scheme) =
   let csr_v, csr_s =
     time (fun () -> Flowgraph.Maxflow.min_broadcast_flow g ~src:0)
   in
-  let structured_v, structured_s =
-    time (fun () -> Flowgraph.Maxflow.broadcast_throughput g ~src:0)
+  let structured_v, structured_gc =
+    Bench_util.time_gc (fun () -> Flowgraph.Maxflow.broadcast_throughput g ~src:0)
   in
+  let structured_s = structured_gc.Bench_util.seconds in
   (* Consumer path, old style: every query re-reads the mutable graph. *)
   let split () =
     let r = Broadcast.Verify.check inst g in
@@ -118,6 +112,8 @@ let case name (inst, scheme) =
     structured_s;
     split_s;
     artifact_s;
+    minor_words_per_call = structured_gc.Bench_util.minor_words_per_call;
+    major_collections = structured_gc.Bench_util.major_collections;
     agree =
       close legacy_v csr_v && close legacy_v structured_v
       && close split_t art_t && split_exc = art_exc && split_depth = art_depth;
@@ -153,10 +149,12 @@ let emit_json rows (fleet_s, fleet_n, fleet_ok) path =
          %b,\n\
         \     \"legacy_s\": %.6e, \"csr_s\": %.6e, \"structured_s\": %.6e,\n\
         \     \"split_s\": %.6e, \"artifact_s\": %.6e,\n\
+        \     \"minor_words_per_call\": %.1f, \"major_collections\": %d,\n\
         \     \"speedup_csr\": %.2f, \"speedup_structured\": %.2f, \
          \"speedup_artifact\": %.2f, \"agree\": %b}%s\n"
         (json_escape r.name) r.nodes r.edges r.acyclic r.legacy_s r.csr_s
-        r.structured_s r.split_s r.artifact_s (r.legacy_s /. r.csr_s)
+        r.structured_s r.split_s r.artifact_s r.minor_words_per_call
+        r.major_collections (r.legacy_s /. r.csr_s)
         (r.legacy_s /. r.structured_s)
         (r.split_s /. r.artifact_s)
         r.agree
@@ -202,15 +200,16 @@ let () =
       (Array.to_list
          (Parallel.Pool.map_range 20 (fun i -> acyclic_scheme (150 + (5 * i)))))
   in
-  Printf.printf "%-15s %6s %6s %8s %12s %12s %12s %12s %12s %8s %8s %6s\n" "case"
-    "nodes" "edges" "acyclic" "legacy/s" "csr/s" "struct/s" "split/s" "artif/s"
-    "x-csr" "x-struct" "agree";
+  Printf.printf "%-15s %6s %6s %8s %12s %12s %12s %12s %12s %10s %5s %8s %8s %6s\n"
+    "case" "nodes" "edges" "acyclic" "legacy/s" "csr/s" "struct/s" "split/s"
+    "artif/s" "minw/call" "majgc" "x-csr" "x-struct" "agree";
   List.iter
     (fun r ->
       Printf.printf
-        "%-15s %6d %6d %8b %12.3e %12.3e %12.3e %12.3e %12.3e %8.1f %8.1f %6b\n"
+        "%-15s %6d %6d %8b %12.3e %12.3e %12.3e %12.3e %12.3e %10.1f %5d \
+         %8.1f %8.1f %6b\n"
         r.name r.nodes r.edges r.acyclic r.legacy_s r.csr_s r.structured_s
-        r.split_s r.artifact_s
+        r.split_s r.artifact_s r.minor_words_per_call r.major_collections
         (r.legacy_s /. r.csr_s)
         (r.legacy_s /. r.structured_s)
         r.agree)

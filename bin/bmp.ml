@@ -6,6 +6,7 @@
      exp        run one paper experiment by name (fig1, fig7, ...)
      exp-all    run every experiment (the EXPERIMENTS.md content)
      simulate   run the randomized transport on a computed overlay
+     stream     flat-arena event-heap dataplane (delay/occupancy at scale)
      scheme     build / check / show / export persistent scheme artifacts *)
 
 open Cmdliner
@@ -330,6 +331,114 @@ let simulate_cmd =
       ~doc:"Build the optimal low-degree overlay and run randomized transport on it."
   in
   Cmd.v info Term.(const run $ instance_arg $ chunks $ streaming)
+
+(* stream: flat-arena dataplane *)
+
+let stream_run_cmd =
+  let chunks =
+    Arg.(value & opt int 1024
+         & info [ "chunks" ] ~doc:"Number of chunks to broadcast.")
+  in
+  let streaming =
+    Arg.(value & flag & info [ "streaming" ] ~doc:"Live-stream release schedule.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.
+         & info [ "jitter" ]
+             ~doc:"Relative bandwidth fluctuation per transfer (0 = ideal links).")
+  in
+  let seed =
+    Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  let discipline =
+    let doc =
+      "Chunk-pick discipline: 'random' (uniform useful chunk, single-draw), \
+       'oracle' (reservoir scan, bit-compatible with 'bmp simulate'), or \
+       'inorder' (per-neighbor FIFO queues, lowest useful chunk first)."
+    in
+    Arg.(value & opt string "random" & info [ "discipline" ] ~docv:"NAME" ~doc)
+  in
+  let no_dedup =
+    Arg.(value & flag
+         & info [ "no-dedup" ]
+             ~doc:"Allow a chunk already in flight toward a receiver to be \
+                   picked again (duplicates are discarded on arrival).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the canonical single-line JSON metrics record.")
+  in
+  let run path chunks streaming jitter seed discipline no_dedup metrics_out =
+    if chunks < 1 then die "--chunks must be >= 1";
+    if jitter < 0. then die "--jitter must be >= 0";
+    let discipline =
+      match Stream.Dataplane.discipline_of_name discipline with
+      | Some d -> d
+      | None ->
+        die (Printf.sprintf
+               "unknown discipline %S (random, oracle or inorder)" discipline)
+    in
+    let inst = read_instance path in
+    let rate, scheme =
+      or_invalid (fun () -> Broadcast.Low_degree.build_optimal inst)
+    in
+    let csr = Broadcast.Scheme.snapshot scheme in
+    let config =
+      {
+        Stream.Dataplane.default_config with
+        chunks;
+        streaming;
+        jitter;
+        seed;
+        discipline;
+        dedup_inflight = not no_dedup;
+      }
+    in
+    let r = Stream.Dataplane.run ~config csr ~rate in
+    let module D = Stream.Dataplane in
+    Printf.printf "overlay rate           : %.6f\n" rate;
+    Printf.printf "nodes / arcs           : %d / %d\n"
+      (Flowgraph.Csr.node_count csr) (Flowgraph.Csr.edge_count csr);
+    Printf.printf "delivered all chunks   : %b\n" r.D.delivered_all;
+    Printf.printf "completion time        : %.3f (ideal %.3f)\n"
+      r.D.completion_time
+      (float_of_int chunks /. rate);
+    Printf.printf "achieved rate          : %.6f (efficiency %.4f)\n"
+      r.D.achieved_rate r.D.efficiency;
+    Printf.printf "events / transfers     : %d / %d (%d duplicates)\n"
+      r.D.events r.D.transfers r.D.duplicates;
+    Printf.printf "delay p50/p90/p99/max  : %.3f / %.3f / %.3f / %.3f\n"
+      r.D.delay.D.p50 r.D.delay.D.p90 r.D.delay.D.p99 r.D.delay.D.max;
+    Printf.printf "startup p50/p99/max    : %.3f / %.3f / %.3f\n"
+      r.D.startup.D.p50 r.D.startup.D.p99 r.D.startup.D.max;
+    Printf.printf "send queues peak/mean  : %d / %.4f\n"
+      r.D.peak_queue r.D.mean_queue;
+    (match metrics_out with
+     | None -> ()
+     | Some out ->
+       let json =
+         D.metrics_to_json ~config ~nodes:(Flowgraph.Csr.node_count csr)
+           ~edges:(Flowgraph.Csr.edge_count csr) ~rate r
+       in
+       write_file out (json ^ "\n");
+       Printf.printf "wrote %s\n" out);
+    if not r.D.delivered_all then fail "broadcast did not complete"
+  in
+  let info =
+    Cmd.info "run"
+      ~doc:"Build the optimal low-degree overlay and stream chunks over it \
+            with the flat-arena event-heap dataplane."
+  in
+  Cmd.v info
+    Term.(const run $ instance_arg $ chunks $ streaming $ jitter $ seed
+          $ discipline $ no_dedup $ metrics_out)
+
+let stream_cmd =
+  let doc =
+    "Streaming dataplane: per-neighbor-queue broadcast dynamics at scale."
+  in
+  Cmd.group (Cmd.info "stream" ~doc) [ stream_run_cmd ]
 
 (* scheme: persistent artifacts *)
 
@@ -858,8 +967,9 @@ let () =
   let code =
     Cmd.eval
       (Cmd.group info
-         [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd; trees_cmd;
-           scheme_cmd; churn_cmd; tracker_cmd; selfcheck_cmd ])
+         [ solve_cmd; generate_cmd; exp_cmd; exp_all_cmd; simulate_cmd;
+           stream_cmd; trees_cmd; scheme_cmd; churn_cmd; tracker_cmd;
+           selfcheck_cmd ])
   in
   (* cmdliner reports its own usage errors (unknown subcommand, bad flag
      value) as 124; the bmp contract is exit 2 for those. *)

@@ -96,6 +96,12 @@ let all =
       run = seq (fun fmt -> Jitter_resilience.print fmt);
     };
     {
+      name = "stream";
+      paper_artifact = "Title / Conclusion (large-scale streaming)";
+      description = "streaming delay and queue occupancy on optimal overlays";
+      run = (fun ?jobs fmt -> Stream_delay.print ?jobs fmt);
+    };
+    {
       name = "oneport";
       paper_artifact = "Section II-A (model motivation)";
       description = "bounded multi-port vs one-port baseline";

@@ -1,0 +1,95 @@
+type row = {
+  nodes : int;
+  chunks : int;
+  rate : float;
+  efficiency : float;
+  delay_p50 : float;  (* chunk-times behind release *)
+  delay_p99 : float;
+  startup_p99 : float;  (* chunk-times before playback can start *)
+  peak_queue : int;
+  mean_queue : float;
+}
+
+let compute ?(chunks = 256) ?(seed = 31L) ~nodes () =
+  let rng = Prng.Splitmix.create seed in
+  let inst =
+    Platform.Generator.generate
+      { Platform.Generator.total = nodes; p_open = 0.6; dist = Prng.Dist.unif100 }
+      rng
+  in
+  let rate, scheme = Broadcast.Low_degree.build_optimal inst in
+  let csr = Broadcast.Scheme.snapshot scheme in
+  let config =
+    {
+      Stream.Dataplane.default_config with
+      chunks;
+      streaming = true;
+      (* dedup off, as in E15: sliver in-arcs must not hold chunks
+         hostage, or delay tails measure the overlay's slowest edge
+         instead of the queueing dynamics. *)
+      dedup_inflight = false;
+      seed = 29L;
+    }
+  in
+  let r = Stream.Dataplane.run ~config csr ~rate in
+  (* Normalise times to chunk-times so rows with different rates
+     compare: one chunk-time = chunk_size / rate. *)
+  let ct = config.Stream.Dataplane.chunk_size /. rate in
+  {
+    nodes;
+    chunks;
+    rate;
+    efficiency = r.Stream.Dataplane.efficiency;
+    delay_p50 = r.Stream.Dataplane.delay.Stream.Dataplane.p50 /. ct;
+    delay_p99 = r.Stream.Dataplane.delay.Stream.Dataplane.p99 /. ct;
+    startup_p99 = r.Stream.Dataplane.startup.Stream.Dataplane.p99 /. ct;
+    peak_queue = r.Stream.Dataplane.peak_queue;
+    mean_queue = r.Stream.Dataplane.mean_queue;
+  }
+
+let default_nodes = [ 50; 200; 800 ]
+let default_chunks = [ 64; 256; 1024 ]
+
+let compute_grid ?jobs ?(nodes = default_nodes) ?(chunks = default_chunks) () =
+  let cells =
+    Array.of_list
+      (List.concat_map (fun n -> List.map (fun k -> (n, k)) chunks) nodes)
+  in
+  Array.to_list
+    (Parallel.Pool.map_array ?jobs cells (fun (n, k) ->
+         compute ~chunks:k ~nodes:n ()))
+
+let print ?jobs fmt =
+  Format.pp_print_string fmt
+    (Tab.section
+       "E18 (extension) - streaming delay and queue occupancy at scale");
+  let rows = compute_grid ?jobs () in
+  let cells =
+    List.map
+      (fun r ->
+        [
+          Tab.fmt "%d" r.nodes;
+          Tab.fmt "%d" r.chunks;
+          Tab.fmt "%.4f" r.efficiency;
+          Tab.fmt "%.1f" r.delay_p50;
+          Tab.fmt "%.1f" r.delay_p99;
+          Tab.fmt "%.1f" r.startup_p99;
+          Tab.fmt "%d" r.peak_queue;
+          Tab.fmt "%.2f" r.mean_queue;
+        ])
+      rows
+  in
+  Format.pp_print_string fmt
+    (Tab.render
+       ~header:
+         [
+           "nodes"; "chunks"; "efficiency"; "delay p50"; "delay p99";
+           "startup p99"; "peak q"; "mean q";
+         ]
+       cells);
+  Format.pp_print_string fmt
+    "Delays are in chunk-times (chunk_size / rate). Efficiency climbs with\n\
+     chunks while startup latency depends only on the overlay depth, and\n\
+     the delay tail grows sub-linearly in the stream length — the playout\n\
+     lag relative to the whole stream vanishes as chunks grows; queue\n\
+     backlogs stay modest at every platform size.\n"

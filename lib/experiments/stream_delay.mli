@@ -1,0 +1,35 @@
+(** Experiment E18 (extension) — streaming delay and queue occupancy.
+
+    The paper targets "large scale" platforms whose overlays serve live
+    streams; rate-only verification says nothing about what a viewer
+    experiences. This experiment runs the flat-arena streaming dataplane
+    ({!Stream.Dataplane}, streaming mode) on optimal low-degree overlays
+    across a (platform size x chunk count) grid and reports the
+    user-facing metrics: achieved efficiency, per-delivery delay
+    quantiles behind the release schedule, startup latency (first-chunk
+    wait), and per-neighbor send-queue occupancy. Expected: efficiency
+    approaches the verified rate as chunks grows, startup latency
+    depends only on the overlay, and the delay tail grows sub-linearly
+    in the stream length — the playout lag relative to the whole stream
+    vanishes as chunks grows. *)
+
+type row = {
+  nodes : int;
+  chunks : int;
+  rate : float;  (** verified broadcast rate of the overlay *)
+  efficiency : float;  (** ideal / completion *)
+  delay_p50 : float;  (** median delivery delay behind release, chunk-times *)
+  delay_p99 : float;
+  startup_p99 : float;  (** first-chunk wait, chunk-times *)
+  peak_queue : int;  (** max per-arc send-queue backlog *)
+  mean_queue : float;  (** time-averaged backlog per enabled arc *)
+}
+
+val compute : ?chunks:int -> ?seed:int64 -> nodes:int -> unit -> row
+
+val compute_grid :
+  ?jobs:int -> ?nodes:int list -> ?chunks:int list -> unit -> row list
+(** Sweeps the grid on the {!Parallel.Pool} worker domains; cell order
+    (and hence output) is independent of [jobs]. *)
+
+val print : ?jobs:int -> Format.formatter -> unit

@@ -1,10 +1,25 @@
+(* Binary min-heap ordered by (key, insertion sequence): equal keys pop
+   in FIFO order, so drain order is a strict total order independent of
+   the heap's internal layout. Simulations driven by this queue are
+   therefore comparable event-for-event with Stream.Eheap (which has the
+   same tie-breaking contract). *)
+
 type 'a t = {
   mutable keys : float array;
+  mutable seqs : int array;
   mutable values : 'a option array;
   mutable size : int;
+  mutable next_seq : int;
 }
 
-let create () = { keys = Array.make 16 0.; values = Array.make 16 None; size = 0 }
+let create () =
+  {
+    keys = Array.make 16 0.;
+    seqs = Array.make 16 0;
+    values = Array.make 16 None;
+    size = 0;
+    next_seq = 0;
+  }
 
 let is_empty q = q.size = 0
 
@@ -13,23 +28,32 @@ let size q = q.size
 let grow q =
   let cap = Array.length q.keys in
   let keys = Array.make (2 * cap) 0. in
+  let seqs = Array.make (2 * cap) 0 in
   let values = Array.make (2 * cap) None in
   Array.blit q.keys 0 keys 0 q.size;
+  Array.blit q.seqs 0 seqs 0 q.size;
   Array.blit q.values 0 values 0 q.size;
   q.keys <- keys;
+  q.seqs <- seqs;
   q.values <- values
 
+(* Earlier key first; FIFO among equal keys ([seqs] entries are unique). *)
+let before q i j =
+  q.keys.(i) < q.keys.(j) || (q.keys.(i) = q.keys.(j) && q.seqs.(i) < q.seqs.(j))
+
 let swap q i j =
-  let k = q.keys.(i) and v = q.values.(i) in
+  let k = q.keys.(i) and s = q.seqs.(i) and v = q.values.(i) in
   q.keys.(i) <- q.keys.(j);
+  q.seqs.(i) <- q.seqs.(j);
   q.values.(i) <- q.values.(j);
   q.keys.(j) <- k;
+  q.seqs.(j) <- s;
   q.values.(j) <- v
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if q.keys.(i) < q.keys.(parent) then begin
+    if before q i parent then begin
       swap q i parent;
       sift_up q parent
     end
@@ -38,8 +62,8 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && q.keys.(l) < q.keys.(!smallest) then smallest := l;
-  if r < q.size && q.keys.(r) < q.keys.(!smallest) then smallest := r;
+  if l < q.size && before q l !smallest then smallest := l;
+  if r < q.size && before q r !smallest then smallest := r;
   if !smallest <> i then begin
     swap q i !smallest;
     sift_down q !smallest
@@ -48,6 +72,8 @@ let rec sift_down q i =
 let push q key v =
   if q.size = Array.length q.keys then grow q;
   q.keys.(q.size) <- key;
+  q.seqs.(q.size) <- q.next_seq;
+  q.next_seq <- q.next_seq + 1;
   q.values.(q.size) <- Some v;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
@@ -58,6 +84,7 @@ let pop q =
     let key = q.keys.(0) and v = q.values.(0) in
     q.size <- q.size - 1;
     q.keys.(0) <- q.keys.(q.size);
+    q.seqs.(0) <- q.seqs.(q.size);
     q.values.(0) <- q.values.(q.size);
     q.values.(q.size) <- None;
     if q.size > 0 then sift_down q 0;

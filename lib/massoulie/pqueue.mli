@@ -1,9 +1,13 @@
 (** Minimal binary min-heap priority queue, keyed by float.
 
-    The discrete-event simulator needs a classic event queue: O(log n)
-    insert and extract-min, stable enough that simultaneous events pop in
-    insertion order is {e not} guaranteed (ties break arbitrarily) — the
-    simulator's results do not depend on tie order. *)
+    O(log n) insert and extract-min, {e stable}: bindings with equal
+    keys pop in insertion (FIFO) order. This makes every simulation
+    driven by the queue fully determined by its push sequence — the
+    same tie-breaking contract as the flat {!Stream.Eheap} — which is
+    what lets {!Sim} serve as an event-for-event differential oracle
+    for the streaming dataplane. (Before the dataplane existed ties
+    broke arbitrarily by heap layout; the simulators could not be
+    compared exactly.) *)
 
 type 'a t
 

@@ -48,7 +48,13 @@ let simulate ?(config = default_config) overlay ~rate =
   let nodes = Flowgraph.Graph.node_count overlay in
   let k = config.chunks in
   let rng = Prng.Splitmix.create config.seed in
-  (* Edge arena. *)
+  (* Edge arena, in canonical (src, dst) order — Graph.iter_edges order
+     depends on hashtable insertion history, and the wake-up order below
+     consumes the PRNG, so without sorting the results would depend on
+     how the overlay was constructed. Canonical order (plus the FIFO
+     tie-breaking Pqueue) makes the run a pure function of (snapshot,
+     config, rate) and lines this simulator up event-for-event with
+     Stream.Dataplane, which walks CSR rows in the same order. *)
   let edges = ref [] in
   Flowgraph.Graph.iter_edges
     (fun ~src ~dst w ->
@@ -58,9 +64,16 @@ let simulate ?(config = default_config) overlay ~rate =
         edges :=
           { src; dst; duration = config.chunk_size /. w; carrying = -1 } :: !edges)
     overlay;
-  let edges = Array.of_list !edges in
+  let edges =
+    Array.of_list
+      (List.sort
+         (fun a b -> if a.src <> b.src then compare a.src b.src else compare a.dst b.dst)
+         !edges)
+  in
   let out_edges = Array.make nodes [] in
-  Array.iteri (fun e edge -> out_edges.(edge.src) <- e :: out_edges.(edge.src)) edges;
+  for e = Array.length edges - 1 downto 0 do
+    out_edges.(edges.(e).src) <- e :: out_edges.(edges.(e).src)
+  done;
   (* Ownership: owned.(v).(c); the source's ownership in streaming mode is
      governed by the release clock. *)
   let owned = Array.init nodes (fun _ -> Bytes.make k '\000') in

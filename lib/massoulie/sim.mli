@@ -16,7 +16,23 @@
     by the broadcast algorithms (constant rate into every node, no
     contention), randomized chunk exchange actually delivers the computed
     throughput, up to startup/pipelining losses that vanish as [chunks]
-    grows. *)
+    grows.
+
+    {2 Determinism contract (differential oracle)}
+
+    A run is a pure function of the overlay's {e edge set}, the config
+    and [rate] — independent of how the overlay graph was constructed:
+    the edge arena is sorted into canonical [(src, dst)] order, idle
+    edges wake in ascending canonical order, and simultaneous events
+    pop in FIFO (insertion) order ({!Pqueue}). Under these rules the
+    simulator consumes its PRNG in exactly the same sequence as
+    {!Stream.Dataplane} run with [Oracle_reservoir] on the same frozen
+    snapshot, so the two produce {e identical} completion times,
+    per-node completions and transfer counts on identical seeds — the
+    small-n differential oracle for the flat-arena dataplane
+    (test/test_stream.ml). This module stays the readable reference
+    implementation; use {!Stream.Dataplane} for n beyond a few
+    thousand. *)
 
 type config = {
   chunks : int;  (** number of chunks, [>= 1] *)

@@ -10,16 +10,22 @@ let copy t = { state = t.state }
    implementation: two xor-shift-multiply rounds with distinct odd
    constants, which is enough to pass BigCrush when driven by a Weyl
    sequence. *)
-let mix z =
+(* The [@inline] annotations below keep the Int64 intermediates in
+   registers: without them classic ocamlopt boxes the argument and
+   result of every [mix]/[next] call, which dominates the per-event
+   allocation of the streaming dataplane's hot loop (the only
+   unavoidable box left is the [state] field write). Inlining does not
+   change the generated streams. *)
+let[@inline] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let next t =
+let[@inline] next t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let next_float t =
+let[@inline] next_float t =
   (* Top 53 bits scaled by 2^-53: uniform on [0,1) with full double
      precision granularity. *)
   let bits = Int64.shift_right_logical (next t) 11 in
@@ -27,16 +33,19 @@ let next_float t =
 
 let next_below t n =
   if n <= 0 then invalid_arg "Splitmix.next_below: n must be positive";
-  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  (* Rejection sampling on the top bits to avoid modulo bias. A while
+     loop rather than an inner recursive function: the closure the
+     latter builds to capture [t] and [n64] would be a per-call
+     allocation on the dataplane's hot path. *)
   let n64 = Int64.of_int n in
-  let rec loop () =
+  let result = ref (-1) in
+  while !result < 0 do
     let bits = Int64.shift_right_logical (next t) 1 in
     let v = Int64.rem bits n64 in
     if Int64.sub (Int64.add (Int64.sub bits v) (Int64.sub n64 1L)) bits >= 0L
-    then Int64.to_int v
-    else loop ()
-  in
-  loop ()
+    then result := Int64.to_int v
+  done;
+  !result
 
 let split t = create (next t)
 

@@ -125,7 +125,7 @@ let test_lastmile_rows () =
     r.Experiments.Lastmile_validation.throughput_true
 
 let test_registry () =
-  Alcotest.(check int) "fifteen experiments" 15 (List.length Experiments.Registry.all);
+  Alcotest.(check int) "sixteen experiments" 16 (List.length Experiments.Registry.all);
   List.iter
     (fun e ->
       match Experiments.Registry.find e.Experiments.Registry.name with

@@ -14,4 +14,4 @@ let () =
    @ Test_csr.suites @ Test_csr_differential.suites
    @ Test_parallel.suites @ Test_qcheck_properties.suites
    @ Test_scheme.suites @ Test_churn.suites @ Test_incremental_flow.suites
-   @ Test_tracker.suites @ Test_cli_bench.suites)
+   @ Test_tracker.suites @ Test_cli_bench.suites @ Test_stream.suites)

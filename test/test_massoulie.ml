@@ -78,11 +78,12 @@ let test_streaming_mode () =
 let test_dedup_off_allows_duplicates () =
   (* On an overlay with parallel paths of very different speeds, duplicates
      appear once dedup is off, and delivery still completes. *)
-  let g = G.create 3 in
+  let g = G.create 4 in
   G.add_edge g ~src:0 ~dst:1 10.;
   G.add_edge g ~src:0 ~dst:2 10.;
   G.add_edge g ~src:1 ~dst:2 0.5;
-  let config = { Sim.default_config with chunks = 100; dedup_inflight = false } in
+  G.add_edge g ~src:2 ~dst:3 10.;
+  let config = { Sim.default_config with chunks = 200; dedup_inflight = false } in
   let r = Sim.simulate ~config g ~rate:10. in
   Alcotest.(check bool) "delivered" true r.Sim.delivered_all;
   Alcotest.(check bool) "some duplicates" true (r.Sim.duplicates > 0)
