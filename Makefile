@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-tracker bench-stream bench-stream-full bench-full scheme-roundtrip churn-smoke churn-incremental tracker-smoke stream-smoke clean
+.PHONY: all build test bench bench-verify bench-sweep bench-churn bench-tracker bench-stream bench-stream-full bench-full scheme-roundtrip churn-smoke churn-incremental churn-fastpath tracker-smoke stream-smoke clean
 
 all:
 	dune build @runtest @all
@@ -93,6 +93,24 @@ churn-incremental:
 	cmp churn-incr-full.txt churn-incr-warm.txt
 	rm -f churn-incr-0001.txt churn-incr.trace.json churn-incr-full.txt churn-incr-warm.txt
 	dune exec -- bench/churn_bench.exe
+
+# Delta-scoped audit fast path, end to end through the real binary: a
+# certificate-audited replay must be byte-identical to the strict one —
+# timeline, summary (modulo the lines naming the knobs) and the final
+# scheme artifact — under both engines, with every event accepted.
+churn-fastpath:
+	dune build bin/bmp.exe
+	dune exec -- bin/bmp.exe churn run --help=plain | grep -q -- certificate
+	dune exec -- bin/bmp.exe generate -n 30 --seed 7 -o churn-fast
+	dune exec -- bin/bmp.exe churn gen-trace --events 60 --seed 9 -o churn-fast.trace.json
+	dune exec -- bin/bmp.exe churn run churn-fast-0001.txt --trace churn-fast.trace.json --timeline --audit strict --engine incremental --final-scheme churn-fast-strict.scheme.json | grep -v -e "^audit" -e "^engine" -e "^wrote" > churn-fast-strict.txt
+	dune exec -- bin/bmp.exe churn run churn-fast-0001.txt --trace churn-fast.trace.json --timeline --audit certificate:16 --engine incremental --final-scheme churn-fast-cert.scheme.json | grep -v -e "^audit" -e "^engine" -e "^wrote" > churn-fast-cert.txt
+	cmp churn-fast-strict.txt churn-fast-cert.txt
+	cmp churn-fast-strict.scheme.json churn-fast-cert.scheme.json
+	dune exec -- bin/bmp.exe churn run churn-fast-0001.txt --trace churn-fast.trace.json --timeline --audit certificate:16 --engine full --final-scheme churn-fast-cert-full.scheme.json | grep -v -e "^audit" -e "^engine" -e "^wrote" > churn-fast-cert-full.txt
+	cmp churn-fast-strict.txt churn-fast-cert-full.txt
+	cmp churn-fast-strict.scheme.json churn-fast-cert-full.scheme.json
+	rm -f churn-fast-0001.txt churn-fast.trace.json churn-fast-strict.txt churn-fast-cert.txt churn-fast-cert-full.txt churn-fast-strict.scheme.json churn-fast-cert.scheme.json churn-fast-cert-full.scheme.json
 
 # Tracker daemon, end to end through the real binary: replay the golden
 # NDJSON session (events, queries, a malformed line, shutdown) twice in

@@ -6,7 +6,7 @@
    auditor is an observer, not an actor), and appends the timings to
    BENCH_churn.json.
 
-   Two gates:
+   Three gates:
 
    - auditing must not cost more than 3x the unaudited replay — the
      auditor's per-event work is O(V + E) array scans against a repair
@@ -15,7 +15,12 @@
    - warm-start flow maintenance (Maxflow.Incremental) must beat a
      from-scratch min-over-sinks solve by at least 5x per single-node
      event once n >= 10000 — below that the incremental machinery is not
-     paying for its bookkeeping.
+     paying for its bookkeeping;
+   - the delta-scoped Certificate audit (warm engine + delta-scoped
+     re-checks, the tracker's serving fast path) must beat the Strict
+     per-event audit cost by at least 10x once n >= 10000 — the
+     sublinear-per-event claim of the certificate design, measured end
+     to end through Engine.run.
 
    Run with `make bench-churn` or `dune exec -- bench/churn_bench.exe`. *)
 
@@ -39,6 +44,15 @@ type row = {
   full_recompute_s : float;  (** from-scratch solve on the same snapshots *)
   speedup : float;  (** [full_recompute_s /. incremental_s] *)
   agree : bool;  (** warm and from-scratch values matched on every event *)
+  delta_audit_s : float;
+      (** per-event cost of the certificate fast path on top of the
+          unaudited replay (warm engine + delta-scoped audit) *)
+  strict_audit_s : float;  (** per-event cost of the Strict audit *)
+  delta_audit_speedup : float;  (** [strict_audit_s /. delta_audit_s] *)
+  minor_words_per_event : float;
+      (** minor-heap words the unaudited replay allocates per event *)
+  major_collections : int;
+      (** major GC cycles over the measured unaudited replay *)
 }
 
 let setup ~nodes ~events =
@@ -114,11 +128,43 @@ let microbench ~nodes =
   let per x = x /. float_of_int single_node_deltas in
   (per incremental_s, per full_recompute_s, agree)
 
+(* Per-event Strict audit cost, measured through the real engine on a
+   short trace prefix — at n = 10^4 a Strict audit is a from-scratch
+   max-flow per event (seconds), so timing it on the full trace would
+   dominate the whole benchmark for no extra signal. *)
+let strict_probe_events = 12
+
+let strict_audit_cost ~nodes =
+  let overlay, trace = setup ~nodes ~events:strict_probe_events in
+  let run audit =
+    Churn.Engine.run ~policy:Churn.Policy.Always_patch ~audit overlay trace
+  in
+  let off_s, _ = time (fun () -> run Churn.Audit.Off) in
+  let strict_s, _ = time (fun () -> run Churn.Audit.Strict) in
+  Float.max ((strict_s -. off_s) /. float_of_int strict_probe_events) 1e-9
+
 let bench ~nodes ~events =
   let overlay, trace = setup ~nodes ~events in
-  let run audit = Churn.Engine.run ~policy:Churn.Policy.Always_patch ~audit overlay trace in
-  let unaudited_s, r_off = time (fun () -> run Churn.Audit.Off) in
+  let run ?engine audit =
+    Churn.Engine.run ~policy:Churn.Policy.Always_patch ~audit ?engine overlay
+      trace
+  in
+  let r_off, gc = Bench_util.time_gc (fun () -> run Churn.Audit.Off) in
+  let unaudited_s = gc.Bench_util.seconds in
   let audited_s, r_chk = time (fun () -> run Churn.Audit.Check) in
+  (* The serving fast path end to end: warm incremental engine plus the
+     delta-scoped Certificate audit (no backstop, so the timing is the
+     pure fast path). Its replay must stay byte-identical — the audit
+     level and the engine are observers, never actors. *)
+  let cert_s, r_cert =
+    time (fun () ->
+        run ~engine:Churn.Audit.Incremental
+          (Churn.Audit.Certificate { strict_every = 0 }))
+  in
+  let delta_audit_s =
+    Float.max ((cert_s -. unaudited_s) /. float_of_int events) 1e-9
+  in
+  let strict_audit_s = strict_audit_cost ~nodes in
   let incremental_s, full_recompute_s, agree = microbench ~nodes in
   {
     nodes;
@@ -127,11 +173,19 @@ let bench ~nodes ~events =
     audited_s;
     events_per_s = float_of_int events /. unaudited_s;
     overhead = audited_s /. unaudited_s;
-    identical = String.equal (fingerprint r_off) (fingerprint r_chk);
+    identical =
+      String.equal (fingerprint r_off) (fingerprint r_chk)
+      && String.equal (fingerprint r_off) (fingerprint r_cert);
     incremental_s;
     full_recompute_s;
     speedup = full_recompute_s /. incremental_s;
     agree;
+    delta_audit_s;
+    strict_audit_s;
+    delta_audit_speedup = strict_audit_s /. delta_audit_s;
+    minor_words_per_event =
+      gc.Bench_util.minor_words_per_call /. float_of_int events;
+    major_collections = gc.Bench_util.major_collections;
   }
 
 let emit_json rows path =
@@ -141,6 +195,8 @@ let emit_json rows path =
   p "  \"gate_overhead_max\": 3.0,\n";
   p "  \"gate_incremental_speedup_min\": 5.0,\n";
   p "  \"gate_incremental_speedup_nodes\": 10000,\n";
+  p "  \"gate_delta_audit_speedup_min\": 10.0,\n";
+  p "  \"gate_delta_audit_speedup_nodes\": 10000,\n";
   p "  \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -149,9 +205,14 @@ let emit_json rows path =
          \"audited_s\": %.6e,\n\
         \     \"events_per_s\": %.1f, \"overhead\": %.2f, \"identical\": %b,\n\
         \     \"incremental_s\": %.6e, \"full_recompute_s\": %.6e, \
-         \"speedup\": %.1f, \"agree\": %b}%s\n"
+         \"speedup\": %.1f, \"agree\": %b,\n\
+        \     \"delta_audit_s\": %.6e, \"strict_audit_s\": %.6e, \
+         \"delta_audit_speedup\": %.1f,\n\
+        \     \"minor_words_per_event\": %.1f, \"major_collections\": %d}%s\n"
         r.nodes r.events r.unaudited_s r.audited_s r.events_per_s r.overhead
         r.identical r.incremental_s r.full_recompute_s r.speedup r.agree
+        r.delta_audit_s r.strict_audit_s r.delta_audit_speedup
+        r.minor_words_per_event r.major_collections
         (if i = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n}\n";
@@ -166,14 +227,20 @@ let () =
       bench ~nodes:10000 ~events:30;
     ]
   in
-  Printf.printf "%-7s %-7s %12s %12s %10s %9s %10s %12s %12s %8s\n" "nodes"
-    "events" "unaudited/s" "audited/s" "events/s" "overhead" "identical"
-    "incr/ev" "full/ev" "speedup";
+  Printf.printf
+    "%-7s %-7s %12s %12s %10s %9s %10s %12s %12s %8s %12s %12s %9s %12s %6s\n"
+    "nodes" "events" "unaudited/s" "audited/s" "events/s" "overhead"
+    "identical" "incr/ev" "full/ev" "speedup" "delta-aud/ev" "strict-aud/ev"
+    "aud-spdup" "minorw/ev" "majgc";
   List.iter
     (fun r ->
-      Printf.printf "%-7d %-7d %12.3f %12.3f %10.1f %9.2f %10b %12.6f %12.6f %8.1f\n"
+      Printf.printf
+        "%-7d %-7d %12.3f %12.3f %10.1f %9.2f %10b %12.6f %12.6f %8.1f \
+         %12.6f %12.6f %9.1f %12.1f %6d\n"
         r.nodes r.events r.unaudited_s r.audited_s r.events_per_s r.overhead
-        r.identical r.incremental_s r.full_recompute_s r.speedup)
+        r.identical r.incremental_s r.full_recompute_s r.speedup
+        r.delta_audit_s r.strict_audit_s r.delta_audit_speedup
+        r.minor_words_per_event r.major_collections)
     rows;
   emit_json rows "BENCH_churn.json";
   print_endline "wrote BENCH_churn.json";
@@ -212,5 +279,17 @@ let () =
           "FAIL: incremental speedup %.1fx < 5x for single-node events at n=%d\n"
           r.speedup r.nodes)
       lagging;
+    exit 1
+  end;
+  let audit_lagging =
+    List.filter (fun r -> r.nodes >= 10000 && r.delta_audit_speedup < 10.0) rows
+  in
+  if audit_lagging <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.printf
+          "FAIL: certificate audit speedup %.1fx < 10x over strict at n=%d\n"
+          r.delta_audit_speedup r.nodes)
+      audit_lagging;
     exit 1
   end

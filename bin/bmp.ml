@@ -647,13 +647,28 @@ let rebuild_headroom_arg =
            ~doc:"Policy-ordered rebuilds target H times the optimum (spare \
                  capacity for later patches).")
 
+let audit_conv =
+  let parse s =
+    match Churn.Audit.of_name s with
+    | Some l -> Ok l
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown audit level %S (off|on|check|strict|certificate[:K])" s))
+  in
+  Arg.conv
+    (parse, fun ppf l -> Format.pp_print_string ppf (Churn.Audit.level_name l))
+
 let audit_arg =
-  Arg.(value
-       & opt (enum [ ("off", Churn.Audit.Off); ("on", Churn.Audit.Check);
-                     ("strict", Churn.Audit.Strict) ])
-           Churn.Audit.Check
-       & info [ "audit" ] ~doc:"Invariant auditing: off, on (default) or strict \
-                                (adds the max-flow cross-check).")
+  Arg.(value & opt audit_conv Churn.Audit.Check
+       & info [ "audit" ]
+           ~doc:"Invariant auditing: $(b,off), $(b,on) (default: the full \
+                 per-event scan), $(b,strict) (adds the max-flow \
+                 cross-check) or $(b,certificate[:K]) (delta-scoped fast \
+                 path re-checking only what each event disturbed, with a \
+                 full strict audit every K events as a backstop; default \
+                 K = 64, 0 = never). Never changes the replay's results.")
 
 let engine_conv =
   let parse s =
@@ -904,14 +919,26 @@ let tracker_serve_cmd =
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 1;
       Printf.eprintf "tracker: listening on %s\n%!" path;
-      (match Unix.accept sock with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-        () (* interrupted while waiting for a client: clean exit *)
-      | conn, _ ->
-        let out = Unix.out_channel_of_descr conn in
-        serve conn out;
-        (try flush out with Sys_error _ -> ());
-        (try Unix.close conn with Unix.Unix_error _ -> ()));
+      (* Sequential multi-client: when a client disconnects, the daemon
+         accepts the next one against the same live session, so scheme
+         state and sequence numbering persist across connections. Only a
+         shutdown request or a signal ends the loop. *)
+      let accept () =
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          None (* interrupted while waiting for a client: clean exit *)
+        | conn, _ ->
+          let out = Unix.out_channel_of_descr conn in
+          Some
+            ( conn,
+              out,
+              fun () ->
+                (try flush out with Sys_error _ -> ());
+                (try Unix.close conn with Unix.Unix_error _ -> ()) )
+      in
+      Tracker.Daemon.serve_loop ~window_s:(window_ms /. 1000.)
+        ~stop:(fun () -> !stopping)
+        session ~accept;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       (try Unix.unlink path with Unix.Unix_error _ -> ()));
     (* Final snapshots; stdout stays pure NDJSON, reporting goes to

@@ -2,6 +2,15 @@ open Platform
 module G = Flowgraph.Graph
 module Csr = Flowgraph.Csr
 
+type delta = {
+  full : bool;
+  identity : bool;
+  touched : int array;
+  added : (int * int) array;
+  removed : (int * int) array;
+  reweighted : (int * int) array;
+}
+
 type stats = {
   patch_edges : int;
   rebuild_edges : int;
@@ -9,7 +18,66 @@ type stats = {
   optimal_after : float;
   starved : int list;
   node_map : int array;
+  delta : delta;
 }
+
+let full_delta =
+  {
+    full = true;
+    identity = false;
+    touched = [||];
+    added = [||];
+    removed = [||];
+    reweighted = [||];
+  }
+
+(* Mutable edge-modification log threaded through the repair primitives;
+   folded into the structured [delta] once the operation commits. *)
+type log = {
+  mutable l_added : (int * int) list;  (* post-event ids *)
+  mutable l_reweighted : (int * int) list;  (* post-event ids *)
+  mutable l_removed : (int * int) list;  (* pre-event ids *)
+  mutable l_nodes : int list;  (* post-event ids touched beyond edges *)
+}
+
+let new_log () =
+  { l_added = []; l_reweighted = []; l_removed = []; l_nodes = [] }
+
+let delta_of ~map log =
+  let identity = ref true in
+  Array.iteri (fun i v -> if v <> i then identity := false) map;
+  let tbl = Hashtbl.create 16 in
+  let touch v = if v >= 0 then Hashtbl.replace tbl v () in
+  List.iter touch log.l_nodes;
+  List.iter
+    (fun (u, v) ->
+      touch u;
+      touch v)
+    log.l_added;
+  List.iter
+    (fun (u, v) ->
+      touch u;
+      touch v)
+    log.l_reweighted;
+  (* Removed edges are logged in pre-event ids: the surviving endpoints
+     are what the repaired overlay still has to answer for. *)
+  List.iter
+    (fun (u, v) ->
+      touch map.(u);
+      touch map.(v))
+    log.l_removed;
+  let touched =
+    Array.of_list
+      (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []))
+  in
+  {
+    full = false;
+    identity = !identity;
+    touched;
+    added = Array.of_list (List.sort_uniq compare log.l_added);
+    removed = Array.of_list (List.sort_uniq compare log.l_removed);
+    reweighted = Array.of_list (List.sort_uniq compare log.l_reweighted);
+  }
 
 (* Provenance of a patched scheme: the original algorithm wrapped once in
    [Repaired] — repairs of repairs keep a single layer of wrapping. The
@@ -22,8 +90,18 @@ let repaired_provenance o =
   in
   { Scheme.algorithm; rate = p.Scheme.rate; degree_bound = None }
 
-let patched_overlay_of o ~inst ~graph ~order =
-  let scheme = Scheme.create ~provenance:(repaired_provenance o) inst graph in
+let patched_overlay_of o ~inst ~graph ~order ~delta =
+  let provenance = repaired_provenance o in
+  let scheme =
+    (* Identity fast case: no renumbering happened, so the base scheme's
+       frozen snapshot stays warm — only the touched rows are re-frozen
+       and re-validated. Renumbering repairs (and rebuilds) fall back to
+       the full constructor. *)
+    if delta.identity && not delta.full then
+      Scheme.apply_delta ~base:(Overlay.scheme o) ~provenance inst
+        ~rows:delta.touched graph
+    else Scheme.create ~provenance inst graph
+  in
   Overlay.of_scheme scheme ~order
 
 let remap_graph old_graph ~size ~map ~keep =
@@ -36,7 +114,7 @@ let remap_graph old_graph ~size ~map ~keep =
 
 (* Fill [deficit] units into [r] from nodes placed before it, spare-capacity
    only, conservative class preference; returns the unfilled remainder. *)
-let refill inst graph ~pos ~r ~deficit ~cut =
+let refill inst graph ~log ~pos ~r ~deficit ~cut =
   let b = inst.Instance.bandwidth in
   let senders_of_class want_guarded =
     let all = ref [] in
@@ -55,6 +133,9 @@ let refill inst graph ~pos ~r ~deficit ~cut =
         if remaining <= cut then remaining
         else begin
           let amount = Float.min spare remaining in
+          if G.edge_weight graph ~src:u ~dst:r > 0. then
+            log.l_reweighted <- (u, r) :: log.l_reweighted
+          else log.l_added <- (u, r) :: log.l_added;
           G.add_edge graph ~src:u ~dst:r amount;
           remaining -. amount
         end)
@@ -68,7 +149,7 @@ let refill inst graph ~pos ~r ~deficit ~cut =
 
 (* Refill every reception deficit in topological order, so earlier repairs
    can rely on upstream nodes being whole again. *)
-let refill_all inst graph ~order ~rate =
+let refill_all inst graph ~log ~order ~rate =
   let pos = Array.make (Array.length order) 0 in
   Array.iteri (fun i v -> pos.(v) <- i) order;
   let cut = 1e-7 *. rate in
@@ -76,7 +157,8 @@ let refill_all inst graph ~order ~rate =
     (fun r ->
       if r <> 0 then begin
         let deficit = rate -. G.in_weight graph r in
-        if deficit > cut then ignore (refill inst graph ~pos ~r ~deficit ~cut)
+        if deficit > cut then
+          ignore (refill inst graph ~log ~pos ~r ~deficit ~cut)
       end)
     order
 
@@ -92,7 +174,7 @@ let starved_of scheme =
   done;
   !starved
 
-let finish ~before_projected ~touched ~node_map patched =
+let finish ~before_projected ~touched ~node_map ~delta patched =
   let patch_edges =
     touched + Overlay.edge_distance before_projected (Overlay.graph patched)
   in
@@ -115,6 +197,7 @@ let finish ~before_projected ~touched ~node_map patched =
         optimal_after = Overlay.rate rebuilt;
         starved;
         node_map;
+        delta;
       }
     | exception Invalid_argument _ ->
       {
@@ -124,6 +207,7 @@ let finish ~before_projected ~touched ~node_map patched =
         optimal_after = 0.;
         starved;
         node_map;
+        delta;
       }
   in
   (patched, stats)
@@ -170,19 +254,25 @@ let remove_nodes o ~nodes ~op =
       |> List.map (fun v -> map.(v)))
   in
   let old_graph = Overlay.graph o in
+  let log = new_log () in
   (* Every connection incident to a casualty is churn the survivors pay. *)
   let touched = ref 0 in
   G.iter_edges
-    (fun ~src ~dst _w -> if drop.(src) || drop.(dst) then incr touched)
+    (fun ~src ~dst _w ->
+      if drop.(src) || drop.(dst) then begin
+        incr touched;
+        log.l_removed <- (src, dst) :: log.l_removed
+      end)
     old_graph;
   let graph =
     remap_graph old_graph ~size:(size - k) ~map:(fun v -> map.(v))
       ~keep:(fun v -> not drop.(v))
   in
   let before_projected = G.copy graph in
-  refill_all new_inst graph ~order ~rate:(Overlay.rate o);
-  finish ~before_projected ~touched:!touched ~node_map:map
-    (patched_overlay_of o ~inst:new_inst ~graph ~order)
+  refill_all new_inst graph ~log ~order ~rate:(Overlay.rate o);
+  let delta = delta_of ~map log in
+  finish ~before_projected ~touched:!touched ~node_map:map ~delta
+    (patched_overlay_of o ~inst:new_inst ~graph ~order ~delta)
 
 let leave o ~node = remove_nodes o ~nodes:[ node ] ~op:"Repair.leave"
 
@@ -224,11 +314,14 @@ let join o ~bandwidth ~cls =
   Array.iteri (fun i v -> pos.(v) <- i) order;
   let rate = Overlay.rate o in
   let cut = 1e-7 *. rate in
+  let log = new_log () in
+  log.l_nodes <- [ p ];
   (* On a saturated overlay this fills nothing: the newcomer is admitted
      at rate 0 and lands in [stats.starved] — never an exception. *)
-  ignore (refill new_inst graph ~pos ~r:p ~deficit:rate ~cut);
-  finish ~before_projected ~touched:0 ~node_map:(Array.init size map)
-    (patched_overlay_of o ~inst:new_inst ~graph ~order)
+  ignore (refill new_inst graph ~log ~pos ~r:p ~deficit:rate ~cut);
+  let delta = delta_of ~map:(Array.init size map) log in
+  finish ~before_projected ~touched:0 ~node_map:(Array.init size map) ~delta
+    (patched_overlay_of o ~inst:new_inst ~graph ~order ~delta)
 
 (* Bandwidth change without membership change: move the node to its sorted
    position within its class (a label permutation — the topology and the
@@ -266,14 +359,25 @@ let set_bandwidth o ~node ~bandwidth ~op =
     Instance.create ~bandwidth:bandwidth_sorted ~n:inst.Instance.n
       ~m:inst.Instance.m ()
   in
+  let identity = Array.for_all2 ( = ) map (Array.init size (fun v -> v)) in
   let graph =
-    remap_graph (Overlay.graph o) ~size ~map:(fun v -> map.(v))
-      ~keep:(fun _ -> true)
+    (* Identity fast case: the class re-sort kept every node in place, so
+       the fresh copy [Overlay.graph] hands out already carries the
+       post-event numbering — no hashtable remap pass. *)
+    if identity then Overlay.graph o
+    else
+      remap_graph (Overlay.graph o) ~size ~map:(fun v -> map.(v))
+        ~keep:(fun _ -> true)
   in
   let before_projected = G.copy graph in
   let node' = map.(node) in
+  let log = new_log () in
+  log.l_nodes <- [ node' ];
   let out = G.out_weight graph node' in
-  if out > bandwidth then
+  if out > bandwidth then begin
+    List.iter
+      (fun (dst, _w) -> log.l_reweighted <- (node', dst) :: log.l_reweighted)
+      (G.out_edges graph node');
     if bandwidth <= 0. then
       List.iter
         (fun (dst, _w) -> G.set_edge graph ~src:node' ~dst 0.)
@@ -283,11 +387,16 @@ let set_bandwidth o ~node ~bandwidth ~op =
       List.iter
         (fun (dst, w) -> G.set_edge graph ~src:node' ~dst (w *. s))
         (G.out_edges graph node')
-    end;
-  let order = Array.map (fun v -> map.(v)) (Overlay.order o) in
-  refill_all new_inst graph ~order ~rate:(Overlay.rate o);
-  finish ~before_projected ~touched:0 ~node_map:map
-    (patched_overlay_of o ~inst:new_inst ~graph ~order)
+    end
+  end;
+  let order =
+    if identity then Array.copy (Overlay.order o)
+    else Array.map (fun v -> map.(v)) (Overlay.order o)
+  in
+  refill_all new_inst graph ~log ~order ~rate:(Overlay.rate o);
+  let delta = delta_of ~map log in
+  finish ~before_projected ~touched:0 ~node_map:map ~delta
+    (patched_overlay_of o ~inst:new_inst ~graph ~order ~delta)
 
 let degrade o ~node ~bandwidth =
   let inst = Overlay.instance o in
@@ -325,4 +434,5 @@ let rebuild ?headroom o =
       optimal_after;
       starved = starved_of (Overlay.scheme rebuilt);
       node_map = Array.init (Instance.size inst) (fun v -> v);
+      delta = full_delta;
     } )

@@ -33,6 +33,42 @@
     fault-injection engine ({!Churn.Engine}) measure exactly this gap and
     the throughput cost of patching versus rebuilding. *)
 
+type delta = {
+  full : bool;
+      (** the whole overlay may have changed ({!rebuild}); consumers must
+          fall back to full scans and ignore the other fields *)
+  identity : bool;
+      (** [node_map] is the identity — no renumbering happened, so node
+          ids (and any id-keyed consumer state) are stable across the
+          event; newly admitted nodes, if any, are appended at the end.
+          Meaningful only when [full] is [false]. This is the fast case
+          that lets {!Scheme.apply_delta} keep the frozen snapshot warm:
+          a guarded join landing last in its class, or a
+          degrade/restore whose class re-sort is a no-op. *)
+  touched : int array;
+      (** post-event ids of every node whose bandwidth or incident edge
+          set changed, sorted ascending — renaming alone does not touch
+          a node. The certificate-trusting auditor re-checks exactly
+          these rows. *)
+  added : (int * int) array;
+      (** edges created by the repair (post-event ids, sorted) *)
+  removed : (int * int) array;
+      (** edges that vanished with a departure (pre-event ids, sorted);
+          edges clamped to zero by a degrade appear in [reweighted]
+          instead *)
+  reweighted : (int * int) array;
+      (** edges whose weight changed (post-event ids, sorted) *)
+}
+(** Structured account of what an operation disturbed — the contract that
+    lets downstream layers (snapshot patching, the churn auditor's
+    certificate level, warm flow maintenance) do O(touched) work per
+    event instead of rescanning O(V+E) state. *)
+
+val full_delta : delta
+(** The everything-may-have-changed delta ([full = true], empty edge
+    lists) — what {!rebuild} reports, and the conservative default for
+    consumers handed no repair stats. *)
+
 type stats = {
   patch_edges : int;  (** edge changes performed by the local repair *)
   rebuild_edges : int;
@@ -55,6 +91,9 @@ type stats = {
           {!Flowgraph.Maxflow.Incremental} behind the churn engine's
           incremental audit — use this map to carry state across the
           event. Identity for {!rebuild}. *)
+  delta : delta;
+      (** what the event disturbed, for delta-scoped consumers; a
+          {!rebuild} reports [delta.full = true] *)
 }
 
 val leave : Overlay.t -> node:int -> Overlay.t * stats

@@ -60,6 +60,38 @@ let create ?(eps = Util.eps) ~provenance inst g =
      [bin_ok = false] in the memoized report, like in [Verify.check]. *)
   { instance = inst; snapshot = snap; provenance; graph = None; report = None }
 
+let apply_delta ?(eps = Util.eps) ~base ~provenance inst ~rows g =
+  let size = Instance.size inst in
+  let base_size = Instance.size base.instance in
+  if G.node_count g <> size then
+    invalid_arg "Scheme.apply_delta: graph node count does not match the instance";
+  if size < base_size then
+    invalid_arg "Scheme.apply_delta: instance may not shrink";
+  if not (Instance.sorted inst) then
+    invalid_arg "Scheme.apply_delta: instance must be sorted";
+  if not (Float.is_finite provenance.rate && provenance.rate > 0.) then
+    invalid_arg "Scheme.apply_delta: target rate must be finite and positive";
+  let edges =
+    Array.map
+      (fun r ->
+        if r < 0 || r >= size then
+          invalid_arg "Scheme.apply_delta: row out of range";
+        G.out_edges g r
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+        |> Array.of_list)
+      rows
+  in
+  (* Re-freeze only the disturbed rows; everything else is blitted from
+     the base snapshot, bit for bit. *)
+  let snap = Csr.patch_rows ~n:size base.snapshot ~rows ~edges in
+  (* Delta-scoped re-validation: the base artifact's constructor already
+     certified the untouched rows, and the caller guarantees [rows]
+     covers every node whose out-edges or bandwidth changed. *)
+  (match Verify.row_violation ~eps inst snap ~rows with
+  | Some msg -> invalid_arg ("Scheme.apply_delta: " ^ msg)
+  | None -> ());
+  { instance = inst; snapshot = snap; provenance; graph = None; report = None }
+
 let instance s = s.instance
 
 let graph s =

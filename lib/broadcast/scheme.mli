@@ -77,6 +77,37 @@ val create :
     otherwise. The edge set is frozen into a CSR snapshot before [create]
     returns, so later mutation of [g] cannot reach the artifact. *)
 
+val apply_delta :
+  ?eps:float ->
+  base:t ->
+  provenance:provenance ->
+  Platform.Instance.t ->
+  rows:int array ->
+  Flowgraph.Graph.t ->
+  t
+(** [apply_delta ~base ~provenance inst ~rows g] — the delta-scoped
+    constructor behind the churn fast path. Builds a scheme for [g] (the
+    full post-event edge set) by {e patching} [base]'s frozen snapshot:
+    only the successor rows listed in [rows] are re-read from [g] and
+    re-frozen ({!Flowgraph.Csr.patch_rows}); every other row is blitted
+    from the warm base snapshot, so the result is bit-for-bit identical
+    to [create ~provenance inst g] at a fraction of the cost — no edge
+    sort, no hashtable iteration, no full re-validation.
+
+    The caller contracts that, relative to [base]:
+    - node ids are stable ([Repair]'s identity-[node_map] fast case);
+      [inst] may only append nodes, and every appended node appears in
+      [rows];
+    - [rows] (sorted ascending) covers every node whose out-edges or
+      bandwidth changed — untouched rows of [g] must equal the base
+      snapshot's.
+
+    Validation is delta-scoped ({!Verify.row_violation}): bandwidth and
+    firewall are re-checked on [rows] only; the base artifact certifies
+    the rest. Raises [Invalid_argument] on a violated contract it can
+    see (count mismatch, unsorted instance, bad rate, a disturbed row
+    breaking an invariant). *)
+
 val instance : t -> Platform.Instance.t
 val graph : t -> Flowgraph.Graph.t
 (** The rated edge set as a mutable-API graph, materialized from the

@@ -48,6 +48,46 @@ let structural ?(eps = Util.eps) inst c =
   in
   (!bandwidth_ok, !firewall_ok, bin_ok)
 
+(* Delta-scoped structural pass: bandwidth and firewall on the given rows
+   (and download caps on those nodes when [bin] is set) — nothing else is
+   read. Certificate-trusting consumers ([Scheme.apply_delta], the
+   [Churn.Audit] certificate level) check just the disturbed region and
+   rely on the base artifact's constructor for the rest. *)
+let row_violation ?(eps = Util.eps) ?(bin = false) inst c ~rows =
+  let size = Instance.size inst in
+  if Csr.node_count c <> size then
+    invalid_arg "Verify.row_violation: node count mismatch";
+  let b = inst.Instance.bandwidth in
+  let bad = ref None in
+  let set msg = if !bad = None then bad := Some msg in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= size then
+        invalid_arg "Verify.row_violation: row out of range";
+      if not (Util.fle ~eps (Csr.out_weight c i) b.(i)) then
+        set
+          (Printf.sprintf "node %d exceeds its bandwidth (%g > %g)" i
+             (Csr.out_weight c i) b.(i));
+      (if bin then
+         match inst.Instance.bin with
+         | Some caps when not (Util.fle ~eps (Csr.in_weight c i) caps.(i)) ->
+           set
+             (Printf.sprintf "node %d exceeds its download cap (%g > %g)" i
+                (Csr.in_weight c i) caps.(i))
+         | _ -> ());
+      if Instance.is_guarded inst i then
+        for e = c.Csr.row_off.(i) to c.Csr.row_off.(i + 1) - 1 do
+          let dst = c.Csr.col.(e) in
+          if Instance.is_guarded inst dst then
+            set
+              (Printf.sprintf
+                 "guarded-to-guarded edge C%d -> C%d violates the firewall \
+                  constraint"
+                 i dst)
+        done)
+    rows;
+  !bad
+
 let throughput g =
   if Flowgraph.Graph.node_count g <= 1 then infinity
   else Flowgraph.Maxflow.broadcast_throughput g ~src:0

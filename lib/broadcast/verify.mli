@@ -46,6 +46,24 @@ val flow_slack : float -> float
     churn audits, the incremental-vs-from-scratch cross-check — uses
     this same relative slack. *)
 
+val row_violation :
+  ?eps:float ->
+  ?bin:bool ->
+  Platform.Instance.t ->
+  Flowgraph.Csr.t ->
+  rows:int array ->
+  string option
+(** [row_violation inst c ~rows] is the delta-scoped structural pass:
+    bandwidth caps and the guarded-to-guarded firewall checked on the
+    listed rows only (and their download caps when [bin] is [true];
+    default [false], matching the [Scheme.create] invariant set), with
+    everything else trusted. [Some msg] describes the first violation
+    found, [None] means the disturbed region is clean. Cost is
+    [O(sum of row degrees)] — the certificate-trusting fast path used by
+    [Scheme.apply_delta] and the churn auditor's certificate level.
+    Raises [Invalid_argument] on a node-count mismatch or an
+    out-of-range row. *)
+
 val check : ?eps:float -> Platform.Instance.t -> Flowgraph.Graph.t -> report
 (** [check inst g] evaluates all properties. [eps] is the constraint
     tolerance (default {!Util.eps}), applied relatively. The graph must

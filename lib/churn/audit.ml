@@ -4,9 +4,29 @@ module Csr = Flowgraph.Csr
 
 exception Violation of { index : int; what : string }
 
-type level = Off | Check | Strict
+type level = Off | Check | Strict | Certificate of { strict_every : int }
 
-let level_name = function Off -> "off" | Check -> "check" | Strict -> "strict"
+let default_backstop = 64
+
+let level_name = function
+  | Off -> "off"
+  | Check -> "check"
+  | Strict -> "strict"
+  | Certificate { strict_every } -> Printf.sprintf "certificate:%d" strict_every
+
+let of_name = function
+  | "off" -> Some Off
+  | "check" | "on" -> Some Check
+  | "strict" -> Some Strict
+  | "certificate" -> Some (Certificate { strict_every = default_backstop })
+  | name ->
+    let prefix = "certificate:" in
+    let pl = String.length prefix in
+    if String.length name > pl && String.sub name 0 pl = prefix then
+      match int_of_string_opt (String.sub name pl (String.length name - pl)) with
+      | Some k when k >= 0 -> Some (Certificate { strict_every = k })
+      | _ -> None
+    else None
 
 type engine = Full | Incremental
 
@@ -126,6 +146,107 @@ let check_rate level index ?stats ?flow o =
           warm full
   end
 
+(* Certificate-trusting fast path: the base overlay passed its audit at
+   the previous event (or the Strict backstop), the repair names exactly
+   what it disturbed, and the warm incremental flow is the rate witness —
+   so only the disturbed region is re-checked. Order sanity stays O(n)
+   int passes; everything else is O(sum of touched degrees). *)
+let check_certificate index ?stats:(s : Repair.stats option) ?flow o =
+  let scheme = Overlay.scheme o in
+  let inst = Scheme.instance scheme in
+  let csr = Scheme.snapshot scheme in
+  let n = Scheme.size scheme in
+  let order = Overlay.order o in
+  if Array.length order <> n then
+    fail index "order length %d, %d nodes" (Array.length order) n;
+  if n > 0 && order.(0) <> 0 then
+    fail index "order does not start at the source (order.(0) = %d)" order.(0);
+  let pos = Array.make (max 1 n) (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n then fail index "order mentions out-of-range node %d" v;
+      if pos.(v) >= 0 then fail index "order mentions node %d twice" v;
+      pos.(v) <- i)
+    order;
+  let delta =
+    match s with Some s -> s.Repair.delta | None -> Repair.full_delta
+  in
+  (* Delta-scoped structure: caps, firewall and order-forwardness on the
+     touched rows only. Untouched edges kept their (renamed) endpoints
+     and their forward positions — that is the certificate. *)
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        fail index "delta names out-of-range node %d" v;
+      let out = Csr.out_weight csr v in
+      let b = inst.Instance.bandwidth.(v) in
+      if not (Util.fle out b) then
+        fail index "node %d uploads %.12g over its bandwidth %.12g" v out b;
+      (match inst.Instance.bin with
+      | Some bin when v > 0 ->
+        let w = Csr.in_weight csr v in
+        if not (Util.fle w bin.(v)) then
+          fail index "node %d receives %.12g over its incoming cap %.12g" v w
+            bin.(v)
+      | _ -> ());
+      let guarded = Instance.is_guarded inst v in
+      for e = csr.Csr.row_off.(v) to csr.Csr.row_off.(v + 1) - 1 do
+        let dst = csr.Csr.col.(e) in
+        if pos.(v) >= pos.(dst) then
+          fail index "edge %d -> %d goes backward in the topological order" v
+            dst;
+        if guarded && Instance.is_guarded inst dst then
+          fail index "firewall violation: guarded %d sends to guarded %d" v dst
+      done)
+    delta.Repair.touched;
+  (* Rate: trust the warm flow as the witness instead of rescanning the
+     cut — O(1) comparisons against the memoized report and the repair's
+     claim. *)
+  let reported = Overlay.verified_rate o in
+  (match s with
+  | None -> ()
+  | Some s ->
+    if Float.is_finite reported || Float.is_finite s.Repair.rate_after then
+      if Float.abs (reported -. s.Repair.rate_after) > slack reported then
+        fail index
+          "repair reported rate_after %.12g but the overlay carries %.12g"
+          s.Repair.rate_after reported);
+  match flow with
+  | None -> ()
+  | Some inc ->
+    let module I = Flowgraph.Maxflow.Incremental in
+    if I.size inc <> n then
+      fail index "incremental state tracks %d nodes, overlay has %d"
+        (I.size inc) n;
+    let warm = I.value inc in
+    if Float.is_finite reported || Float.is_finite warm then
+      if Float.abs (reported -. warm) > slack reported then
+        fail index
+          "incremental warm value %.12g disagrees with the memoized report \
+           %.12g"
+          warm reported;
+    (* Flow conservation on the disturbed nodes: the drain sweeps leave
+       at most 1e-9 imbalance per event, so the accumulated bound grows
+       with the trace position. *)
+    if I.is_warm inc && Float.is_finite warm then begin
+      let sink = I.critical_sink inc in
+      let tol =
+        Float.max (slack warm) (float_of_int (index + 1) *. 1e-9)
+      in
+      Array.iter
+        (fun v ->
+          let balance = I.node_balance inc ~node:v in
+          let expected =
+            if v = 0 then -.warm else if v = sink then warm else 0.
+          in
+          if Float.abs (balance -. expected) > tol then
+            fail index
+              "warm flow is not conserved at node %d (balance %.12g, \
+               expected %.12g)"
+              v balance expected)
+        delta.Repair.touched
+    end
+
 let check level ~index ?stats ?flow o =
   match level with
   | Off -> ()
@@ -133,3 +254,23 @@ let check level ~index ?stats ?flow o =
     check_order index o;
     check_structure index o;
     check_rate level index ?stats ?flow o
+  | Certificate { strict_every } ->
+    let backstop = strict_every > 0 && index mod strict_every = 0 in
+    let full_fallback =
+      match stats with
+      | Some (s : Repair.stats) -> s.Repair.delta.Repair.full
+      | None -> true
+    in
+    if backstop then begin
+      check_order index o;
+      check_structure index o;
+      check_rate Strict index ?stats ?flow o
+    end
+    else if full_fallback then begin
+      (* No usable delta (a rebuild, or an audit without repair stats):
+         fall back to the full Check-level scan. *)
+      check_order index o;
+      check_structure index o;
+      check_rate Check index ?stats ?flow o
+    end
+    else check_certificate index ?stats ?flow o

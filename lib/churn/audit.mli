@@ -45,9 +45,30 @@ type level =
   | Off  (** no auditing (benchmark baseline) *)
   | Check  (** structural + fast-path rate audit after every event *)
   | Strict  (** {!Check} plus the max-flow cross-check *)
+  | Certificate of { strict_every : int }
+      (** delta-scoped fast path: trusts the previous event's verdict and
+          the warm incremental flow as the rate witness, and re-checks
+          only what {!Broadcast.Repair.delta} says the event disturbed —
+          caps/firewall/order-forwardness on the touched rows, flow
+          conservation on the disturbed nodes, O(1) rate agreement. A
+          rebuild (or an audit handed no stats) falls back to the full
+          {!Check} scan for that event, and every [strict_every]-th event
+          (trace index multiple; [0] = never) runs the full {!Strict}
+          audit as a backstop. Verdicts are identical to {!Strict} on
+          every trace the engine can produce — the QCheck differential
+          suite pins this. *)
 
 val level_name : level -> string
-(** ["off"], ["check"], ["strict"]. *)
+(** ["off"], ["check"], ["strict"], ["certificate:<k>"] — every name
+    {!of_name} accepts. *)
+
+val of_name : string -> level option
+(** Inverse of {!level_name} (the CLI's [--audit] parser). Also accepts
+    ["on"] for {!Check} and bare ["certificate"] for the default
+    backstop cadence (every 64 events). *)
+
+val default_backstop : int
+(** Strict-backstop cadence of bare ["certificate"]: [64]. *)
 
 type engine =
   | Full  (** stateless: every rate is re-derived from the snapshot *)

@@ -58,6 +58,29 @@ let resolve_batch ~size picks =
       end)
     picks
 
+(* Compose two consecutive repair deltas: [d1] speaks the intermediate
+   overlay's ids, [map] is the second event's renumbering, [d2] the final
+   ids. Only the fields the delta-scoped auditor consumes are merged
+   exactly ([full], [identity], [touched]); the edge lists keep the
+   latest event's view. Any full delta poisons the composition — the
+   auditor then falls back to a full scan, which is always sound. *)
+let compose_delta (d1 : Repair.delta) ~map (d2 : Repair.delta) =
+  if d1.Repair.full || d2.Repair.full then Repair.full_delta
+  else begin
+    let touched =
+      List.sort_uniq compare
+        (Array.fold_left
+           (fun acc v -> if map.(v) >= 0 then map.(v) :: acc else acc)
+           (Array.to_list d2.Repair.touched)
+           d1.Repair.touched)
+    in
+    {
+      d2 with
+      Repair.identity = d1.Repair.identity && d2.Repair.identity;
+      touched = Array.of_list touched;
+    }
+  end
+
 let apply o (event : Trace.event) =
   let size = Scheme.size (Overlay.scheme o) in
   match event with
@@ -85,15 +108,22 @@ let apply o (event : Trace.event) =
           let o, (stats : Repair.stats) =
             Repair.join o ~bandwidth ~cls:(cls_of guarded)
           in
-          (* The burst is one event to the caller, so its node map is the
-             composition of the per-join renumberings. *)
-          let map =
+          (* The burst is one event to the caller, so its node map (and
+             its disturbance delta) is the composition of the per-join
+             renumberings. *)
+          let map, stats =
             match acc with
-            | None -> stats.Repair.node_map
-            | Some (map, _) ->
-              Array.map
-                (fun v -> if v < 0 then -1 else stats.Repair.node_map.(v))
-                map
+            | None -> (stats.Repair.node_map, stats)
+            | Some (map, (prev : Repair.stats)) ->
+              ( Array.map
+                  (fun v -> if v < 0 then -1 else stats.Repair.node_map.(v))
+                  map,
+                {
+                  stats with
+                  Repair.delta =
+                    compose_delta prev.Repair.delta ~map:stats.Repair.node_map
+                      stats.Repair.delta;
+                } )
           in
           (o, edges + stats.patch_edges, Some (map, stats)))
         (o, 0, None) arrivals
@@ -235,7 +265,24 @@ let step ?(defer_audit = false) st event =
         | Patched | Skipped ->
           Flowgraph.Maxflow.Incremental.apply inc
             ~map:fstats.Repair.node_map snap));
-      if defer_audit then st.pending_audit <- Some (index, fstats)
+      if defer_audit then begin
+        (* Superseding a still-pending audit must not shrink its scope:
+           carry the pending delta forward through this event's
+           renumbering so the eventual flush re-checks everything any
+           deferred event in the batch disturbed. *)
+        let fstats =
+          match st.pending_audit with
+          | None -> fstats
+          | Some (_, (prev : Repair.stats)) ->
+            {
+              fstats with
+              Repair.delta =
+                compose_delta prev.Repair.delta ~map:fstats.Repair.node_map
+                  fstats.Repair.delta;
+            }
+        in
+        st.pending_audit <- Some (index, fstats)
+      end
       else begin
         (* An inline audit of the current state also covers whatever an
            earlier deferred step left pending. *)

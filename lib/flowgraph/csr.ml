@@ -24,42 +24,20 @@ let in_degree t v = t.pred_off.(v + 1) - t.pred_off.(v)
 let out_weight t u = t.out_wt.(u)
 let in_weight t v = t.in_wt.(v)
 
-let of_graph g =
-  let n = Graph.node_count g in
-  let m = Graph.edge_count g in
-  let row_off = Array.make (n + 1) 0 in
+(* Shared tail of [of_graph] and [patch_rows]: given sorted successor
+   arrays, derive the predecessor view and the canonical weight sums. The
+   cursor fill walks edges in canonical order, which leaves every pred row
+   sorted by source — and keeps the float summation order identical no
+   matter which constructor produced [col]/[w], so patched snapshots are
+   bit-for-bit equal to fresh freezes. *)
+let finish ~n ~m ~row_off ~col ~w =
   let pred_off = Array.make (n + 1) 0 in
-  Graph.iter_edges
-    (fun ~src ~dst _w ->
-      row_off.(src + 1) <- row_off.(src + 1) + 1;
-      pred_off.(dst + 1) <- pred_off.(dst + 1) + 1)
-    g;
-  for u = 0 to n - 1 do
-    row_off.(u + 1) <- row_off.(u + 1) + row_off.(u);
-    pred_off.(u + 1) <- pred_off.(u + 1) + pred_off.(u)
+  for e = 0 to m - 1 do
+    pred_off.(col.(e) + 1) <- pred_off.(col.(e) + 1) + 1
   done;
-  let es = Array.make m 0 and ed = Array.make m 0 and ew = Array.make m 0. in
-  let next = ref 0 in
-  Graph.iter_edges
-    (fun ~src ~dst w ->
-      let e = !next in
-      incr next;
-      es.(e) <- src;
-      ed.(e) <- dst;
-      ew.(e) <- w)
-    g;
-  let perm = Array.init m (fun i -> i) in
-  Array.sort
-    (fun a b ->
-      let c = compare es.(a) es.(b) in
-      if c <> 0 then c else compare ed.(a) ed.(b))
-    perm;
-  let col = Array.make m 0 and w = Array.make m 0. in
-  Array.iteri
-    (fun i p ->
-      col.(i) <- ed.(p);
-      w.(i) <- ew.(p))
-    perm;
+  for v = 0 to n - 1 do
+    pred_off.(v + 1) <- pred_off.(v + 1) + pred_off.(v)
+  done;
   let pred_src = Array.make m 0 and pred_edge = Array.make m 0 in
   let cursor = Array.sub pred_off 0 (max 1 n) in
   for u = 0 to n - 1 do
@@ -87,6 +65,103 @@ let of_graph g =
     in_wt.(v) <- !s
   done;
   { n; m; row_off; col; w; pred_off; pred_src; pred_edge; out_wt; in_wt }
+
+let of_graph g =
+  let n = Graph.node_count g in
+  let m = Graph.edge_count g in
+  let row_off = Array.make (n + 1) 0 in
+  Graph.iter_edges
+    (fun ~src ~dst:_ _w -> row_off.(src + 1) <- row_off.(src + 1) + 1)
+    g;
+  for u = 0 to n - 1 do
+    row_off.(u + 1) <- row_off.(u + 1) + row_off.(u)
+  done;
+  let es = Array.make m 0 and ed = Array.make m 0 and ew = Array.make m 0. in
+  let next = ref 0 in
+  Graph.iter_edges
+    (fun ~src ~dst w ->
+      let e = !next in
+      incr next;
+      es.(e) <- src;
+      ed.(e) <- dst;
+      ew.(e) <- w)
+    g;
+  let perm = Array.init m (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare es.(a) es.(b) in
+      if c <> 0 then c else compare ed.(a) ed.(b))
+    perm;
+  let col = Array.make m 0 and w = Array.make m 0. in
+  Array.iteri
+    (fun i p ->
+      col.(i) <- ed.(p);
+      w.(i) <- ew.(p))
+    perm;
+  finish ~n ~m ~row_off ~col ~w
+
+let patch_rows ?n t ~rows ~edges =
+  let n' = match n with None -> t.n | Some n' -> n' in
+  if n' < t.n then invalid_arg "Csr.patch_rows: n may not shrink";
+  let k = Array.length rows in
+  if Array.length edges <> k then
+    invalid_arg "Csr.patch_rows: rows/edges length mismatch";
+  Array.iteri
+    (fun i r ->
+      if r < 0 || r >= n' then invalid_arg "Csr.patch_rows: row out of range";
+      if i > 0 && rows.(i - 1) >= r then
+        invalid_arg "Csr.patch_rows: rows must be strictly increasing";
+      let prev = ref (-1) in
+      Array.iter
+        (fun (d, wt) ->
+          if d < 0 || d >= n' then
+            invalid_arg "Csr.patch_rows: dst out of range";
+          if d = r then invalid_arg "Csr.patch_rows: self loop";
+          if d <= !prev then
+            invalid_arg "Csr.patch_rows: row edges must be sorted by dst";
+          if not (Float.is_finite wt) || wt <= 0. then
+            invalid_arg "Csr.patch_rows: weight must be positive and finite";
+          prev := d)
+        edges.(i))
+    rows;
+  let appended = ref 0 in
+  Array.iter (fun r -> if r >= t.n then incr appended) rows;
+  if !appended <> n' - t.n then
+    invalid_arg "Csr.patch_rows: every appended row must be patched";
+  let row_off' = Array.make (n' + 1) 0 in
+  for u = 0 to t.n - 1 do
+    row_off'.(u + 1) <- t.row_off.(u + 1) - t.row_off.(u)
+  done;
+  Array.iteri (fun i r -> row_off'.(r + 1) <- Array.length edges.(i)) rows;
+  for u = 0 to n' - 1 do
+    row_off'.(u + 1) <- row_off'.(u + 1) + row_off'.(u)
+  done;
+  let m' = row_off'.(n') in
+  let col' = Array.make m' 0 and w' = Array.make m' 0. in
+  let ki = ref 0 and u = ref 0 in
+  while !u < n' do
+    if !ki < k && rows.(!ki) = !u then begin
+      let base = row_off'.(!u) in
+      Array.iteri
+        (fun j (d, wt) ->
+          col'.(base + j) <- d;
+          w'.(base + j) <- wt)
+        edges.(!ki);
+      incr ki;
+      incr u
+    end
+    else begin
+      (* Contiguous run of unpatched rows: their layout is unchanged
+         relative to the run start, so one blit per run suffices. Every
+         row >= t.n is patched, so the run stays within the old arrays. *)
+      let stop = if !ki < k then min rows.(!ki) t.n else t.n in
+      let len = t.row_off.(stop) - t.row_off.(!u) in
+      Array.blit t.col t.row_off.(!u) col' row_off'.(!u) len;
+      Array.blit t.w t.row_off.(!u) w' row_off'.(!u) len;
+      u := stop
+    end
+  done;
+  finish ~n:n' ~m:m' ~row_off:row_off' ~col:col' ~w:w'
 
 let edge_weight t ~src ~dst =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then

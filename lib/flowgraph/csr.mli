@@ -39,6 +39,20 @@ val of_graph : Graph.t -> t
 (** [of_graph g] freezes the current state of [g]; later mutations of [g]
     are not reflected. *)
 
+val patch_rows : ?n:int -> t -> rows:int array -> edges:(int * float) array array -> t
+(** [patch_rows t ~rows ~edges] is a fresh snapshot equal to [t] with the
+    successor rows listed in [rows] replaced by [edges] — the delta-scoped
+    re-freeze behind [Scheme.apply_delta]. [rows] must be strictly
+    increasing; [edges.(i)] are the new [(dst, weight)] out-edges of
+    [rows.(i)], sorted by [dst], weights positive and finite. [?n]
+    (default [node_count t], may only grow) appends nodes
+    [node_count t .. n - 1]; every appended row must appear in [rows]
+    (possibly with no edges). Unpatched rows are copied by contiguous
+    blits — no sort, no hashing — and the result is bit-for-bit identical
+    to [of_graph] of the equivalent graph, including the canonical
+    summation order of the weight caches. Cost: [O(n + m)] array copies
+    versus [of_graph]'s hashtable iteration and [O(m log m)] sort. *)
+
 val node_count : t -> int
 
 val edge_count : t -> int

@@ -608,4 +608,27 @@ let is_warm t = t.warm
 let last_stats t = t.last_
 let achieves_rate t ~rate = t.value_ >= rate
 
+let critical_sink t =
+  if t.sink_slot < 0 then -1 else t.ext_of.(t.sink_slot)
+
+(* Net warm flow into an arbitrary external node — [sink_inflow]
+   generalized to any slot. Conserved interior nodes balance to ~0; the
+   certificate-trusting auditor reads exactly the disturbed nodes. *)
+let node_balance t ~node =
+  if node < 0 || node >= t.n_ext then
+    invalid_arg "Incremental.node_balance: node out of range";
+  if not t.warm then 0.
+  else begin
+    let s = t.slot_of.(node) in
+    let acc = ref 0. in
+    let row = t.adj.(s) and len = t.adj_len.(s) in
+    for p = 0 to len - 1 do
+      let arc = row.(p) in
+      let k = arc lsr 1 in
+      let f = t.resid.((2 * k) lor 1) in
+      if arc land 1 = 1 then acc := !acc +. f else acc := !acc -. f
+    done;
+    !acc
+  end
+
 let identity_map n = Array.init n (fun v -> v)

@@ -87,6 +87,20 @@ val is_warm : t -> bool
 val last_stats : t -> stats
 (** Diagnostics of the most recent {!create}/{!apply}/{!rebase}. *)
 
+val critical_sink : t -> int
+(** External id of the critical sink the warm flow currently targets, or
+    [-1] on single-node snapshots and in the cyclic fallback. *)
+
+val node_balance : t -> node:int -> float
+(** [node_balance t ~node] is the net warm flow into external node
+    [node] (inflow minus outflow over its incident arcs) — [O(degree)]
+    array reads. A conserved interior node balances to ~0 (within the
+    drain tolerance); the source balances to [-value], the critical sink
+    to [+value]. This is the per-node conservation witness the
+    certificate-trusting auditor checks on the disturbed nodes only.
+    Returns [0.] in the cyclic fallback (no warm flow is kept). Raises
+    [Invalid_argument] on an out-of-range node. *)
+
 val identity_map : int -> int array
 (** [identity_map n] is [[|0; 1; ...; n - 1|]] — the map of an event
     that renumbers nothing. *)

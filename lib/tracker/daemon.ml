@@ -79,3 +79,21 @@ let serve ?(window_s = 0.05) ?(stop = fun () -> false) session ~input ~output
   let tail = Buffer.contents buffered in
   if tail <> "" && not !discarding then respond (Session.submit session tail);
   respond (Session.flush session)
+
+(* Sequential multi-client loop: one live session outlives its clients.
+   A disconnect (EOF) only ends that client's [serve]; the loop then
+   accepts the next one against the same session, so scheme state and
+   the request sequence numbering persist across connections. Only a
+   shutdown request, [stop] or an exhausted [accept] ends the loop. *)
+let serve_loop ?window_s ?(stop = fun () -> false) session ~accept =
+  let continue = ref true in
+  while
+    !continue && (not (stop ())) && not (Session.shutting_down session)
+  do
+    match accept () with
+    | None -> continue := false
+    | Some (input, output, close) ->
+      Fun.protect
+        ~finally:close
+        (fun () -> serve ?window_s ~stop session ~input ~output)
+  done

@@ -28,3 +28,20 @@ val serve :
   input:Unix.file_descr ->
   output:out_channel ->
   unit
+
+val serve_loop :
+  ?window_s:float ->
+  ?stop:(unit -> bool) ->
+  Session.t ->
+  accept:(unit -> (Unix.file_descr * out_channel * (unit -> unit)) option) ->
+  unit
+(** [serve_loop session ~accept] serves clients {e sequentially} against
+    one live session: [accept ()] blocks for the next client and returns
+    its input descriptor, output channel and a close finalizer (always
+    called, even if the transport raises), or [None] to end the loop —
+    the CLI maps an [EINTR]-interrupted [Unix.accept] to [None] so
+    SIGINT exits cleanly. Each client is handled by {!serve}; a client's
+    EOF returns to [accept] rather than ending the daemon, so scheme
+    state, counters and sequence numbering persist across connections.
+    The loop ends when [accept] returns [None], [stop] turns true, or a
+    client's shutdown request is answered. *)

@@ -394,6 +394,116 @@ let prop_engine_invariants =
         r.Churn.Engine.timeline
       && Broadcast.Overlay.well_formed r.Churn.Engine.overlay)
 
+(* Tentpole differential: the certificate-trusting audit must be
+   indistinguishable from Strict — same verdict, same timeline, same
+   summary — on random platform/trace pairs, across both engines and
+   backstop cadences. Shrinking (helpers.ml) minimizes any divergence to
+   the few events that matter. *)
+let prop_certificate_matches_strict =
+  QCheck.Test.make
+    ~name:"certificate audit == strict: verdict, timeline and summary"
+    ~count:300
+    (QCheck.pair
+       (Helpers.instance_arb ~max_open:8 ~max_guarded:4)
+       (Helpers.trace_arb ~events:25 ()))
+    (fun (inst, trace) ->
+      let overlay = overlay_with_headroom inst 0.9 in
+      let run audit engine =
+        match
+          Churn.Engine.run ~policy:Churn.Policy.adaptive_default ~audit ~engine
+            ~rebuild_headroom:0.8 overlay trace
+        with
+        | r -> Ok (r.Churn.Engine.timeline, r.Churn.Engine.summary)
+        | exception Churn.Audit.Violation { index; what = _ } -> Error index
+      in
+      let reference = run Churn.Audit.Strict Churn.Audit.Full in
+      List.for_all
+        (fun (audit, engine) -> run audit engine = reference)
+        [
+          (Churn.Audit.Strict, Churn.Audit.Incremental);
+          (Churn.Audit.Certificate { strict_every = 0 }, Churn.Audit.Full);
+          ( Churn.Audit.Certificate { strict_every = 0 },
+            Churn.Audit.Incremental );
+          ( Churn.Audit.Certificate { strict_every = 3 },
+            Churn.Audit.Incremental );
+        ])
+
+(* The certificate's trust boundary, pinned on a hand-corrupted overlay:
+   a backward edge (a cycle seed) out of a row the delta names is caught
+   by the delta-scoped acyclicity check; the same corruption behind a
+   delta that claims the row untouched is — by design — trusted by the
+   certificate and only caught by the Strict backstop or a full Check. *)
+let test_certificate_delta_scoped_acyclicity () =
+  let o, _ = small_overlay 41L in
+  let order = Array.copy (Broadcast.Overlay.order o) in
+  let tmp = order.(1) in
+  order.(1) <- order.(Array.length order - 1);
+  order.(Array.length order - 1) <- tmp;
+  let corrupted =
+    Broadcast.Overlay.of_scheme (Broadcast.Overlay.scheme o) ~order
+  in
+  (* Find a row whose out-edges now go backward in the corrupted order. *)
+  let pos = Broadcast.Overlay.positions corrupted in
+  let csr = Broadcast.Scheme.snapshot (Broadcast.Overlay.scheme corrupted) in
+  let bad = ref (-1) in
+  Flowgraph.Csr.iter_edges
+    (fun ~src ~dst _ -> if !bad < 0 && pos.(src) >= pos.(dst) then bad := src)
+    csr;
+  Alcotest.(check bool) "corruption produced a backward edge" true (!bad >= 0);
+  let size = Broadcast.Scheme.size (Broadcast.Overlay.scheme corrupted) in
+  let stats_with touched =
+    {
+      Broadcast.Repair.patch_edges = 0;
+      rebuild_edges = 0;
+      rate_after = Broadcast.Overlay.verified_rate corrupted;
+      optimal_after = infinity;
+      starved = [];
+      node_map = Array.init size (fun v -> v);
+      delta =
+        {
+          Broadcast.Repair.full = false;
+          identity = true;
+          touched;
+          added = [||];
+          removed = [||];
+          reweighted = [||];
+        };
+    }
+  in
+  let cert = Churn.Audit.Certificate { strict_every = 0 } in
+  (match
+     Churn.Audit.check cert ~index:5 ~stats:(stats_with [| !bad |]) corrupted
+   with
+  | () -> Alcotest.fail "certificate accepted a backward edge on a touched row"
+  | exception Churn.Audit.Violation { index; what } ->
+    Alcotest.(check int) "violation carries the event index" 5 index;
+    Alcotest.(check bool) "names the backward edge" true
+      (let contains s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       contains what "backward"));
+  (* A lying delta is trusted — that is the certificate's contract... *)
+  (match
+     Churn.Audit.check cert ~index:5 ~stats:(stats_with [||]) corrupted
+   with
+  | () -> ()
+  | exception Churn.Audit.Violation _ ->
+    Alcotest.fail "certificate did not trust an untouched-claiming delta");
+  (* ...and both the full Check scan and the Strict backstop catch what
+     the trusting fast path cannot see. *)
+  (match Churn.Audit.check Churn.Audit.Check ~index:5 corrupted with
+  | () -> Alcotest.fail "full check missed the backward edge"
+  | exception Churn.Audit.Violation _ -> ());
+  match
+    Churn.Audit.check
+      (Churn.Audit.Certificate { strict_every = 5 })
+      ~index:5 ~stats:(stats_with [||]) corrupted
+  with
+  | () -> Alcotest.fail "strict backstop missed the backward edge"
+  | exception Churn.Audit.Violation _ -> ()
+
 (* Experiment acceptance: the adaptive policy strictly beats always-patch
    on worst-case throughput at a fraction of always-rebuild's churn. *)
 let test_policy_comparison_acceptance () =
@@ -449,6 +559,9 @@ let suites =
           test_join_saturated_regression;
         Alcotest.test_case "policy comparison acceptance" `Slow
           test_policy_comparison_acceptance;
+        Alcotest.test_case "certificate delta-scoped acyclicity + trust boundary"
+          `Quick test_certificate_delta_scoped_acyclicity;
         QCheck_alcotest.to_alcotest prop_engine_invariants;
+        QCheck_alcotest.to_alcotest prop_certificate_matches_strict;
       ] );
   ]

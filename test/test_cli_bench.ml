@@ -47,6 +47,10 @@ let test_bench_schema_golden () =
     (num "top" doc "gate_incremental_speedup_min");
   Alcotest.(check (float 0.)) "speedup gate scope" 10000.
     (num "top" doc "gate_incremental_speedup_nodes");
+  Alcotest.(check (float 0.)) "delta audit gate" 10.0
+    (num "top" doc "gate_delta_audit_speedup_min");
+  Alcotest.(check (float 0.)) "delta audit gate scope" 10000.
+    (num "top" doc "gate_delta_audit_speedup_nodes");
   let rows =
     match Json.member "rows" doc with
     | Some (Json.Arr rows) -> rows
@@ -61,15 +65,26 @@ let test_bench_schema_golden () =
         [
           "nodes"; "events"; "unaudited_s"; "audited_s"; "events_per_s";
           "overhead"; "incremental_s"; "full_recompute_s"; "speedup";
+          "delta_audit_s"; "strict_audit_s"; "delta_audit_speedup";
+          "minor_words_per_event"; "major_collections";
         ];
       ignore (bool_ what row "identical");
       ignore (bool_ what row "agree");
       if num what row "incremental_s" <= 0. then
         Alcotest.failf "%s: incremental_s must be positive" what;
+      if num what row "delta_audit_s" <= 0. then
+        Alcotest.failf "%s: delta_audit_s must be positive" what;
       if
         num what row "nodes" >= num "top" doc "gate_incremental_speedup_nodes"
         && num what row "speedup" < num "top" doc "gate_incremental_speedup_min"
-      then Alcotest.failf "%s: golden sample itself fails the speedup gate" what)
+      then Alcotest.failf "%s: golden sample itself fails the speedup gate" what;
+      if
+        num what row "nodes" >= num "top" doc "gate_delta_audit_speedup_nodes"
+        && num what row "delta_audit_speedup"
+           < num "top" doc "gate_delta_audit_speedup_min"
+      then
+        Alcotest.failf "%s: golden sample itself fails the delta audit gate"
+          what)
     rows
 
 let test_engine_names_roundtrip () =
@@ -81,6 +96,35 @@ let test_engine_names_roundtrip () =
     [ Churn.Audit.Full; Churn.Audit.Incremental ];
   Alcotest.(check bool) "unknown name rejected" true
     (Churn.Audit.engine_of_name "warm" = None)
+
+let test_audit_names_roundtrip () =
+  List.iter
+    (fun l ->
+      match Churn.Audit.of_name (Churn.Audit.level_name l) with
+      | Some l' when l' = l -> ()
+      | _ ->
+        Alcotest.failf "audit level %S does not round-trip"
+          (Churn.Audit.level_name l))
+    [
+      Churn.Audit.Off; Churn.Audit.Check; Churn.Audit.Strict;
+      Churn.Audit.Certificate { strict_every = 0 };
+      Churn.Audit.Certificate { strict_every = 7 };
+      Churn.Audit.Certificate { strict_every = Churn.Audit.default_backstop };
+    ];
+  Alcotest.(check bool) "\"on\" is Check" true
+    (Churn.Audit.of_name "on" = Some Churn.Audit.Check);
+  Alcotest.(check bool) "bare certificate gets the default backstop" true
+    (Churn.Audit.of_name "certificate"
+    = Some
+        (Churn.Audit.Certificate
+           { strict_every = Churn.Audit.default_backstop }));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" s)
+        true
+        (Churn.Audit.of_name s = None))
+    [ "certificate:"; "certificate:-1"; "certificate:x"; "paranoid"; "" ]
 
 (* {2 Driving the real binary} *)
 
@@ -157,6 +201,37 @@ let test_churn_run_engine_flag () =
         Alcotest.failf "bogus --engine value: expected exit 2, got %d\n%s" n out
       | _, _ -> Alcotest.fail "bogus --engine value: killed by a signal")
 
+let test_churn_run_audit_flag () =
+  with_instance (fun ~dir:_ inst ->
+      let replay audit =
+        run_ok
+          (Printf.sprintf
+             "%s churn run %s --events 40 --seed 11 --engine incremental \
+              --audit %s --timeline"
+             bmp (Filename.quote inst) audit)
+      in
+      (* The audit level is an observer: a certificate replay matches the
+         strict replay byte for byte, modulo the one line naming it. *)
+      let strict = replay "strict" and cert = replay "certificate:4" in
+      let strip s =
+        String.split_on_char '\n' s
+        |> List.filter (fun l -> not (contains l "audit"))
+        |> String.concat "\n"
+      in
+      Alcotest.(check string) "audit knob never changes replay output"
+        (strip strict) (strip cert);
+      Alcotest.(check bool) "audit line reported" true
+        (contains cert "certificate:4");
+      match
+        run_capture
+          (Printf.sprintf "%s churn run %s --audit paranoid 2>&1" bmp
+             (Filename.quote inst))
+      with
+      | Unix.WEXITED 2, _ -> ()
+      | Unix.WEXITED n, out ->
+        Alcotest.failf "bogus --audit value: expected exit 2, got %d\n%s" n out
+      | _, _ -> Alcotest.fail "bogus --audit value: killed by a signal")
+
 (* {2 Exit-code contract}
 
    Usage and CLI parse errors exit 2; domain failures (infeasible rate,
@@ -224,6 +299,10 @@ let suites =
           test_bench_schema_golden;
         Alcotest.test_case "engine names round-trip" `Quick
           test_engine_names_roundtrip;
+        Alcotest.test_case "audit level names round-trip" `Quick
+          test_audit_names_roundtrip;
+        Alcotest.test_case "churn run --audit certificate replays identically"
+          `Quick test_churn_run_audit_flag;
         Alcotest.test_case "churn run --help covers --engine" `Quick
           test_churn_run_help_covers_engine;
         Alcotest.test_case "churn run --engine replays identically" `Quick

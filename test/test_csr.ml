@@ -158,6 +158,89 @@ let test_deep_structures () =
     (Flowgraph.Maxflow.max_flow g ~src:0 ~dst:(n - 1))
     1.
 
+(* patch_rows: replacing a few rows must be bit-for-bit identical to a
+   fresh freeze of the mutated graph — the invariant the repair layer's
+   byte-deterministic fast path (Scheme.apply_delta) rests on. Structural
+   equality on the whole record compares every array, floats included. *)
+let test_patch_rows_matches_of_graph () =
+  let rng = Prng.Splitmix.create 203L in
+  for _ = 1 to 30 do
+    let n = 3 + int_of_float (10. *. Prng.Splitmix.next_float rng) in
+    let g = random_graph rng n 0.4 in
+    let base = Csr.of_graph g in
+    let rows =
+      List.init n (fun v -> v)
+      |> List.filter (fun _ -> Prng.Splitmix.next_float rng < 0.4)
+    in
+    let rows = if rows = [] then [ 0 ] else rows in
+    List.iter
+      (fun u ->
+        (* wipe the row, then grow a fresh random out-neighbourhood *)
+        List.iter (fun (d, _) -> G.set_edge g ~src:u ~dst:d 0.) (G.out_edges g u);
+        for d = 0 to n - 1 do
+          if d <> u && Prng.Splitmix.next_float rng < 0.3 then
+            G.set_edge g ~src:u ~dst:d (0.1 +. Prng.Splitmix.next_float rng)
+        done)
+      rows;
+    let edges =
+      List.map
+        (fun u ->
+          G.out_edges g u
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> Array.of_list)
+        rows
+    in
+    let patched =
+      Csr.patch_rows base ~rows:(Array.of_list rows)
+        ~edges:(Array.of_list edges)
+    in
+    Alcotest.(check bool) "patched snapshot == fresh freeze, bit for bit" true
+      (patched = Csr.of_graph g)
+  done
+
+let test_patch_rows_appends_nodes () =
+  let rng = Prng.Splitmix.create 204L in
+  let g = random_graph rng 8 0.4 in
+  let base = Csr.of_graph g in
+  (* A join-shaped patch: newcomer 8 fed by node 0 — the feeder row and
+     the (empty) newcomer row are the disturbed rows. *)
+  let feeder =
+    (G.out_edges g 0 |> List.sort (fun (a, _) (b, _) -> compare a b))
+    @ [ (8, 2.5) ]
+    |> Array.of_list
+  in
+  let patched = Csr.patch_rows ~n:9 base ~rows:[| 0; 8 |] ~edges:[| feeder; [||] |] in
+  let g' = G.create 9 in
+  G.iter_edges (fun ~src ~dst w -> G.add_edge g' ~src ~dst w) g;
+  G.add_edge g' ~src:0 ~dst:8 2.5;
+  Alcotest.(check bool) "appended node == fresh freeze, bit for bit" true
+    (patched = Csr.of_graph g')
+
+let test_patch_rows_validation () =
+  let g = random_graph (Prng.Splitmix.create 205L) 6 0.5 in
+  let base = Csr.of_graph g in
+  let expect what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" what
+  in
+  expect "shrinking n" (fun () ->
+      Csr.patch_rows ~n:5 base ~rows:[||] ~edges:[||]);
+  expect "rows/edges length mismatch" (fun () ->
+      Csr.patch_rows base ~rows:[| 1 |] ~edges:[||]);
+  expect "row out of range" (fun () ->
+      Csr.patch_rows base ~rows:[| 6 |] ~edges:[| [||] |]);
+  expect "rows not strictly increasing" (fun () ->
+      Csr.patch_rows base ~rows:[| 2; 2 |] ~edges:[| [||]; [||] |]);
+  expect "unsorted row" (fun () ->
+      Csr.patch_rows base ~rows:[| 0 |] ~edges:[| [| (2, 1.); (1, 1.) |] |]);
+  expect "self loop" (fun () ->
+      Csr.patch_rows base ~rows:[| 0 |] ~edges:[| [| (0, 1.) |] |]);
+  expect "nonpositive weight" (fun () ->
+      Csr.patch_rows base ~rows:[| 0 |] ~edges:[| [| (1, 0.) |] |]);
+  expect "appended row left unpatched" (fun () ->
+      Csr.patch_rows ~n:8 base ~rows:[| 6 |] ~edges:[| [||] |])
+
 let suites =
   [
     ( "csr",
@@ -176,5 +259,11 @@ let suites =
           test_empty_and_fringe;
         Alcotest.test_case "deep structures (stack safety)" `Quick
           test_deep_structures;
+        Alcotest.test_case "patch_rows == fresh freeze" `Quick
+          test_patch_rows_matches_of_graph;
+        Alcotest.test_case "patch_rows appends nodes" `Quick
+          test_patch_rows_appends_nodes;
+        Alcotest.test_case "patch_rows validation" `Quick
+          test_patch_rows_validation;
       ] );
   ]

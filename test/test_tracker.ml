@@ -376,6 +376,88 @@ let test_daemon_oversized_line () =
   Alcotest.(check int) "only the join committed" 1
     (Session.counters session).Session.events
 
+(* Sequential multi-client accept loop: one live session outlives its
+   clients, so scheme state and the request sequence numbering persist
+   across back-to-back connections, and a shutdown request ends the
+   daemon rather than just its client. *)
+let test_daemon_serve_loop_multiple_clients () =
+  let overlay = small_overlay 42L in
+  let session = Session.create (config ()) overlay in
+  let scripts =
+    [
+      "{\"type\": \"join\", \"bandwidth\": 9, \"guarded\": false}\n\
+       {\"type\": \"query\"}\n";
+      "{\"type\": \"query\"}\n{\"type\": \"shutdown\"}\n";
+      (* Never served: the shutdown above must end the loop first. *)
+      "{\"type\": \"query\"}\n";
+    ]
+  in
+  let remaining = ref scripts in
+  let served = ref [] in
+  let accept () =
+    match !remaining with
+    | [] -> None
+    | script :: rest ->
+      remaining := rest;
+      let r, w = Unix.pipe () in
+      let payload = Bytes.of_string script in
+      Alcotest.(check int) "script written whole" (Bytes.length payload)
+        (Unix.write w payload 0 (Bytes.length payload));
+      Unix.close w;
+      let path = Filename.temp_file "tracker_loop" ".ndjson" in
+      let out = open_out path in
+      served := path :: !served;
+      Some
+        ( r,
+          out,
+          fun () ->
+            close_out out;
+            Unix.close r )
+  in
+  Tracker.Daemon.serve_loop ~window_s:0.005 session ~accept;
+  let outputs =
+    List.rev_map
+      (fun path ->
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Sys.remove path;
+        List.rev !lines)
+      !served
+  in
+  Alcotest.(check int) "shutdown ends the loop after two clients" 1
+    (List.length !remaining);
+  Alcotest.(check bool) "session shut down" true
+    (Session.shutting_down session);
+  match outputs with
+  | [ first; second ] ->
+    Alcotest.(check int) "first client answered in full" 2 (List.length first);
+    Alcotest.(check int) "second client answered in full" 2
+      (List.length second);
+    Alcotest.(check (list int)) "sequence numbering spans connections"
+      [ 1; 2; 3; 4 ]
+      (List.map (fun r -> int_field r "seq") (first @ second));
+    Alcotest.(check string) "join served on the first connection" "join"
+      (str_field (List.hd first) "event");
+    (* The second client queries the same live scheme the first one
+       mutated: the join is visible in its event counter. *)
+    (match field (List.hd second) "query" with
+    | Some q ->
+      (match Flowgraph.Json.member "events" q with
+      | Some (Flowgraph.Json.Num n) ->
+        Alcotest.(check int) "state persists across connections" 1
+          (int_of_float n)
+      | _ -> Alcotest.fail "query body lacks events")
+    | None -> Alcotest.fail "no query body on the second connection");
+    Alcotest.(check int) "one committed event across both clients" 1
+      (Session.counters session).Session.events
+  | outs -> Alcotest.failf "expected two served clients, got %d" (List.length outs)
+
 let suites =
   [
     ( "tracker",
@@ -405,5 +487,7 @@ let suites =
           test_daemon_trailing_line_and_eof;
         Alcotest.test_case "daemon bounds oversized lines" `Quick
           test_daemon_oversized_line;
+        Alcotest.test_case "serve loop: back-to-back clients share state"
+          `Quick test_daemon_serve_loop_multiple_clients;
       ] );
   ]
